@@ -1,0 +1,1 @@
+bench/ablations.ml: Common Flextoe Host List Netsim Option Printf Sim

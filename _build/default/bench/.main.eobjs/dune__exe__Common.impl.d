@@ -1,0 +1,1 @@
+bench/common.ml: Baselines Bytes Flextoe Host List Netsim Printf Sim

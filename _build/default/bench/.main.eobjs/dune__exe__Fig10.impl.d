@@ -1,0 +1,1 @@
+bench/fig10.ml: Common Hashtbl Host List Sim

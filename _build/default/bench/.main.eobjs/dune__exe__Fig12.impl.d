@@ -1,0 +1,1 @@
+bench/fig12.ml: Common Host List Sim

@@ -1,0 +1,1 @@
+bench/fig13.ml: Common Host List Sim

@@ -1,0 +1,1 @@
+bench/fig14.ml: Common Flextoe Host List Sim

@@ -1,0 +1,1 @@
+bench/fig15.ml: Common Host List Printf Sim

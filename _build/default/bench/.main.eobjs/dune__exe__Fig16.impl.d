@@ -1,0 +1,1 @@
+bench/fig16.ml: Array Common Flextoe Host List Sim

@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Common Fig10 Fig11 Fig12 Fig13 Fig14 Fig15 Fig16 Fig9 List Microbench Printf String Sys Table1 Table2 Table3 Table4 Unix

@@ -1,0 +1,1 @@
+bench/microbench.ml: Analyze Array Bechamel Benchmark Bytes Common Flextoe Hashtbl Host Instance List Measure Netsim Printf Sim Staged Tcp Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/table1.ml: Common Host List Option Printf Sim

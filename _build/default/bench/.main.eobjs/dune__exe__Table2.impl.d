@@ -1,0 +1,1 @@
+bench/table2.ml: Common Flextoe Host List Option Printf Sim

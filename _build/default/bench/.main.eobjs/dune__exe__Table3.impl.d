@@ -1,0 +1,1 @@
+bench/table3.ml: Common Flextoe Host List Printf Sim

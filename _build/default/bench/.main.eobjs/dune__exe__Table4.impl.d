@@ -1,0 +1,1 @@
+bench/table4.ml: Common Flextoe Host List Netsim Printf Sim

@@ -1,0 +1,87 @@
+(* Ablations beyond the paper's tables: the design choices DESIGN.md
+   calls out that are not already covered by Table 3.
+
+   1. Delayed ACKs: the paper notes FlexTOE acknowledges every
+      incoming packet and that "implementing delayed ACKs would
+      improve FlexTOE's performance further for large flows" (§5.2).
+      We implemented them (data path counts, control plane flushes)
+      and measure the prediction.
+   2. Congestion-control algorithm: DCTCP vs TIMELY vs none under the
+      Table 4 incast, exercising the control-plane framework's
+      pluggability (§3.4). *)
+
+open Common
+
+let delayed_acks_row delayed =
+  let config =
+    { Flextoe.Config.default with Flextoe.Config.delayed_acks = delayed }
+  in
+  (* Bidirectional large RPCs: the case the paper predicts benefits. *)
+  let w = mk_world () in
+  let server = mk_node w FlexTOE ~config ip_server in
+  let client = mk_node w FlexTOE ~config (ip_client 0) in
+  let stats = Host.Rpc.Stats.create w.engine in
+  start_server server ~port:7 ~app_cycles:250 ~handler:Host.Rpc.echo_handler;
+  ignore
+    (Host.Rpc.closed_loop_client ~endpoint:client.ep ~engine:w.engine
+       ~server_ip:ip_server ~server_port:7 ~conns:1 ~pipeline:2
+       ~req_bytes:1_048_576 ~stats ());
+  measure w ~warmup:(Sim.Time.ms 20) ~window:(Sim.Time.ms 60) [ stats ];
+  let gbps =
+    float_of_int (Host.Rpc.Stats.ops stats * 1_048_576 * 8)
+    /. Sim.Time.to_sec (Sim.Time.ms 60) /. 1e9
+  in
+  let st = Flextoe.Datapath.stats (Flextoe.datapath (Option.get server.flex)) in
+  (gbps, st.Flextoe.Datapath.tx_acks, st.Flextoe.Datapath.tx_segments)
+
+let cc_row cc =
+  let config = { Flextoe.Config.default with Flextoe.Config.cc } in
+  let w = mk_world () in
+  let server = mk_node w FlexTOE ~app_cores:8 ~config ip_server in
+  Netsim.Fabric.shape_port w.fabric server.port ~rate_gbps:10.
+    ~queue_bytes:(512 * 1024) ~ecn_threshold_bytes:(64 * 1024);
+  let stats = Host.Rpc.Stats.create w.engine in
+  start_server server ~port:7 ~app_cycles:200
+    ~handler:(Host.Rpc.const_handler 32);
+  for i = 0 to 3 do
+    let client = mk_node w FlexTOE ~app_cores:8 ~config (ip_client i) in
+    ignore
+      (Host.Rpc.closed_loop_client ~endpoint:client.ep ~engine:w.engine
+         ~server_ip:ip_server ~server_port:7 ~conns:16 ~pipeline:1
+         ~req_bytes:65536 ~stats ())
+  done;
+  measure w ~warmup:(Sim.Time.ms 30) ~window:(Sim.Time.ms 100) [ stats ];
+  let gbps =
+    float_of_int (Host.Rpc.Stats.ops stats * 65536 * 8)
+    /. Sim.Time.to_sec (Sim.Time.ms 100) /. 1e9
+  in
+  ( gbps,
+    Host.Rpc.Stats.rtt_percentile_us stats 99.99 /. 1000.,
+    Host.Rpc.Stats.jain_index stats )
+
+let run () =
+  header "Ablation: delayed ACKs (1MB bidirectional echo, 1 connection)";
+  Printf.printf "%-24s %10s %12s %12s\n" "" "Gbps" "pure ACKs" "data segs";
+  let g0, a0, d0 = delayed_acks_row false in
+  Printf.printf "%-24s %10.2f %12d %12d\n" "ack every segment" g0 a0 d0;
+  let g1, a1, d1 = delayed_acks_row true in
+  Printf.printf "%-24s %10.2f %12d %12d\n" "delayed ACKs" g1 a1 d1;
+  log_result ~experiment:"ablations"
+    "delayed ACKs: %.2f -> %.2f Gbps (%+.0f%%), pure ACKs %d -> %d \
+     (paper predicts an improvement for large flows)"
+    g0 g1
+    (100. *. ((g1 /. g0) -. 1.))
+    a0 a1;
+  header "Ablation: congestion-control algorithm under incast (64 conns)";
+  Printf.printf "%-10s %10s %12s %8s\n" "" "Gbps" "99.99p (ms)" "JFI";
+  List.iter
+    (fun (name, cc) ->
+      let g, tail, jfi = cc_row cc in
+      Printf.printf "%-10s %10.2f %12.2f %8.2f\n" name g tail jfi;
+      log_result ~experiment:"ablations" "cc=%s: %.2fG tail %.2fms JFI %.2f"
+        name g tail jfi)
+    [
+      ("DCTCP", Flextoe.Config.Dctcp);
+      ("TIMELY", Flextoe.Config.Timely);
+      ("none", Flextoe.Config.Cc_none);
+    ]

@@ -1,0 +1,139 @@
+(* Shared infrastructure for the experiment harness: node builders for
+   all four stacks, measurement helpers, and table formatting. *)
+
+type world = { engine : Sim.Engine.t; fabric : Netsim.Fabric.t }
+
+let mk_world ?(loss = 0.) ?(seed = 42L) () =
+  let engine = Sim.Engine.create ~seed () in
+  let fabric = Netsim.Fabric.create engine () in
+  Netsim.Fabric.set_loss fabric loss;
+  { engine; fabric }
+
+type stack = FlexTOE | Linux | TAS | Chelsio
+
+let all_stacks = [ Linux; Chelsio; TAS; FlexTOE ]
+
+let stack_name = function
+  | FlexTOE -> "FlexTOE"
+  | Linux -> "Linux"
+  | TAS -> "TAS"
+  | Chelsio -> "Chelsio"
+
+let profile_of = function
+  | Linux -> Baselines.Profile.linux
+  | TAS -> Baselines.Profile.tas
+  | Chelsio -> Baselines.Profile.chelsio
+  | FlexTOE -> invalid_arg "profile_of FlexTOE"
+
+(* A node of any stack, with uniform accessors. *)
+type node = {
+  ep : Host.Api.endpoint;
+  cpu : Host.Host_cpu.t;
+  port : Netsim.Fabric.port;
+  flex : Flextoe.t option;
+}
+
+let mk_node w stack ?(app_cores = 1) ?config ip =
+  match stack with
+  | FlexTOE ->
+      let n = Flextoe.create_node w.engine ~fabric:w.fabric ?config
+          ~app_cores ~ip () in
+      {
+        ep = Flextoe.endpoint n;
+        cpu = Flextoe.cpu n;
+        port = Flextoe.Datapath.fabric_port (Flextoe.datapath n);
+        flex = Some n;
+      }
+  | (Linux | TAS | Chelsio) as s ->
+      let b =
+        Baselines.Stack.create w.engine ~fabric:w.fabric
+          ~profile:(profile_of s) ~ip ~app_cores ()
+      in
+      {
+        ep = Baselines.Stack.endpoint b;
+        cpu = Baselines.Stack.cpu b;
+        port = Baselines.Stack.fabric_port b;
+        flex = None;
+      }
+
+let ip_server = 0x0A000001
+let ip_client n = 0x0A000010 + n
+
+(* Run warmup, open the measurement window on [stats], run the window. *)
+let measure w ~warmup ~window stats =
+  Sim.Engine.run ~until:(Sim.Engine.now w.engine + warmup) w.engine;
+  List.iter Host.Rpc.Stats.start_measuring stats;
+  Sim.Engine.run ~until:(Sim.Engine.now w.engine + window) w.engine
+
+(* --- Output formatting -------------------------------------------------- *)
+
+let header title =
+  Printf.printf "\n=== %s ===\n" title
+
+let subheader s = Printf.printf "--- %s ---\n" s
+
+let row_of_floats name vals =
+  Printf.printf "%-14s" name;
+  List.iter (fun v -> Printf.printf " %10.2f" v) vals;
+  print_newline ()
+
+let row_of_strings name vals =
+  Printf.printf "%-14s" name;
+  List.iter (fun v -> Printf.printf " %10s" v) vals;
+  print_newline ()
+
+let columns names =
+  Printf.printf "%-14s" "";
+  List.iter (fun n -> Printf.printf " %10s" n) names;
+  print_newline ()
+
+let note fmt = Printf.printf ("  note: " ^^ fmt ^^ "\n")
+
+(* --- Workloads ------------------------------------------------------------ *)
+
+(* Echo/RPC server of the given response behaviour. *)
+let start_server node ~port ~app_cycles ~handler =
+  Host.Rpc.server ~endpoint:node.ep ~port ~app_cycles ~handler ()
+
+(* A bulk byte-sink server that counts per-connection goodput. *)
+let start_sink node ~port ~(stats : Host.Rpc.Stats.t) =
+  let next_id = ref 0 in
+  node.ep.Host.Api.listen ~port ~on_accept:(fun sock ->
+      let id = !next_id in
+      incr next_id;
+      sock.Host.Api.on_readable <-
+        (fun () ->
+          let b = sock.Host.Api.recv ~max:max_int in
+          if Bytes.length b > 0 then begin
+            Host.Rpc.Stats.record_conn_op stats ~conn:id
+              ~bytes:(Bytes.length b)
+          end))
+
+(* Per-connection bulk senders: each connection pushes an endless
+   stream. *)
+let start_bulk_sources node ~engine ~server_ip ~server_port ~conns =
+  for _ = 1 to conns do
+    node.ep.Host.Api.connect ~remote_ip:server_ip ~remote_port:server_port
+      ~on_connected:(fun result ->
+        match result with
+        | Error _ -> ()
+        | Ok sock ->
+            let chunk = Bytes.make 16384 'B' in
+            let push () =
+              (* Keep the socket buffer full. *)
+              let rec go n =
+                if n < 64 && sock.Host.Api.send chunk > 0 then go (n + 1)
+              in
+              go 0
+            in
+            sock.Host.Api.on_writable <- push;
+            push ());
+    ignore engine
+  done
+
+(* Paper-vs-measured bookkeeping for EXPERIMENTS.md. *)
+let result_log : (string * string) list ref = ref []
+let log_result ~experiment fmt =
+  Printf.ksprintf
+    (fun s -> result_log := (experiment, s) :: !result_log)
+    fmt

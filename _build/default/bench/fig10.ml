@@ -1,0 +1,56 @@
+(* Figure 10: latency of different server/client stack combinations.
+
+   A single-threaded memcached-style RTT benchmark run for all 16
+   combinations. Paper: FlexTOE provides the lowest median and tail
+   latency across combinations, though its minimum latency can be
+   higher (wimpy FPCs + pipelining). *)
+
+open Common
+
+let measure_combo server_stack client_stack =
+  let w = mk_world () in
+  let server = mk_node w server_stack ip_server in
+  let client = mk_node w client_stack (ip_client 0) in
+  let stats = Host.Rpc.Stats.create w.engine in
+  ignore (Host.App_kv.server ~endpoint:server.ep ~port:11211 ~app_cycles:890 ());
+  Host.App_kv.client ~endpoint:client.ep ~engine:w.engine ~server_ip:ip_server
+    ~server_port:11211 ~conns:1 ~pipeline:1 ~key_bytes:32 ~value_bytes:32
+    ~set_ratio:0.1 ~stats ();
+  measure w ~warmup:(Sim.Time.ms 10) ~window:(Sim.Time.ms 100) [ stats ];
+  ( Host.Rpc.Stats.rtt_percentile_us stats 50.,
+    Host.Rpc.Stats.rtt_percentile_us stats 99. )
+
+let run () =
+  header "Figure 10: RTT by server/client stack combination (median us)";
+  columns (List.map (fun s -> stack_name s ^ " cl") all_stacks);
+  let medians = Hashtbl.create 16 in
+  List.iter
+    (fun server ->
+      let vals =
+        List.map
+          (fun client ->
+            let p50, p99 = measure_combo server client in
+            Hashtbl.replace medians (server, client) (p50, p99);
+            p50)
+          all_stacks
+      in
+      row_of_floats (stack_name server ^ " sv") vals)
+    all_stacks;
+  subheader "99th percentile (us)";
+  columns (List.map (fun s -> stack_name s ^ " cl") all_stacks);
+  List.iter
+    (fun server ->
+      let vals =
+        List.map
+          (fun client -> snd (Hashtbl.find medians (server, client)))
+          all_stacks
+      in
+      row_of_floats (stack_name server ^ " sv") vals)
+    all_stacks;
+  let flex_flex = fst (Hashtbl.find medians (FlexTOE, FlexTOE)) in
+  let linux_linux = fst (Hashtbl.find medians (Linux, Linux)) in
+  log_result ~experiment:"fig10"
+    "FlexTOE/FlexTOE median %.1f us vs Linux/Linux %.1f us (paper: Linux \
+     at least 5x worse than the kernel-bypass stacks)"
+    flex_flex linux_linux;
+  note "paper: FlexTOE lowest median+tail across combinations; Linux >= 5x."

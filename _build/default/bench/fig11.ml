@@ -1,0 +1,70 @@
+(* Figure 11: RPC throughput for a saturated single-threaded server.
+
+   128 connections from multiple clients keep the server saturated;
+   the server simulates 250 or 1000 cycles of application work per
+   RPC. RX: clients send size-S requests and the server answers 32 B.
+   TX: clients send 32 B requests and the server answers size-S.
+
+   Paper: FlexTOE up to 4x Linux / 5.3x Chelsio on RX at 250 cycles;
+   TAS and FlexTOE track closely (the single application core is the
+   bottleneck for both). *)
+
+open Common
+
+let sizes = [ 64; 256; 1024; 2048 ]
+
+let measure_point stack ~dir ~app_cycles ~size =
+  let w = mk_world () in
+  let server = mk_node w stack ip_server in
+  let stats = Host.Rpc.Stats.create w.engine in
+  let handler =
+    match dir with
+    | `Rx -> Host.Rpc.const_handler 32
+    | `Tx -> Host.Rpc.const_handler size
+  in
+  let req_bytes = match dir with `Rx -> size | `Tx -> 32 in
+  start_server server ~port:7 ~app_cycles ~handler;
+  for i = 0 to 3 do
+    let client = mk_node w FlexTOE ~app_cores:8 (ip_client i) in
+    ignore
+      (Host.Rpc.closed_loop_client ~endpoint:client.ep ~engine:w.engine
+         ~server_ip:ip_server ~server_port:7 ~conns:32 ~pipeline:4
+         ~req_bytes ~stats ())
+  done;
+  measure w ~warmup:(Sim.Time.ms 6) ~window:(Sim.Time.ms 12) [ stats ];
+  Host.Rpc.Stats.mops stats
+
+let sweep ~dir ~app_cycles =
+  subheader
+    (Printf.sprintf "%s, %d cycles/RPC (mOps vs RPC bytes)"
+       (match dir with `Rx -> "RX (server receives)"
+        | `Tx -> "TX (server sends)")
+       app_cycles);
+  columns (List.map string_of_int sizes);
+  List.map
+    (fun stack ->
+      let vals =
+        List.map (fun size -> measure_point stack ~dir ~app_cycles ~size)
+          sizes
+      in
+      row_of_floats (stack_name stack) vals;
+      (stack, vals))
+    all_stacks
+
+let run () =
+  header "Figure 11: RPC throughput for saturated server";
+  let rx250 = sweep ~dir:`Rx ~app_cycles:250 in
+  let _ = sweep ~dir:`Tx ~app_cycles:250 in
+  let _ = sweep ~dir:`Rx ~app_cycles:1000 in
+  let _ = sweep ~dir:`Tx ~app_cycles:1000 in
+  let at64 stack = List.nth (List.assoc stack rx250) 0 in
+  log_result ~experiment:"fig11"
+    "RX 250c 64B: FlexTOE %.2f mOps = %.1fx Linux, %.1fx Chelsio, %.2fx TAS \
+     (paper: 4x Linux, 5.3x Chelsio, ~1x TAS)"
+    (at64 FlexTOE)
+    (at64 FlexTOE /. at64 Linux)
+    (at64 FlexTOE /. at64 Chelsio)
+    (at64 FlexTOE /. at64 TAS);
+  note "paper: FlexTOE ~4x Linux and ~5.3x Chelsio receiving at 250 cycles;"
+  ;
+  note "TAS and FlexTOE track closely (both saturate the app core)."

@@ -1,0 +1,72 @@
+(* Figure 12: single-RPC RTT, median / 99p / 99.99p, vs message size.
+
+   One connection, one RPC in flight, echo server. Paper: Linux's
+   median is >= 5x everyone else; FlexTOE's median (~20 us) is 1.4x
+   Chelsio's and 1.25x TAS's for small messages, but FlexTOE's tail is
+   up to 3.2x smaller than Chelsio's, and at 2 KB (multi-segment)
+   FlexTOE beats TAS by 22% median / 50% tail thanks to parallel
+   segment processing. *)
+
+open Common
+
+let sizes = [ 64; 256; 1024; 2048 ]
+
+let measure_point stack size =
+  let w = mk_world () in
+  let server = mk_node w stack ip_server in
+  let client = mk_node w stack (ip_client 0) in
+  let stats = Host.Rpc.Stats.create w.engine in
+  start_server server ~port:7 ~app_cycles:250 ~handler:Host.Rpc.echo_handler;
+  ignore
+    (Host.Rpc.closed_loop_client ~endpoint:client.ep ~engine:w.engine
+       ~server_ip:ip_server ~server_port:7 ~conns:1 ~pipeline:1
+       ~req_bytes:size ~stats ());
+  measure w ~warmup:(Sim.Time.ms 10) ~window:(Sim.Time.ms 300) [ stats ];
+  ( Host.Rpc.Stats.rtt_percentile_us stats 50.,
+    Host.Rpc.Stats.rtt_percentile_us stats 99.,
+    Host.Rpc.Stats.rtt_percentile_us stats 99.99 )
+
+let run () =
+  header "Figure 12: RPC RTT percentiles vs message size (us)";
+  let results =
+    List.concat_map
+      (fun stack ->
+        List.map
+          (fun size ->
+            let r = measure_point stack size in
+            ((stack, size), r))
+          sizes)
+      all_stacks
+  in
+  List.iter
+    (fun (label, pick) ->
+      subheader label;
+      columns (List.map string_of_int sizes);
+      List.iter
+        (fun stack ->
+          row_of_floats (stack_name stack)
+            (List.map (fun s -> pick (List.assoc (stack, s) results)) sizes))
+        all_stacks)
+    [
+      ("median", fun (a, _, _) -> a);
+      ("99p", fun (_, b, _) -> b);
+      ("99.99p", fun (_, _, c) -> c);
+    ];
+  let p9999 stack size =
+    let _, _, v = List.assoc (stack, size) results in
+    v
+  in
+  let p50 stack size =
+    let v, _, _ = List.assoc (stack, size) results in
+    v
+  in
+  log_result ~experiment:"fig12"
+    "2KB: FlexTOE tail %.0f us vs Chelsio %.0f us (%.1fx, paper 3.2x) and \
+     TAS %.0f us (%.1fx, paper 2x); medians F/T/C/L = %.0f/%.0f/%.0f/%.0f us"
+    (p9999 FlexTOE 2048) (p9999 Chelsio 2048)
+    (p9999 Chelsio 2048 /. p9999 FlexTOE 2048)
+    (p9999 TAS 2048)
+    (p9999 TAS 2048 /. p9999 FlexTOE 2048)
+    (p50 FlexTOE 2048) (p50 TAS 2048) (p50 Chelsio 2048) (p50 Linux 2048);
+  note "paper: FlexTOE 99.99p 3.2x below Chelsio, 50%% below TAS at 2KB;";
+  note "Linux median at least 5x the kernel-bypass stacks."

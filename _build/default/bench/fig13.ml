@@ -1,0 +1,53 @@
+(* Figure 13: per-connection throughput for large RPCs.
+
+   A single connection carries large messages. (a) the server replies
+   32 B (unidirectional streaming); (b) the server echoes the message
+   (bidirectional). Paper: Chelsio wins (a) by ~20% (100G ASIC
+   optimised for streaming) but loses (b) by 20% to FlexTOE, which
+   parallelises per-connection processing; FlexTOE acks every segment,
+   so bidirectional flows quadruple its packet load. *)
+
+open Common
+
+let sizes = [ 65_536; 262_144; 1_048_576; 4_194_304 ]
+
+let measure_point stack ~echo ~size =
+  let w = mk_world () in
+  let server = mk_node w stack ip_server in
+  let client = mk_node w stack (ip_client 0) in
+  let stats = Host.Rpc.Stats.create w.engine in
+  let handler =
+    if echo then Host.Rpc.echo_handler else Host.Rpc.const_handler 32
+  in
+  start_server server ~port:7 ~app_cycles:250 ~handler;
+  ignore
+    (Host.Rpc.closed_loop_client ~endpoint:client.ep ~engine:w.engine
+       ~server_ip:ip_server ~server_port:7 ~conns:1 ~pipeline:2
+       ~req_bytes:size ~stats ());
+  measure w ~warmup:(Sim.Time.ms 12) ~window:(Sim.Time.ms 50) [ stats ];
+  (* Goodput in the request direction. *)
+  let d = Sim.Time.to_sec (Sim.Time.ms 50) in
+  float_of_int (Host.Rpc.Stats.ops stats * size * 8) /. d /. 1e9
+
+let sweep ~echo =
+  subheader
+    (if echo then "(b) echoed response (Gbps vs RPC bytes)"
+     else "(a) 32B response (Gbps vs RPC bytes)");
+  columns (List.map (fun s -> string_of_int (s / 1024) ^ "K") sizes);
+  List.map
+    (fun stack ->
+      let vals = List.map (fun size -> measure_point stack ~echo ~size) sizes in
+      row_of_floats (stack_name stack) vals;
+      (stack, vals))
+    all_stacks
+
+let run () =
+  header "Figure 13: large-RPC per-connection throughput";
+  let a = sweep ~echo:false in
+  let b = sweep ~echo:true in
+  let last l s = List.nth (List.assoc s l) (List.length sizes - 1) in
+  log_result ~experiment:"fig13"
+    "4MB streaming: Chelsio %.1f vs FlexTOE %.1f Gbps (paper: Chelsio +20%%); \
+     4MB echo: FlexTOE %.1f vs Chelsio %.1f Gbps (paper: FlexTOE +20%%)"
+    (last a Chelsio) (last a FlexTOE) (last b FlexTOE) (last b Chelsio);
+  note "paper: Chelsio ~20%% ahead unidirectionally, ~20%% behind on echo."

@@ -1,0 +1,76 @@
+(* Figure 15: throughput under induced packet loss.
+
+   (a) 100 connections running a 64 B echo with 8 pipelined requests,
+   sweeping uniform random loss. Paper: FlexTOE at 2% loss is >= 2x
+   TAS and an order of magnitude above Linux/Chelsio (NIC-side ACK
+   processing triggers retransmissions sooner; predictable latency).
+
+   (b) 8 connections streaming large RPCs unidirectionally. Paper:
+   Chelsio collapses even at 1e-6 loss (RTO-only recovery); Linux
+   rides out more loss (SACK-style recovery) than the go-back-N
+   stacks; FlexTOE still beats TAS. *)
+
+open Common
+
+let loss_rates_a = [ 0.0; 0.0001; 0.001; 0.005; 0.01; 0.02 ]
+let loss_rates_b = [ 0.0; 0.000001; 0.00001; 0.0001; 0.001; 0.01 ]
+
+let measure_echo stack loss =
+  let w = mk_world ~loss ~seed:5L () in
+  let server = mk_node w stack ~app_cores:4 ip_server in
+  let client = mk_node w stack ~app_cores:4 (ip_client 0) in
+  let stats = Host.Rpc.Stats.create w.engine in
+  start_server server ~port:7 ~app_cycles:100 ~handler:Host.Rpc.echo_handler;
+  ignore
+    (Host.Rpc.closed_loop_client ~endpoint:client.ep ~engine:w.engine
+       ~server_ip:ip_server ~server_port:7 ~conns:100 ~pipeline:8
+       ~req_bytes:64 ~stats ~req_cycles:150 ());
+  measure w ~warmup:(Sim.Time.ms 10) ~window:(Sim.Time.ms 40) [ stats ];
+  Host.Rpc.Stats.mops stats
+
+let measure_stream stack loss =
+  let w = mk_world ~loss ~seed:9L () in
+  let server = mk_node w stack ~app_cores:4 ip_server in
+  let client = mk_node w stack ~app_cores:4 (ip_client 0) in
+  let stats = Host.Rpc.Stats.create w.engine in
+  start_sink server ~port:7 ~stats;
+  start_bulk_sources client ~engine:w.engine ~server_ip:ip_server
+    ~server_port:7 ~conns:8;
+  measure w ~warmup:(Sim.Time.ms 10) ~window:(Sim.Time.ms 40) [ stats ];
+  Host.Rpc.Stats.gbps stats
+
+let run () =
+  header "Figure 15: throughput under packet loss";
+  subheader "(a) 100-conn 64B echo, 8 pipelined (mOps vs loss rate)";
+  columns (List.map (Printf.sprintf "%g") loss_rates_a);
+  let a =
+    List.map
+      (fun stack ->
+        let vals = List.map (measure_echo stack) loss_rates_a in
+        row_of_floats (stack_name stack) vals;
+        (stack, vals))
+      all_stacks
+  in
+  subheader "(b) 8-conn unidirectional streaming (Gbps vs loss rate)";
+  columns (List.map (Printf.sprintf "%g") loss_rates_b);
+  let b =
+    List.map
+      (fun stack ->
+        let vals = List.map (measure_stream stack) loss_rates_b in
+        row_of_floats (stack_name stack) vals;
+        (stack, vals))
+      all_stacks
+  in
+  let last l s = List.nth (List.assoc s l) (List.length (List.assoc s l) - 1) in
+  log_result ~experiment:"fig15"
+    "(a) at 2%% loss FlexTOE %.3f mOps = %.1fx TAS, %.1fx Linux, %.1fx \
+     Chelsio (paper: >=2x TAS, ~10x others); (b) at 1e-4 Chelsio %.2f vs \
+     FlexTOE %.2f Gbps (paper: Chelsio collapses first)"
+    (last a FlexTOE)
+    (last a FlexTOE /. last a TAS)
+    (last a FlexTOE /. last a Linux)
+    (last a FlexTOE /. last a Chelsio)
+    (List.nth (List.assoc Chelsio b) 3)
+    (List.nth (List.assoc FlexTOE b) 3);
+  note "paper: (a) FlexTOE 2x TAS and ~10x Linux/Chelsio at 2%% loss;";
+  note "(b) Chelsio collapses at trivial loss, Linux most robust (SACK)."

@@ -1,0 +1,47 @@
+(* Figure 9: Memcached throughput scalability vs server cores.
+
+   Paper: FlexTOE reaches up to 1.6x TAS, 4.9x Chelsio and 5.5x Linux;
+   FlexTOE and TAS scale with per-core context queues while Linux and
+   Chelsio are limited by kernel locking; the Agilio CX becomes the
+   bottleneck around 12 host cores. *)
+
+open Common
+
+let core_counts = [ 1; 2; 4; 8; 12; 16 ]
+
+let measure_point stack cores =
+  let w = mk_world () in
+  let server = mk_node w stack ~app_cores:cores ip_server in
+  let stats = Host.Rpc.Stats.create w.engine in
+  ignore (Host.App_kv.server ~endpoint:server.ep ~port:11211 ~app_cycles:890 ());
+  (* Several strong client machines, as in the testbed. *)
+  for i = 0 to 3 do
+    let client = mk_node w FlexTOE ~app_cores:8 (ip_client i) in
+    Host.App_kv.client ~endpoint:client.ep ~engine:w.engine
+      ~server_ip:ip_server ~server_port:11211 ~conns:(8 * cores) ~pipeline:8
+      ~key_bytes:32 ~value_bytes:32 ~set_ratio:0.1 ~stats ()
+  done;
+  measure w ~warmup:(Sim.Time.ms 8) ~window:(Sim.Time.ms 15) [ stats ];
+  Host.Rpc.Stats.mops stats
+
+let run () =
+  header "Figure 9: Memcached throughput scalability (mOps vs cores)";
+  columns (List.map string_of_int core_counts);
+  let results =
+    List.map
+      (fun stack ->
+        let vals = List.map (measure_point stack) core_counts in
+        row_of_floats (stack_name stack) vals;
+        (stack, vals))
+      all_stacks
+  in
+  let at12 stack = List.nth (List.assoc stack results) 4 in
+  log_result ~experiment:"fig9"
+    "at 12 cores: FlexTOE %.2f mOps = %.1fx TAS, %.1fx Chelsio, %.1fx Linux \
+     (paper: 1.6x / 4.9x / 5.5x)"
+    (at12 FlexTOE)
+    (at12 FlexTOE /. at12 TAS)
+    (at12 FlexTOE /. at12 Chelsio)
+    (at12 FlexTOE /. at12 Linux);
+  note "paper: FlexTOE up to 1.6x TAS, 4.9x Chelsio, 5.5x Linux;";
+  note "NIC compute becomes the bottleneck at high core counts."

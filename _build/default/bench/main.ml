@@ -1,0 +1,55 @@
+(* The experiment harness: regenerates every table and figure of the
+   paper's evaluation (plus substrate microbenchmarks).
+
+   Usage:
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- fig9 table3 ...   # a subset
+   Experiment ids: table1..table4, fig9..fig16, micro. *)
+
+let experiments =
+  [
+    ("table1", Table1.run);
+    ("fig9", Fig9.run);
+    ("fig10", Fig10.run);
+    ("fig11", Fig11.run);
+    ("fig12", Fig12.run);
+    ("fig13", Fig13.run);
+    ("fig14", Fig14.run);
+    ("fig15", Fig15.run);
+    ("fig16", Fig16.run);
+    ("table2", Table2.run);
+    ("table3", Table3.run);
+    ("table4", Table4.run);
+    ("ablations", Ablations.run);
+    ("micro", Microbench.run);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst experiments
+  in
+  print_endline "FlexTOE reproduction: experiment harness";
+  print_endline
+    "(shape reproduction on a simulated NFP-4000; see EXPERIMENTS.md)";
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some run ->
+          let t = Unix.gettimeofday () in
+          run ();
+          Printf.printf "  [%s done in %.1fs]\n%!" name
+            (Unix.gettimeofday () -. t)
+      | None ->
+          Printf.eprintf "unknown experiment %S; known: %s\n" name
+            (String.concat " " (List.map fst experiments)))
+    requested;
+  Printf.printf "\nTotal: %.1fs\n" (Unix.gettimeofday () -. t0);
+  if !Common.result_log <> [] then begin
+    print_endline "\n=== Summary (paper vs measured) ===";
+    List.iter
+      (fun (exp, line) -> Printf.printf "%-8s %s\n" exp line)
+      (List.rev !Common.result_log)
+  end

@@ -1,0 +1,127 @@
+(* Bechamel micro-benchmarks of the hot data structures underneath the
+   experiments: wire codec + checksums, reassembly, the sequencer, the
+   eBPF VM, the event queue, and the end-to-end simulator itself.
+   These quantify the cost of the simulation substrate, not FlexTOE's
+   modelled performance. *)
+
+open Bechamel
+open Toolkit
+
+let test_checksum =
+  let buf = Bytes.make 1448 'x' in
+  Test.make ~name:"checksum/internet-1448B" (Staged.stage (fun () ->
+      ignore (Tcp.Checksum.internet buf ~off:0 ~len:1448)))
+
+let test_crc32 =
+  let buf = Bytes.make 64 'x' in
+  Test.make ~name:"checksum/crc32-64B" (Staged.stage (fun () ->
+      ignore (Tcp.Checksum.crc32 buf ~off:0 ~len:64)))
+
+let test_wire_roundtrip =
+  let seg =
+    Tcp.Segment.make ~payload:(Bytes.make 256 'p') ~src_ip:1 ~dst_ip:2
+      ~src_port:3 ~dst_port:4 ~seq:5 ~ack_seq:6
+      ~options:{ Tcp.Segment.mss = None; ts = Some (1, 2) }
+      ()
+  in
+  let frame = Tcp.Segment.make_frame ~src_mac:1 ~dst_mac:2 seg in
+  Test.make ~name:"wire/encode+decode-256B" (Staged.stage (fun () ->
+      match Tcp.Wire.decode (Tcp.Wire.encode frame) with
+      | Ok _ -> ()
+      | Error _ -> assert false))
+
+let test_reassembly =
+  Test.make ~name:"reassembly/in-order-window" (Staged.stage (fun () ->
+      let r = Tcp.Reassembly.create ~next:0 in
+      for i = 0 to 63 do
+        ignore
+          (Tcp.Reassembly.process r ~seq:(i * 1448) ~len:1448
+             ~window:(1 lsl 20))
+      done))
+
+let test_sequencer =
+  Test.make ~name:"sequencer/64-reversed" (Staged.stage (fun () ->
+      let s = Flextoe.Sequencer.create ~name:"b" ~release:ignore in
+      let seqs = Array.init 64 (fun _ -> Flextoe.Sequencer.next_seq s) in
+      for i = 63 downto 0 do
+        Flextoe.Sequencer.submit s ~seq:seqs.(i) ()
+      done))
+
+let test_ebpf_splice =
+  let prog =
+    match Flextoe.Ebpf.load (Flextoe.Ext_splice.program ()) with
+    | Ok p -> p
+    | Error _ -> assert false
+  in
+  let map =
+    Flextoe.Bpf_map.create Flextoe.Bpf_map.Hash_map ~key_size:12
+      ~value_size:Flextoe.Ext_splice.value_size ~max_entries:64
+  in
+  let seg =
+    Tcp.Segment.make ~flags:Tcp.Segment.flags_ack
+      ~payload:(Bytes.make 64 'q') ~src_ip:1 ~dst_ip:2 ~src_port:3
+      ~dst_port:4 ~seq:5 ~ack_seq:6 ()
+  in
+  let packet =
+    Tcp.Wire.encode (Tcp.Segment.make_frame ~src_mac:1 ~dst_mac:2 seg)
+  in
+  Test.make ~name:"ebpf/splice-program-miss" (Staged.stage (fun () ->
+      ignore (Flextoe.Ebpf.run prog ~maps:[| map |] ~now_ns:0L ~packet)))
+
+let test_event_queue =
+  Test.make ~name:"sim/event-queue-256" (Staged.stage (fun () ->
+      let q = Sim.Event_queue.create () in
+      for i = 0 to 255 do
+        Sim.Event_queue.push q ((i * 7919) mod 1024) i
+      done;
+      while not (Sim.Event_queue.is_empty q) do
+        ignore (Sim.Event_queue.pop q)
+      done))
+
+let test_end_to_end_rpc =
+  Test.make ~name:"sim/flextoe-1ms-echo" (Staged.stage (fun () ->
+      let engine = Sim.Engine.create () in
+      let fabric = Netsim.Fabric.create engine () in
+      let server = Flextoe.create_node engine ~fabric ~ip:0x0A000001 () in
+      let client = Flextoe.create_node engine ~fabric ~ip:0x0A000002 () in
+      let stats = Host.Rpc.Stats.create engine in
+      Host.Rpc.server ~endpoint:(Flextoe.endpoint server) ~port:7
+        ~app_cycles:100 ~handler:Host.Rpc.echo_handler ();
+      ignore
+        (Host.Rpc.closed_loop_client ~endpoint:(Flextoe.endpoint client)
+           ~engine ~server_ip:0x0A000001 ~server_port:7 ~conns:4 ~pipeline:2
+           ~req_bytes:64 ~stats ());
+      Sim.Engine.run ~until:(Sim.Time.ms 1) engine))
+
+let benchmarks =
+  [
+    test_checksum;
+    test_crc32;
+    test_wire_roundtrip;
+    test_reassembly;
+    test_sequencer;
+    test_ebpf_splice;
+    test_event_queue;
+    test_end_to_end_rpc;
+  ]
+
+let run () =
+  Common.header "Microbenchmarks (Bechamel; simulator substrate costs)";
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) () in
+  let instances = Instance.[ monotonic_clock ] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let results =
+        Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false
+                       ~predictors:[| Measure.run |])
+          (Instance.monotonic_clock) results
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] ->
+              Printf.printf "  %-32s %12.1f ns/run\n" name est
+          | _ -> Printf.printf "  %-32s (no estimate)\n" name)
+        results)
+    benchmarks

@@ -1,0 +1,76 @@
+(* Table 2: data-path throughput with flexible extensions.
+
+   64 B echo against a many-core server so the data path, not the
+   application, dominates. Builds: baseline; all 48 tracepoints
+   enabled; tcpdump-style capture of every packet; XDP null module;
+   XDP vlan-strip module. Paper: 11.35 mOps baseline, -24% with
+   profiling, -43% with tcpdump, -4% with null XDP. *)
+
+open Common
+
+type build = Base | Tracing | Tcpdump | Xdp_null | Xdp_vlan
+
+let builds = [ Base; Tracing; Tcpdump; Xdp_null; Xdp_vlan ]
+
+let build_name = function
+  | Base -> "Baseline FlexTOE"
+  | Tracing -> "Statistics and profiling"
+  | Tcpdump -> "tcpdump (no filter)"
+  | Xdp_null -> "XDP (null)"
+  | Xdp_vlan -> "XDP (vlan-strip)"
+
+let paper = [ (Base, 11.35); (Tracing, 8.67); (Tcpdump, 6.52);
+              (Xdp_null, 10.87); (Xdp_vlan, 10.83) ]
+
+let measure_build build =
+  let w = mk_world () in
+  let server = mk_node w FlexTOE ~app_cores:12 ip_server in
+  let dp = Flextoe.datapath (Option.get server.flex) in
+  (match build with
+  | Base -> ()
+  | Tracing -> ignore (Sim.Trace.enable (Flextoe.Datapath.traces dp) ())
+  | Tcpdump ->
+      let pcap =
+        Flextoe.Ext_pcap.create w.engine ~snaplen:96 ~limit:4096
+          ~filter:Flextoe.Ext_pcap.All ()
+      in
+      Flextoe.Ext_pcap.attach pcap dp
+  | Xdp_null ->
+      let x =
+        Flextoe.Xdp.create w.engine ~program:(Flextoe.Xdp.null_program ())
+          ~maps:[||]
+      in
+      Flextoe.Xdp.install x dp
+  | Xdp_vlan ->
+      let v = Flextoe.Ext_vlan.create w.engine in
+      Flextoe.Ext_vlan.install v dp);
+  let stats = Host.Rpc.Stats.create w.engine in
+  start_server server ~port:7 ~app_cycles:100 ~handler:Host.Rpc.echo_handler;
+  for i = 0 to 3 do
+    let client = mk_node w FlexTOE ~app_cores:8 (ip_client i) in
+    ignore
+      (Host.Rpc.closed_loop_client ~endpoint:client.ep ~engine:w.engine
+         ~server_ip:ip_server ~server_port:7 ~conns:32 ~pipeline:8
+         ~req_bytes:64 ~stats ~req_cycles:150 ())
+  done;
+  measure w ~warmup:(Sim.Time.ms 8) ~window:(Sim.Time.ms 15) [ stats ];
+  Host.Rpc.Stats.mops stats
+
+let run () =
+  header "Table 2: performance with flexible extensions";
+  columns [ "mOps"; "vs base"; "paper"; "p vs base" ];
+  let base = measure_build Base in
+  let paper_base = List.assoc Base paper in
+  List.iter
+    (fun build ->
+      let mops = if build = Base then base else measure_build build in
+      let p = List.assoc build paper in
+      Printf.printf "%-26s %8.2f %9.2f %9.2f %9.2f\n" (build_name build)
+        mops (mops /. base) p (p /. paper_base);
+      if build <> Base then
+        log_result ~experiment:"table2" "%s: %.0f%% of baseline (paper %.0f%%)"
+          (build_name build)
+          (100. *. mops /. base)
+          (100. *. p /. paper_base))
+    builds;
+  note "paper: profiling -24%%, tcpdump -43%%, null XDP -4%%."

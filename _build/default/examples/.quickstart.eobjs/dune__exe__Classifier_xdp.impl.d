@@ -1,0 +1,1 @@
+examples/classifier_xdp.ml: Flextoe Host Netsim Printf Sim

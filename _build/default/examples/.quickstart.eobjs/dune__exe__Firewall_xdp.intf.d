@@ -1,0 +1,1 @@
+examples/firewall_xdp.mli:

@@ -1,0 +1,1 @@
+examples/kv_store.ml: Baselines Flextoe Host List Netsim Option Printf Sim

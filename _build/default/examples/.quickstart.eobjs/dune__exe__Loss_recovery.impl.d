@@ -1,0 +1,1 @@
+examples/loss_recovery.ml: Bytes Flextoe Host List Netsim Printf Sim

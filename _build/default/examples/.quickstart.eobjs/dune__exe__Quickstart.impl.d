@@ -1,0 +1,1 @@
+examples/quickstart.ml: Flextoe Host List Netsim Printf Sim String

@@ -1,0 +1,1 @@
+examples/splice_proxy.ml: Flextoe Host List Netsim Printf Sim

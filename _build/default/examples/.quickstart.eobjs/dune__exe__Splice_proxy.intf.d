@@ -1,0 +1,1 @@
+examples/splice_proxy.mli:

@@ -1,0 +1,56 @@
+(* A memcached-style deployment: a multi-core KV server on FlexTOE
+   loaded by memtier-style clients from two machines, compared against
+   the same setup on the Linux stack model — the paper's motivating
+   workload (§2.1).
+
+     dune exec examples/kv_store.exe *)
+
+let run_stack name make_endpoint =
+  let engine = Sim.Engine.create () in
+  let fabric = Netsim.Fabric.create engine () in
+  let server_ep, server_cpu = make_endpoint engine fabric 0x0A000001 in
+  let stats = Host.Rpc.Stats.create engine in
+  let kv =
+    Host.App_kv.server ~endpoint:server_ep ~port:11211 ~app_cycles:890 ()
+  in
+  for i = 1 to 2 do
+    let client =
+      Flextoe.create_node engine ~fabric ~app_cores:8 ~ip:(0x0A000010 + i) ()
+    in
+    Host.App_kv.client
+      ~endpoint:(Flextoe.endpoint client)
+      ~engine ~server_ip:0x0A000001 ~server_port:11211 ~conns:32 ~pipeline:8
+      ~key_bytes:32 ~value_bytes:32 ~set_ratio:0.1 ~stats ()
+  done;
+  Sim.Engine.run ~until:(Sim.Time.ms 15) engine;
+  Host.Rpc.Stats.start_measuring stats;
+  Sim.Engine.run ~until:(Sim.Time.ms 65) engine;
+  Printf.printf
+    "%-8s  %6.2f mOps  median %5.1f us  p99 %6.1f us  (%d keys stored)\n"
+    name (Host.Rpc.Stats.mops stats)
+    (Host.Rpc.Stats.rtt_percentile_us stats 50.)
+    (Host.Rpc.Stats.rtt_percentile_us stats 99.)
+    (Host.App_kv.entries kv);
+  let per_req cat =
+    let cycles =
+      Option.value ~default:0
+        (List.assoc_opt cat (Host.Host_cpu.cycles_by_category server_cpu))
+    in
+    float_of_int cycles /. float_of_int (max 1 (Host.Rpc.Stats.ops stats))
+    /. 1000.
+  in
+  Printf.printf
+    "          per request: stack %.2fkc, sockets %.2fkc, app %.2fkc\n"
+    (per_req "stack") (per_req "sockets") (per_req "app")
+
+let () =
+  print_endline "4-core key-value store, 64 connections, 32B keys/values:";
+  run_stack "FlexTOE" (fun engine fabric ip ->
+      let n = Flextoe.create_node engine ~fabric ~app_cores:4 ~ip () in
+      (Flextoe.endpoint n, Flextoe.cpu n));
+  run_stack "Linux" (fun engine fabric ip ->
+      let n =
+        Baselines.Stack.create engine ~fabric
+          ~profile:Baselines.Profile.linux ~ip ~app_cores:4 ()
+      in
+      (Baselines.Stack.endpoint n, Baselines.Stack.cpu n))

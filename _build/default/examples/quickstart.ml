@@ -1,0 +1,49 @@
+(* Quickstart: two FlexTOE nodes on a simulated fabric, an echo
+   server, and a handful of closed-loop clients.
+
+     dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. A virtual-time engine and a switch fabric. *)
+  let engine = Sim.Engine.create () in
+  let fabric = Netsim.Fabric.create engine () in
+
+  (* 2. Two machines, each with a FlexTOE SmartNIC: the data path runs
+     on the (simulated) NFP-4000, the control plane and libTOE on the
+     host. *)
+  let server = Flextoe.create_node engine ~fabric ~ip:0x0A000001 () in
+  let client = Flextoe.create_node engine ~fabric ~ip:0x0A000002 () in
+
+  (* 3. An echo server on port 7. Applications use the POSIX-shaped
+     Host.Api and run unmodified on any stack in this repository. *)
+  Host.Rpc.server
+    ~endpoint:(Flextoe.endpoint server)
+    ~port:7 ~app_cycles:250 ~handler:Host.Rpc.echo_handler ();
+
+  (* 4. Eight connections, two pipelined 64-byte RPCs each. *)
+  let stats = Host.Rpc.Stats.create engine in
+  ignore
+    (Host.Rpc.closed_loop_client
+       ~endpoint:(Flextoe.endpoint client)
+       ~engine ~server_ip:0x0A000001 ~server_port:7 ~conns:8 ~pipeline:2
+       ~req_bytes:64 ~stats ());
+
+  (* 5. Run 5 ms of warm-up, then measure 50 ms of virtual time. *)
+  Sim.Engine.run ~until:(Sim.Time.ms 5) engine;
+  Host.Rpc.Stats.start_measuring stats;
+  Sim.Engine.run ~until:(Sim.Time.ms 55) engine;
+
+  Printf.printf "echo throughput : %.2f mOps\n" (Host.Rpc.Stats.mops stats);
+  Printf.printf "median RTT      : %.1f us\n"
+    (Host.Rpc.Stats.rtt_percentile_us stats 50.);
+  Printf.printf "99p RTT         : %.1f us\n"
+    (Host.Rpc.Stats.rtt_percentile_us stats 99.);
+  let st = Flextoe.Datapath.stats (Flextoe.datapath server) in
+  Printf.printf "server data path: %d segments in, %d out, %d acks\n"
+    st.Flextoe.Datapath.rx_segments st.Flextoe.Datapath.tx_segments
+    st.Flextoe.Datapath.tx_acks;
+  Printf.printf "host CPU        : %s\n"
+    (String.concat ", "
+       (List.map
+          (fun (c, n) -> Printf.sprintf "%s %dkc" c (n / 1000))
+          (Host.Host_cpu.cycles_by_category (Flextoe.cpu server))))

@@ -1,0 +1,66 @@
+(* Connection splicing (the paper's Listing 1): a proxy accepts client
+   connections, opens a backend connection, and splices the pair with
+   an eBPF XDP module — after which every data segment is header-
+   patched and bounced straight off the proxy's NIC without touching
+   its host.
+
+     dune exec examples/splice_proxy.exe *)
+
+let ip_client = 0x0A000001
+let ip_proxy = 0x0A000002
+let ip_server = 0x0A000003
+
+let () =
+  let engine = Sim.Engine.create () in
+  let fabric = Netsim.Fabric.create engine () in
+  let client = Flextoe.create_node engine ~fabric ~ip:ip_client () in
+  let proxy = Flextoe.create_node engine ~fabric ~ip:ip_proxy () in
+  let server = Flextoe.create_node engine ~fabric ~ip:ip_server () in
+
+  (* Backend echo service. *)
+  Host.Rpc.server
+    ~endpoint:(Flextoe.endpoint server)
+    ~port:9 ~app_cycles:100 ~handler:Host.Rpc.echo_handler ();
+
+  (* The proxy: the splice module is installed up front (entries are
+     added per connection pair); the listener advertises a zero window
+     in its SYN-ACK so no payload arrives before the splice is live. *)
+  let splice = Flextoe.Ext_splice.create engine in
+  Flextoe.Ext_splice.install splice (Flextoe.datapath proxy);
+  let cp = Flextoe.control proxy in
+  Flextoe.Control_plane.listen cp ~syn_ack_window:0 ~port:7
+    ~on_accept:(fun a ->
+      Flextoe.Control_plane.connect cp ~remote_ip:ip_server ~remote_port:9
+        ~ctx:0
+        ~on_connected:(function
+          | Ok b ->
+              Flextoe.Ext_splice.splice_pair splice
+                ~dp:(Flextoe.datapath proxy) ~a ~b
+          | Error e -> Printf.eprintf "backend connect failed: %s\n" e))
+    ();
+
+  (* Clients talk to the proxy; their RPCs transparently reach the
+     backend. *)
+  let stats = Host.Rpc.Stats.create engine in
+  ignore
+    (Host.Rpc.closed_loop_client
+       ~endpoint:(Flextoe.endpoint client)
+       ~engine ~server_ip:ip_proxy ~server_port:7 ~conns:8 ~pipeline:4
+       ~req_bytes:200 ~stats ());
+  Sim.Engine.run ~until:(Sim.Time.ms 10) engine;
+  Host.Rpc.Stats.start_measuring stats;
+  Sim.Engine.run ~until:(Sim.Time.ms 60) engine;
+
+  Printf.printf "spliced RPC throughput : %.2f mOps (median RTT %.1f us)\n"
+    (Host.Rpc.Stats.mops stats)
+    (Host.Rpc.Stats.rtt_percentile_us stats 50.);
+  Printf.printf "segments spliced by XDP: %d (entries live: %d)\n"
+    (Flextoe.Ext_splice.spliced_segments splice)
+    (Flextoe.Ext_splice.entries splice);
+  let app =
+    List.assoc_opt "app"
+      (Host.Host_cpu.cycles_by_category (Flextoe.cpu proxy))
+  in
+  Printf.printf "proxy host app cycles  : %s (the proxy host never sees \
+                 payload)\n"
+    (match app with None -> "0" | Some c -> string_of_int c)

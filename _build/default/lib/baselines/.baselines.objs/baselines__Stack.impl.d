@@ -1,0 +1,1 @@
+lib/baselines/stack.ml: Bytes Hashtbl Host Lazy Netsim Option Profile Sim Tcp

@@ -1,0 +1,1 @@
+lib/baselines/stack.mli: Host Netsim Profile Sim

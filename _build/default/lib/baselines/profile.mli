@@ -1,0 +1,76 @@
+(** Behavioural profiles of the comparison stacks.
+
+    The paper compares FlexTOE against the in-kernel Linux stack, the
+    TAS kernel-bypass accelerator, and the Chelsio Terminator TOE
+    (§2.1, §5). Each baseline is the same host TCP engine
+    ({!Stack}) parameterised by a profile: where segment processing
+    runs, what it costs (calibrated from the paper's own Table 1
+    measurements), how loss recovery behaves, and how performance
+    degrades with core and connection counts. *)
+
+(** Where per-segment TCP processing executes. *)
+type placement =
+  | Inline
+      (** On the socket's application core (Linux syscalls + softirq;
+          Chelsio's kernel driver). *)
+  | Dedicated of int
+      (** On a pool of N dedicated fast-path cores (TAS). *)
+
+type recovery =
+  | Go_back_n  (** TAS: reset to the cumulative ACK on loss. *)
+  | Selective_repeat
+      (** Linux: SACK-style recovery retransmitting only holes. *)
+  | Rto_only
+      (** Chelsio: no duplicate-ACK fast retransmit; recovery waits
+          for the (long) hardware retransmission timeout. *)
+
+type t = {
+  name : string;
+  (* Per-segment host work (cycles). *)
+  rx_seg_cycles : int;
+  tx_seg_cycles : int;
+  placement : placement;
+  (* Per-socket-call and per-notification work (cycles). *)
+  api_cycles : int;
+  notify_cycles : int;
+  (* Fixed latency between segment arrival and application wake-up
+     (interrupts, scheduling); the big term in Linux's RPC RTT. *)
+  notify_latency : Sim.Time.t;
+  (* Interrupt moderation: after a wake-up fires, further wake-ups for
+     the same connection are deferred until this much time has passed
+     (NAPI-style). Sparse RPC traffic is unaffected; bulk flows pay
+     the notification cost once per window. *)
+  notify_moderation : Sim.Time.t;
+  (* Kernel lock contention: effective per-segment cycles are
+     multiplied by [1 + lock_factor * (cores - 1)]. *)
+  lock_factor : float;
+  (* Connection-count cache penalty: extra per-segment cycles as a
+     function of the number of active connections. *)
+  conn_penalty : int -> int;
+  (* Per-notification cost that grows with connection count
+     (Chelsio's epoll). *)
+  epoll_factor : float;
+  (* NIC-side TCP processing (Chelsio): per-segment latency and the
+     ASIC's segment rate. Zero/None for host stacks. *)
+  nic_latency : Sim.Time.t;
+  nic_seg_rate : float option;  (** segments/second capacity. *)
+  recovery : recovery;
+  min_rto : Sim.Time.t;
+  dupack_threshold : int;
+  (* Host jitter (scheduler preemption, interrupts): mean busy-cycles
+     between stalls, and the mean stall length (cycles). Produces the
+     latency tails of Figures 10/12. *)
+  noise_interval_cycles : int;
+  noise_mean_cycles : int;
+  (* Congestion response to ECN marks (all stacks run DCTCP-style
+     halving here; Linux uses a Reno cut). *)
+  ecn_enabled : bool;
+  mss : int;
+  rx_buf_bytes : int;
+  tx_buf_bytes : int;
+  window_scale : int;
+}
+
+val linux : t
+val tas : t
+val chelsio : t

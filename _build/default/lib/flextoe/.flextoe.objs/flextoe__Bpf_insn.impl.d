@@ -1,0 +1,1 @@
+lib/flextoe/bpf_insn.ml: Array Bytes Char Format Hashtbl Int64 List

@@ -1,0 +1,1 @@
+lib/flextoe/bpf_map.mli: Bytes

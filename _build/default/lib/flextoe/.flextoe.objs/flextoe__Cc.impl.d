@@ -1,0 +1,1 @@
+lib/flextoe/cc.ml: Float Sim

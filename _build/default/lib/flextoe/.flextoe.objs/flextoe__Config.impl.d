@@ -1,0 +1,1 @@
+lib/flextoe/config.ml: Nfp Sim Tcp

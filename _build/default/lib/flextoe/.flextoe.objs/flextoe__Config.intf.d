@@ -1,0 +1,1 @@
+lib/flextoe/config.mli: Nfp Sim

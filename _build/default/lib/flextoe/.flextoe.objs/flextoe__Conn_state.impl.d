@@ -1,0 +1,1 @@
+lib/flextoe/conn_state.ml: Host Sim Tcp

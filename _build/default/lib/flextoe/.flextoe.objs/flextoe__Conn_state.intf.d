@@ -1,0 +1,1 @@
+lib/flextoe/conn_state.mli: Host Sim Tcp

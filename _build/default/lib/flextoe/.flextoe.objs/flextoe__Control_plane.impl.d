@@ -1,0 +1,1 @@
+lib/flextoe/control_plane.ml: Bytes Cc Config Conn_state Datapath Hashtbl Host List Meta Nfp Option Printf Sim Tcp

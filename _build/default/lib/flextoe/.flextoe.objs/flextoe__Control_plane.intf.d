@@ -1,0 +1,1 @@
+lib/flextoe/control_plane.mli: Config Conn_state Datapath Host Sim

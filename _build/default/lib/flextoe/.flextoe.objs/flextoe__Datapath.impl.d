@@ -1,0 +1,1 @@
+lib/flextoe/datapath.ml: Array Bytes Config Conn_state Float Hashtbl Host Lazy List Meta Netsim Nfp Printf Protocol Queue Scheduler Sequencer Sim Tcp

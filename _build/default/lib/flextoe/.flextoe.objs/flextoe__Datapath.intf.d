@@ -1,0 +1,1 @@
+lib/flextoe/datapath.mli: Config Conn_state Meta Netsim Sim Tcp

@@ -1,0 +1,1 @@
+lib/flextoe/ebpf.ml: Array Bpf_insn Bpf_map Bytes Char Int64 List Printf Tcp

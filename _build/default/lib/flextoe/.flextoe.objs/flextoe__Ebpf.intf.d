@@ -1,0 +1,1 @@
+lib/flextoe/ebpf.mli: Bpf_insn Bpf_map Bytes

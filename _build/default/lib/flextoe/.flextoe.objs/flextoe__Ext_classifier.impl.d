@@ -1,0 +1,1 @@
+lib/flextoe/ext_classifier.ml: Bpf_insn Bpf_map Bytes Char Ebpf Tcp Xdp

@@ -1,0 +1,1 @@
+lib/flextoe/ext_firewall.mli: Bpf_insn Datapath Sim Xdp

@@ -1,0 +1,1 @@
+lib/flextoe/ext_pcap.ml: Bytes Char Datapath Queue Sim Tcp

@@ -1,0 +1,1 @@
+lib/flextoe/ext_pcap.mli: Bytes Datapath Sim Tcp

@@ -1,0 +1,1 @@
+lib/flextoe/ext_splice.ml: Bpf_insn Bpf_map Bytes Char Conn_state Control_plane Datapath Ebpf Tcp Xdp

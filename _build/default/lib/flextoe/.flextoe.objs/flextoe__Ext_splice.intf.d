@@ -1,0 +1,1 @@
+lib/flextoe/ext_splice.mli: Bpf_insn Bytes Control_plane Datapath Sim Xdp

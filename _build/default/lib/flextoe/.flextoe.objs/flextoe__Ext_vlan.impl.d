@@ -1,0 +1,1 @@
+lib/flextoe/ext_vlan.ml: Bpf_insn Ebpf Xdp

@@ -1,0 +1,1 @@
+lib/flextoe/libtoe.ml: Array Bytes Config Conn_state Control_plane Datapath Hashtbl Host Lazy List Meta Sim

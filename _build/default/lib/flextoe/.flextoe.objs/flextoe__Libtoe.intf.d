@@ -1,0 +1,1 @@
+lib/flextoe/libtoe.mli: Config Control_plane Datapath Host Sim

@@ -1,0 +1,1 @@
+lib/flextoe/meta.ml: Bytes Sim Tcp

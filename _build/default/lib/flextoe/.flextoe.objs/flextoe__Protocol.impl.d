@@ -1,0 +1,1 @@
+lib/flextoe/protocol.ml: Bytes Config Conn_state Host Meta Tcp

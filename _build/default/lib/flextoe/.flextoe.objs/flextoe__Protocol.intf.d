@@ -1,0 +1,1 @@
+lib/flextoe/protocol.mli: Config Conn_state Meta Sim

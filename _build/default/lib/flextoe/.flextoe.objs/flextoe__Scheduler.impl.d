@@ -1,0 +1,1 @@
+lib/flextoe/scheduler.ml: Hashtbl Queue Sim

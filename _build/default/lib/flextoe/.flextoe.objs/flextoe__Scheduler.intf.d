@@ -1,0 +1,1 @@
+lib/flextoe/scheduler.mli: Sim

@@ -1,0 +1,1 @@
+lib/flextoe/sequencer.ml: Hashtbl

@@ -1,0 +1,1 @@
+lib/flextoe/xdp.ml: Bpf_insn Bpf_map Bytes Datapath Ebpf Int64 Sim Tcp

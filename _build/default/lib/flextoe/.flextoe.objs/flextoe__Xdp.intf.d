@@ -1,0 +1,1 @@
+lib/flextoe/xdp.mli: Bpf_map Datapath Ebpf Sim

@@ -1,0 +1,111 @@
+type parallelism = {
+  pipelined : bool;
+  fpc_threads : int;
+  preproc_replicas : int;
+  postproc_replicas : int;
+  proto_replicas : int;
+  flow_groups : int;
+  dma_replicas : int;
+  ctx_replicas : int;
+}
+
+type stage_costs = {
+  preproc_validate : int;
+  preproc_lookup_hit : int;
+  preproc_summary : int;
+  protocol_rx : int;
+  protocol_rx_ack : int;
+  protocol_tx : int;
+  protocol_hc : int;
+  postproc_rx : int;
+  postproc_tx : int;
+  dma_desc : int;
+  ctx_desc : int;
+  sequencer : int;
+  scheduler_pick : int;
+  xdp_dispatch : int;
+  tracepoint : int;
+  pcap_capture : int;
+}
+
+type congestion_control = Dctcp | Timely | Cc_none
+
+type t = {
+  params : Nfp.Params.t;
+  parallelism : parallelism;
+  costs : stage_costs;
+  rx_buf_bytes : int;
+  tx_buf_bytes : int;
+  mss : int;
+  delayed_acks : bool;
+  window_scale : int;
+  rto : Sim.Time.t;
+  cc : congestion_control;
+  cc_interval : Sim.Time.t;
+  wheel_slot : Sim.Time.t;
+  wheel_slots : int;
+  libtoe_poll : Sim.Time.t;
+  sockets_api_cycles : int;
+  notify_cycles : int;
+}
+
+let default_costs =
+  {
+    preproc_validate = 50;
+    preproc_lookup_hit = 25;
+    preproc_summary = 55;
+    protocol_rx = 90;
+    protocol_rx_ack = 45;
+    protocol_tx = 60;
+    protocol_hc = 40;
+    postproc_rx = 100;
+    postproc_tx = 70;
+    dma_desc = 50;
+    ctx_desc = 50;
+    sequencer = 15;
+    scheduler_pick = 25;
+    xdp_dispatch = 45;
+    tracepoint = 6;
+    pcap_capture = 650;
+  }
+
+let t3_flow_groups =
+  {
+    pipelined = true;
+    fpc_threads = 8;
+    preproc_replicas = 4;
+    postproc_replicas = 4;
+    proto_replicas = 2;
+    flow_groups = 4;
+    dma_replicas = 4;
+    ctx_replicas = 4;
+  }
+
+let t3_replicated =
+  { t3_flow_groups with flow_groups = 1; proto_replicas = 1 }
+let t3_threads = { t3_replicated with preproc_replicas = 1;
+                   postproc_replicas = 1 }
+let t3_pipelined = { t3_threads with fpc_threads = 1 }
+let t3_baseline = { t3_pipelined with pipelined = false }
+
+let default =
+  {
+    params = Nfp.Params.default;
+    parallelism = t3_flow_groups;
+    costs = default_costs;
+    rx_buf_bytes = 256 * 1024;
+    tx_buf_bytes = 256 * 1024;
+    mss = Tcp.Segment.mss_with_timestamps;
+    delayed_acks = false;
+    window_scale = 7;
+    rto = Sim.Time.ms 2;
+    cc = Dctcp;
+    cc_interval = Sim.Time.us 50;
+    wheel_slot = Sim.Time.us 2;
+    wheel_slots = 4096;
+    libtoe_poll = Sim.Time.us 1;
+    sockets_api_cycles = 310;
+    notify_cycles = 60;
+  }
+
+let with_parallelism t p = { t with parallelism = p }

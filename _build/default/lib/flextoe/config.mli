@@ -1,0 +1,91 @@
+(** FlexTOE configuration: parallelism knobs, stage cost model, and
+    protocol parameters.
+
+    The parallelism record exposes exactly the levers of the paper's
+    Table 3 ablation: run-to-completion vs pipelined stages, hardware
+    threads per FPC, pre/post-processing replication, and the number
+    of flow-group islands. Replication factors are manual and static,
+    as in the paper (§3.3). *)
+
+type parallelism = {
+  pipelined : bool;
+      (** [false]: the whole data path runs to completion on a single
+          FPC, one segment at a time (the Table 3 baseline). *)
+  fpc_threads : int;  (** Hardware threads per FPC (1 or 8). *)
+  preproc_replicas : int;  (** Pre-processor FPCs per flow group. *)
+  postproc_replicas : int;  (** Post-processor FPCs per flow group. *)
+  proto_replicas : int;
+      (** Protocol FPCs per flow group; connections shard across them
+          by index, keeping per-connection atomicity (the paper's
+          connection-scalability benchmark runs the protocol stage on
+          8 FPCs, two per island). *)
+  flow_groups : int;  (** Protocol islands (1..4 on the Agilio CX). *)
+  dma_replicas : int;  (** DMA-manager FPCs on the service island. *)
+  ctx_replicas : int;  (** Context-queue FPCs. *)
+}
+
+(** Per-stage instruction budgets, in FPC cycles. These calibrate the
+    simulation; see DESIGN.md §6 for how they were chosen. *)
+type stage_costs = {
+  preproc_validate : int;
+  preproc_lookup_hit : int;  (** Local lookup-cache hit. *)
+  preproc_summary : int;
+  protocol_rx : int;  (** Data-bearing segment. *)
+  protocol_rx_ack : int;  (** Pure-ACK segment. *)
+  protocol_tx : int;
+  protocol_hc : int;
+  postproc_rx : int;
+  postproc_tx : int;
+  dma_desc : int;
+  ctx_desc : int;
+  sequencer : int;
+  scheduler_pick : int;
+  xdp_dispatch : int;  (** Fixed overhead of an enabled XDP hook. *)
+  tracepoint : int;  (** Per enabled tracepoint, per segment. *)
+  pcap_capture : int;  (** Per captured packet. *)
+}
+
+type congestion_control = Dctcp | Timely | Cc_none
+
+type t = {
+  params : Nfp.Params.t;
+  parallelism : parallelism;
+  costs : stage_costs;
+  rx_buf_bytes : int;
+  tx_buf_bytes : int;
+  mss : int;
+  delayed_acks : bool;
+      (** The paper's FlexTOE acknowledges every incoming data segment
+          (the default here, matching §5.2); enabling this coalesces
+          ACKs — every second in-order segment is acknowledged, with
+          out-of-order/duplicate/FIN segments acknowledged immediately
+          and the control plane flushing stragglers (FPCs have no
+          timers). Listed by the paper as a further improvement for
+          large bidirectional flows. *)
+  window_scale : int;
+      (** Fixed window-scale shift assumed on both ends (no SYN
+          negotiation is modelled); data-center defaults need windows
+          larger than 64 KB. *)
+  rto : Sim.Time.t;  (** Control-plane retransmission timeout. *)
+  cc : congestion_control;
+  cc_interval : Sim.Time.t;  (** Control-plane iteration interval. *)
+  wheel_slot : Sim.Time.t;  (** Carousel time-wheel slot granularity. *)
+  wheel_slots : int;  (** Time-wheel horizon, in slots. *)
+  libtoe_poll : Sim.Time.t;  (** libTOE context-queue polling period. *)
+  sockets_api_cycles : int;
+      (** Host cycles charged per socket call (Table 1: 0.74 kc per
+          request covers send+recv+poll). *)
+  notify_cycles : int;  (** Host cycles to consume one ARX entry. *)
+}
+
+val default : t
+
+val with_parallelism : t -> parallelism -> t
+
+(** Table 3 presets, cumulative left to right. *)
+
+val t3_baseline : parallelism
+val t3_pipelined : parallelism
+val t3_threads : parallelism
+val t3_replicated : parallelism
+val t3_flow_groups : parallelism

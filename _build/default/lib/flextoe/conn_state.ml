@@ -1,0 +1,120 @@
+type pre = {
+  peer_mac : int;
+  peer_ip : int;
+  local_ip : int;
+  local_port : int;
+  remote_port : int;
+  flow_group : int;
+}
+
+type proto = {
+  tx_isn : Tcp.Seq32.t;
+  rx_isn : Tcp.Seq32.t;
+  mutable tx_next_pos : int;
+  mutable tx_max_pos : int;
+  mutable tx_acked_pos : int;
+  mutable tx_tail_pos : int;
+  mutable rx_avail : int;
+  mutable remote_win : int;
+  reasm : Tcp.Reassembly.t;
+  mutable dupack_cnt : int;
+  mutable next_ts : int;
+  mutable delack_segs : int;
+  mutable tx_fin : bool;
+  mutable fin_sent : bool;
+  mutable rx_fin : bool;
+  mutable fin_acked : bool;
+  mutable ece_pending : bool;
+  mutable cwr_pending : bool;
+  mutable recover_pos : int;
+  mutable last_progress : Sim.Time.t;
+}
+
+type post = {
+  opaque : int;
+  mutable ctx_id : int;
+  rx_buf : Host.Payload_buf.t;
+  tx_buf : Host.Payload_buf.t;
+  mutable cnt_ackb : int;
+  mutable cnt_ecnb : int;
+  mutable cnt_fretx : int;
+  mutable rtt_est_ns : int;
+  mutable rate_bps : int;
+}
+
+type t = {
+  idx : int;
+  flow : Tcp.Flow.t;
+  pre : pre;
+  proto : proto;
+  post : post;
+  mutable active : bool;
+}
+
+let create ~idx ~flow ~peer_mac ~flow_group ~tx_isn ~rx_isn
+    ?(remote_win = 0xFFFF lsl 7) ~opaque ~ctx_id ~rx_buf_bytes ~tx_buf_bytes
+    () =
+  {
+    idx;
+    flow;
+    pre =
+      {
+        peer_mac;
+        peer_ip = flow.Tcp.Flow.remote_ip;
+        local_ip = flow.Tcp.Flow.local_ip;
+        local_port = flow.Tcp.Flow.local_port;
+        remote_port = flow.Tcp.Flow.remote_port;
+        flow_group;
+      };
+    proto =
+      {
+        tx_isn;
+        rx_isn;
+        tx_next_pos = 0;
+        tx_max_pos = 0;
+        tx_acked_pos = 0;
+        tx_tail_pos = 0;
+        rx_avail = rx_buf_bytes;
+        remote_win;
+        reasm = Tcp.Reassembly.create ~next:(Tcp.Seq32.add rx_isn 1);
+        dupack_cnt = 0;
+        next_ts = 0;
+        delack_segs = 0;
+        tx_fin = false;
+        fin_sent = false;
+        rx_fin = false;
+        fin_acked = false;
+        ece_pending = false;
+        cwr_pending = false;
+        recover_pos = 0;
+        last_progress = Sim.Time.zero;
+      };
+    post =
+      {
+        opaque;
+        ctx_id;
+        rx_buf = Host.Payload_buf.create ~size:rx_buf_bytes;
+        tx_buf = Host.Payload_buf.create ~size:tx_buf_bytes;
+        cnt_ackb = 0;
+        cnt_ecnb = 0;
+        cnt_fretx = 0;
+        rtt_est_ns = 0;
+        rate_bps = 0;
+      };
+    active = true;
+  }
+
+let tx_seq_of_pos t pos = Tcp.Seq32.add t.proto.tx_isn (1 + pos)
+let tx_pos_of_seq t seq = Tcp.Seq32.diff seq (Tcp.Seq32.add t.proto.tx_isn 1)
+let rx_pos_of_seq t seq = Tcp.Seq32.diff seq (Tcp.Seq32.add t.proto.rx_isn 1)
+let rx_seq_of_pos t pos = Tcp.Seq32.add t.proto.rx_isn (1 + pos)
+let tx_avail t = t.proto.tx_tail_pos - t.proto.tx_next_pos
+let tx_unacked t = t.proto.tx_next_pos - t.proto.tx_acked_pos
+let rx_next_pos t = rx_pos_of_seq t (Tcp.Reassembly.next t.proto.reasm)
+
+(* Table 5 accounting (bits): pre 48+32+32+2 = 114 bits; the paper's
+   108-byte total rounds the pre partition down (14.25 B). local_ip is
+   shared NIC configuration, not per-connection state. *)
+let state_bytes_pre = 14
+let state_bytes_proto = 43
+let state_bytes_post = 51

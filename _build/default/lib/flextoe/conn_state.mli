@@ -1,0 +1,109 @@
+(** Per-connection data-path state, partitioned by pipeline stage.
+
+    Mirrors the paper's Table 5 (Appendix A): the pre-processor holds
+    connection identifiers (15 B), the protocol stage holds the TCP
+    machine (43 B), the post-processor holds application-interface
+    parameters and congestion statistics (51 B); DMA and context-queue
+    stages are stateless. The partitioning is what makes stages
+    independently replicable: only the protocol partition is mutated
+    atomically per connection.
+
+    Stream positions are absolute byte offsets from the start of each
+    direction's stream; sequence-number mapping keeps the initial
+    sequence numbers per side ([seq = isn + 1 + pos], the +1 for the
+    SYN). *)
+
+type pre = {
+  peer_mac : int;
+  peer_ip : int;
+  local_ip : int;
+  local_port : int;
+  remote_port : int;
+  flow_group : int;
+}
+
+type proto = {
+  tx_isn : Tcp.Seq32.t;
+  rx_isn : Tcp.Seq32.t;
+  mutable tx_next_pos : int;  (** Next stream byte to transmit. *)
+  mutable tx_max_pos : int;  (** Highest stream byte ever transmitted. *)
+  mutable tx_acked_pos : int;  (** Cumulatively acknowledged. *)
+  mutable tx_tail_pos : int;  (** End of app-supplied data. *)
+  mutable rx_avail : int;  (** Advertised receive window. *)
+  mutable remote_win : int;  (** Peer's advertised window. *)
+  reasm : Tcp.Reassembly.t;
+  mutable dupack_cnt : int;
+  mutable next_ts : int;  (** Peer timestamp to echo. *)
+  mutable delack_segs : int;
+      (** In-order data segments received but not yet acknowledged
+          (delayed-ACK mode only). *)
+  mutable tx_fin : bool;  (** App closed; FIN after last byte. *)
+  mutable fin_sent : bool;
+  mutable rx_fin : bool;  (** Peer's FIN reached the in-order point. *)
+  mutable fin_acked : bool;  (** Our FIN was acknowledged. *)
+  mutable ece_pending : bool;
+      (** CE observed; echo ECE until the peer CWRs. *)
+  mutable cwr_pending : bool;
+      (** ECE received; set CWR on the next data segment. *)
+  mutable recover_pos : int;
+      (** Fast-retransmit gate: no second fast retransmit until the
+          acked point passes this position (go-back-N recovery). *)
+  mutable last_progress : Sim.Time.t;
+      (** Last time the acked point advanced (control-plane RTO). *)
+}
+
+type post = {
+  opaque : int;  (** Application-level connection id. *)
+  mutable ctx_id : int;  (** Owning context queue. *)
+  rx_buf : Host.Payload_buf.t;
+  tx_buf : Host.Payload_buf.t;
+  mutable cnt_ackb : int;  (** Acked bytes since last CP read. *)
+  mutable cnt_ecnb : int;  (** ECN-marked bytes since last CP read. *)
+  mutable cnt_fretx : int;  (** Fast retransmits since last CP read. *)
+  mutable rtt_est_ns : int;
+  mutable rate_bps : int;  (** 0 = uncongested (unpaced). *)
+}
+
+type t = {
+  idx : int;
+  flow : Tcp.Flow.t;
+  pre : pre;
+  proto : proto;
+  post : post;
+  mutable active : bool;
+}
+
+val create :
+  idx:int ->
+  flow:Tcp.Flow.t ->
+  peer_mac:int ->
+  flow_group:int ->
+  tx_isn:Tcp.Seq32.t ->
+  rx_isn:Tcp.Seq32.t ->
+  ?remote_win:int ->
+  opaque:int ->
+  ctx_id:int ->
+  rx_buf_bytes:int ->
+  tx_buf_bytes:int ->
+  unit ->
+  t
+
+val tx_seq_of_pos : t -> int -> Tcp.Seq32.t
+(** Sequence number of a transmit-stream position. *)
+
+val tx_pos_of_seq : t -> Tcp.Seq32.t -> int
+val rx_pos_of_seq : t -> Tcp.Seq32.t -> int
+val rx_seq_of_pos : t -> int -> Tcp.Seq32.t
+
+val tx_avail : t -> int
+(** Bytes ready for transmission ([tx_tail_pos - tx_next_pos]). *)
+
+val tx_unacked : t -> int
+val rx_next_pos : t -> int
+(** In-order receive point as a stream position. *)
+
+val state_bytes_pre : int
+val state_bytes_proto : int
+val state_bytes_post : int
+(** The Table 5 partition sizes (14/43/51 bytes, 108 B total; the
+    paper's pre-processor partition is 114 bits), asserted by tests. *)

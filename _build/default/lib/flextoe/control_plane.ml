@@ -1,0 +1,437 @@
+module S = Tcp.Segment
+
+let mac_of_ip ip = 0x020000000000 lor ip
+
+type conn_handle = {
+  ch_conn : int;
+  ch_ctx : int;
+  ch_state : Conn_state.t;
+}
+
+type pending = {
+  p_flow : Tcp.Flow.t;
+  p_our_isn : Tcp.Seq32.t;
+  p_peer_isn : Tcp.Seq32.t;
+  p_win : int option;  (* window override for our SYN-ACK *)
+  p_ctx : int;
+  p_kind :
+    [ `Accept of conn_handle -> unit
+    | `Connect of (conn_handle, string) result -> unit ];
+  mutable p_installing : bool;
+}
+
+(* Congestion-control state kept per monitored flow. *)
+type cc_state = No_cc | Dctcp of Cc.Dctcp.t | Timely of Cc.Timely.t
+
+type cc_flow = {
+  cf_conn : int;
+  cf_state : cc_state;
+  mutable cf_rate_bps : int;  (* last programmed rate; 0 = uncongested *)
+  mutable cf_limit_bps : int;  (* administrative ceiling; 0 = none *)
+  (* The control loop polls every cc_interval, but each flow's
+     congestion decision runs at most once per RTT (§3.4: "the
+     interval ... is determined by the round-trip time of each
+     flow"); statistics accumulate in between. *)
+  mutable cf_acc_ackb : int;
+  mutable cf_acc_ecnb : int;
+  mutable cf_acc_fretx : int;
+  mutable cf_last_decision : Sim.Time.t;
+  mutable cf_closing : bool;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  cfg : Config.t;
+  dp : Datapath.t;
+  core : Host.Host_cpu.core;
+  rng : Sim.Rng.t;
+  listeners : (int, int option * (conn_handle -> unit)) Hashtbl.t;
+  pending : pending Tcp.Flow.Tbl.t;
+  flows : (int, cc_flow) Hashtbl.t;
+  mutable next_port : int;
+  mutable next_ctx : int;
+  mutable rto_count : int;
+  mutable on_rate_change : conn:int -> bps:int -> unit;
+  mutable conn_limit : int option;
+  mutable partitions : (int * int * int) list;  (* lo, hi, app *)
+}
+
+let active_flows t = Hashtbl.length t.flows
+let retransmit_timeouts t = t.rto_count
+let set_on_rate_change t f = t.on_rate_change <- f
+
+let cp_cycles = 1800  (* handshake step on the CP core *)
+let cc_flow_cycles = 250  (* per-flow CC iteration *)
+
+let wire_bps cfg =
+  int_of_float (cfg.Config.params.Nfp.Params.wire_gbps *. 1e9)
+
+(* --- Segment builders ---------------------------------------------- *)
+
+let ctl_frame t ?win ~flow ~seq ~ack_seq ~flags ~mss () =
+  let default_win =
+    min 0xFFFF (t.cfg.Config.rx_buf_bytes lsr t.cfg.Config.window_scale)
+  in
+  let seg =
+    S.make ~flags
+      ~options:
+        {
+          S.mss = (if mss then Some t.cfg.Config.mss else None);
+          ts = None;
+        }
+      ~window:(Option.value ~default:default_win win)
+      ~src_ip:flow.Tcp.Flow.local_ip ~dst_ip:flow.Tcp.Flow.remote_ip
+      ~src_port:flow.Tcp.Flow.local_port
+      ~dst_port:flow.Tcp.Flow.remote_port ~seq ~ack_seq ()
+  in
+  S.make_frame
+    ~src_mac:(mac_of_ip flow.Tcp.Flow.local_ip)
+    ~dst_mac:(mac_of_ip flow.Tcp.Flow.remote_ip)
+    seg
+
+(* --- Connection establishment --------------------------------------- *)
+
+let finalize t ?remote_win (p : pending) k =
+  let idx = Datapath.alloc_conn_idx t.dp in
+  let flow = p.p_flow in
+  let cs =
+    Conn_state.create ~idx ~flow
+      ~peer_mac:(mac_of_ip flow.Tcp.Flow.remote_ip)
+      ~flow_group:
+        (Tcp.Flow.flow_group flow
+           ~groups:t.cfg.Config.parallelism.Config.flow_groups)
+      ~tx_isn:p.p_our_isn ~rx_isn:p.p_peer_isn ?remote_win ~opaque:idx
+      ~ctx_id:p.p_ctx ~rx_buf_bytes:t.cfg.Config.rx_buf_bytes
+      ~tx_buf_bytes:t.cfg.Config.tx_buf_bytes ()
+  in
+  cs.Conn_state.proto.Conn_state.last_progress <- Sim.Engine.now t.engine;
+  Datapath.install_conn t.dp cs ~k:(fun () ->
+      Hashtbl.replace t.flows idx
+        {
+          cf_conn = idx;
+          cf_state =
+            (match t.cfg.Config.cc with
+            | Config.Dctcp -> Dctcp (Cc.Dctcp.create ())
+            | Config.Timely -> Timely (Cc.Timely.create ())
+            | Config.Cc_none -> No_cc);
+          cf_rate_bps = 0;
+          cf_limit_bps = 0;
+          cf_acc_ackb = 0;
+          cf_acc_ecnb = 0;
+          cf_acc_fretx = 0;
+          cf_last_decision = Sim.Engine.now t.engine;
+          cf_closing = false;
+        };
+      Tcp.Flow.Tbl.remove t.pending p.p_flow;
+      k { ch_conn = idx; ch_ctx = p.p_ctx; ch_state = cs })
+
+let alloc_ctx t =
+  let c = t.next_ctx mod Datapath.num_ctx t.dp in
+  t.next_ctx <- t.next_ctx + 1;
+  c
+
+let set_connection_limit t limit = t.conn_limit <- limit
+
+let at_connection_limit t =
+  match t.conn_limit with
+  | Some l ->
+      (* Half-open handshakes count toward the limit, or a burst of
+         simultaneous SYNs would blow past it. *)
+      Hashtbl.length t.flows + Tcp.Flow.Tbl.length t.pending >= l
+  | None -> false
+
+let reserve_ports t ~lo ~hi ~app =
+  t.partitions <- (lo, hi, app) :: t.partitions
+
+let port_owner t port =
+  List.find_map
+    (fun (lo, hi, app) -> if port >= lo && port <= hi then Some app else None)
+    t.partitions
+
+(* Handshake packets can be lost; the CP retries SYN / SYN-ACK while
+   the connection is still pending. *)
+let rec handshake_retry t flow attempt =
+  Sim.Engine.schedule t.engine (Sim.Time.ms 5) (fun () ->
+      match Tcp.Flow.Tbl.find_opt t.pending flow with
+      | Some p when (not p.p_installing) && attempt < 10 ->
+          (match p.p_kind with
+          | `Connect _ ->
+              Datapath.control_tx t.dp
+                (ctl_frame t ~flow ~seq:p.p_our_isn ~ack_seq:Tcp.Seq32.zero
+                   ~flags:{ S.no_flags with S.syn = true }
+                   ~mss:true ())
+          | `Accept _ ->
+              Datapath.control_tx t.dp
+                (ctl_frame t ?win:p.p_win ~flow ~seq:p.p_our_isn
+                   ~ack_seq:(Tcp.Seq32.succ p.p_peer_isn)
+                   ~flags:{ S.no_flags with S.syn = true; ack = true }
+                   ~mss:true ()));
+          handshake_retry t flow (attempt + 1)
+      | Some p when (not p.p_installing) && attempt >= 10 -> begin
+          Tcp.Flow.Tbl.remove t.pending flow;
+          match p.p_kind with
+          | `Connect k -> k (Error "connection timed out")
+          | `Accept _ -> ()
+        end
+      | _ -> ())
+
+let handle_syn t (frame : S.frame) =
+  let seg = frame.S.seg in
+  match Hashtbl.find_opt t.listeners seg.S.dst_port with
+  | None -> ()  (* No listener: drop (no RST modelled). *)
+  | Some (win, on_accept) ->
+      let flow = Tcp.Flow.of_segment_rx seg in
+      if at_connection_limit t then ()  (* policy: ignore the SYN *)
+      else if not (Tcp.Flow.Tbl.mem t.pending flow) then begin
+        let our_isn = Tcp.Seq32.of_int (Sim.Rng.int t.rng 0x3FFFFFFF) in
+        let p =
+          {
+            p_flow = flow;
+            p_our_isn = our_isn;
+            p_peer_isn = seg.S.seq;
+            p_win = win;
+            p_ctx = alloc_ctx t;
+            p_kind = `Accept on_accept;
+            p_installing = false;
+          }
+        in
+        Tcp.Flow.Tbl.replace t.pending flow p;
+        Host.Host_cpu.exec t.core ~category:"cp" ~cycles:cp_cycles (fun () ->
+            Datapath.control_tx t.dp
+              (ctl_frame t ?win ~flow ~seq:our_isn
+                 ~ack_seq:(Tcp.Seq32.succ seg.S.seq)
+                 ~flags:{ S.no_flags with S.syn = true; ack = true }
+                 ~mss:true ()));
+        handshake_retry t flow 0
+      end
+
+let handle_synack t (p : pending) (frame : S.frame) =
+  let seg = frame.S.seg in
+  match p.p_kind with
+  | `Connect on_connected when not p.p_installing ->
+      p.p_installing <- true;
+      let p = { p with p_peer_isn = seg.S.seq } in
+      Tcp.Flow.Tbl.replace t.pending p.p_flow p;
+      Host.Host_cpu.exec t.core ~category:"cp" ~cycles:cp_cycles (fun () ->
+          finalize t
+            ~remote_win:(seg.S.window lsl t.cfg.Config.window_scale)
+            p
+            (fun handle ->
+              Datapath.control_tx t.dp
+                (ctl_frame t ~flow:p.p_flow
+                   ~seq:(Tcp.Seq32.succ p.p_our_isn)
+                   ~ack_seq:(Tcp.Seq32.succ seg.S.seq)
+                   ~flags:S.flags_ack ~mss:false ());
+              on_connected (Ok handle)))
+  | _ -> ()
+
+let handle_handshake_ack t (p : pending) (frame : S.frame) =
+  match p.p_kind with
+  | `Accept on_accept when not p.p_installing ->
+      p.p_installing <- true;
+      Host.Host_cpu.exec t.core ~category:"cp" ~cycles:cp_cycles (fun () ->
+          finalize t
+            ~remote_win:(frame.S.seg.S.window lsl t.cfg.Config.window_scale)
+            p
+            (fun handle ->
+              on_accept handle;
+              (* The handshake ACK may already carry data. *)
+              if Bytes.length frame.S.seg.S.payload > 0 then
+                Sim.Engine.schedule t.engine (Sim.Time.us 3) (fun () ->
+                    Datapath.reinject_rx t.dp frame)))
+  | _ -> ()
+
+let control_rx t (frame : S.frame) =
+  let seg = frame.S.seg in
+  let flow = Tcp.Flow.of_segment_rx seg in
+  match Tcp.Flow.Tbl.find_opt t.pending flow with
+  | Some p ->
+      if seg.S.flags.S.syn && seg.S.flags.S.ack then handle_synack t p frame
+      else if seg.S.flags.S.syn then () (* SYN retransmit: SYN-ACK lost;
+                                           resent on CP timeout below *)
+      else if p.p_installing then
+        (* Data raced connection installation: requeue into the RX
+           pipeline once the install DMA has settled. *)
+        Sim.Engine.schedule t.engine (Sim.Time.us 3) (fun () ->
+            Datapath.reinject_rx t.dp frame)
+      else if seg.S.flags.S.ack then handle_handshake_ack t p frame
+  | None ->
+      if seg.S.flags.S.syn && not seg.S.flags.S.ack then handle_syn t frame
+      else if S.data_path_flags seg.S.flags && Datapath.has_flow t.dp flow
+      then
+        (* The segment was in flight through the CPI forwarding path
+           when the connection finished installing: hand it back to
+           the data path. *)
+        Sim.Engine.schedule t.engine (Sim.Time.us 1) (fun () ->
+            Datapath.reinject_rx t.dp frame)
+      else ()  (* Stale segment of a dead connection: drop. *)
+
+(* --- Public connection API ------------------------------------------ *)
+
+let listen t ?syn_ack_window ?(app = 0) ~port ~on_accept () =
+  (match port_owner t port with
+  | Some owner when owner <> app ->
+      invalid_arg
+        (Printf.sprintf
+           "Control_plane.listen: port %d is reserved for application %d"
+           port owner)
+  | _ -> ());
+  Hashtbl.replace t.listeners port (syn_ack_window, on_accept)
+
+let connect t ~remote_ip ~remote_port ~ctx ~on_connected =
+  if at_connection_limit t then
+    on_connected (Error "connection limit reached")
+  else
+  let local_port = t.next_port in
+  t.next_port <- t.next_port + 1;
+  let flow =
+    Tcp.Flow.v ~local_ip:(Datapath.ip t.dp) ~local_port ~remote_ip
+      ~remote_port
+  in
+  let our_isn = Tcp.Seq32.of_int (Sim.Rng.int t.rng 0x3FFFFFFF) in
+  let p =
+    {
+      p_flow = flow;
+      p_our_isn = our_isn;
+      p_peer_isn = Tcp.Seq32.zero;
+      p_win = None;
+      p_ctx = ctx;
+      p_kind = `Connect on_connected;
+      p_installing = false;
+    }
+  in
+  Tcp.Flow.Tbl.replace t.pending flow p;
+  Host.Host_cpu.exec t.core ~category:"cp" ~cycles:cp_cycles (fun () ->
+      Datapath.control_tx t.dp
+        (ctl_frame t ~flow ~seq:our_isn ~ack_seq:Tcp.Seq32.zero
+           ~flags:{ S.no_flags with S.syn = true }
+           ~mss:true ()));
+  handshake_retry t flow 0
+
+let close t ~conn =
+  (match Hashtbl.find_opt t.flows conn with
+  | Some f -> f.cf_closing <- true
+  | None -> ());
+  Datapath.cp_push t.dp { Meta.h_conn = conn; h_op = Meta.Fin }
+
+(* --- Congestion control ----------------------------------------------- *)
+
+let apply_rate t (f : cc_flow) bps =
+  (* The administrative ceiling composes with congestion control: the
+     stricter of the two wins. *)
+  let bps =
+    if f.cf_limit_bps > 0 then
+      if bps = 0 then f.cf_limit_bps else min bps f.cf_limit_bps
+    else bps
+  in
+  if bps <> f.cf_rate_bps then begin
+    f.cf_rate_bps <- bps;
+    t.on_rate_change ~conn:f.cf_conn ~bps;
+    Datapath.set_rate t.dp ~conn:f.cf_conn ~bps
+  end
+
+let apply_decision t f = function
+  | Cc.Keep -> ()
+  | Cc.Rate bps -> apply_rate t f bps
+  | Cc.Uncongested -> apply_rate t f 0
+
+let set_rate_limit t ~conn ~bps =
+  match Hashtbl.find_opt t.flows conn with
+  | Some f ->
+      f.cf_limit_bps <- max 0 bps;
+      (* Re-apply so the limit takes effect immediately. *)
+      apply_rate t f f.cf_rate_bps
+  | None -> ()
+
+let rate_limit t ~conn =
+  match Hashtbl.find_opt t.flows conn with
+  | Some f -> f.cf_limit_bps
+  | None -> 0
+
+
+let iterate_flow t now (f : cc_flow) =
+  let st = Datapath.read_cc_stats t.dp ~conn:f.cf_conn in
+  f.cf_acc_ackb <- f.cf_acc_ackb + st.Datapath.ackb;
+  f.cf_acc_ecnb <- f.cf_acc_ecnb + st.Datapath.ecnb;
+  f.cf_acc_fretx <- f.cf_acc_fretx + st.Datapath.fretx;
+  (* Retransmission timeout monitoring (§3.4): only data actually in
+     flight can time out — a paced flow between transmissions is not
+     stalled. *)
+  if
+    st.Datapath.tx_inflight > 0
+    && now - st.Datapath.last_progress > t.cfg.Config.rto
+  then begin
+    t.rto_count <- t.rto_count + 1;
+    Datapath.cp_push t.dp { Meta.h_conn = f.cf_conn; h_op = Meta.Retransmit };
+    f.cf_acc_fretx <- f.cf_acc_fretx + 1
+  end;
+  if st.Datapath.ack_pending then
+    Datapath.cp_push t.dp { Meta.h_conn = f.cf_conn; h_op = Meta.Ack_flush };
+  (* One congestion decision per (estimated) RTT. *)
+  let decision_interval =
+    max t.cfg.Config.cc_interval (Sim.Time.ns st.Datapath.rtt_est_ns)
+  in
+  if now - f.cf_last_decision >= decision_interval then begin
+    let obs =
+      {
+        Cc.acked_bytes = f.cf_acc_ackb;
+        ecn_bytes = f.cf_acc_ecnb;
+        fast_retx = f.cf_acc_fretx;
+        rtt_ns = st.Datapath.rtt_est_ns;
+        interval = now - f.cf_last_decision;
+      }
+    in
+    f.cf_acc_ackb <- 0;
+    f.cf_acc_ecnb <- 0;
+    f.cf_acc_fretx <- 0;
+    f.cf_last_decision <- now;
+    match f.cf_state with
+    | Dctcp d ->
+        apply_decision t f (Cc.Dctcp.update d ~wire_bps:(wire_bps t.cfg) obs)
+    | Timely tm ->
+        apply_decision t f
+          (Cc.Timely.update tm ~wire_bps:(wire_bps t.cfg) obs)
+    | No_cc -> ()
+  end;
+  (* Teardown: both directions closed. *)
+  if f.cf_closing then begin
+    match Datapath.conn t.dp f.cf_conn with
+    | Some cs
+      when cs.Conn_state.proto.Conn_state.fin_acked
+           && cs.Conn_state.proto.Conn_state.rx_fin ->
+        Datapath.remove_conn t.dp ~conn:f.cf_conn;
+        Hashtbl.remove t.flows f.cf_conn
+    | _ -> ()
+  end
+
+let rec cc_loop t () =
+  let now = Sim.Engine.now t.engine in
+  let flows = Hashtbl.fold (fun _ f acc -> f :: acc) t.flows [] in
+  let n = List.length flows in
+  if n > 0 then
+    Host.Host_cpu.exec t.core ~category:"cp" ~cycles:(n * cc_flow_cycles)
+      (fun () -> List.iter (iterate_flow t now) flows);
+  Sim.Engine.schedule t.engine t.cfg.Config.cc_interval (cc_loop t)
+
+let create engine ~config ~datapath ~core () =
+  let t =
+    {
+      engine;
+      cfg = config;
+      dp = datapath;
+      core;
+      rng = Sim.Rng.split (Sim.Engine.rng engine);
+      listeners = Hashtbl.create 16;
+      pending = Tcp.Flow.Tbl.create 64;
+      flows = Hashtbl.create 256;
+      next_port = 40_000;
+      next_ctx = 0;
+      rto_count = 0;
+      on_rate_change = (fun ~conn:_ ~bps:_ -> ());
+      conn_limit = None;
+      partitions = [];
+    }
+  in
+  Datapath.set_control_rx datapath (control_rx t);
+  Sim.Engine.schedule engine config.Config.cc_interval (cc_loop t);
+  t

@@ -1,0 +1,95 @@
+(** The FlexTOE control plane (§3.4).
+
+    Runs on the host in its own protection domain (a dedicated core)
+    and owns everything the data path does not: ARP-free connection
+    control (the TCP handshake, port and buffer allocation, data-path
+    state installation), retransmission timeouts (go-back-N resets via
+    HC), and the congestion-control loop (DCTCP by default, TIMELY as
+    an alternative) that reads per-flow statistics from the data path
+    and programs rates into the flow scheduler.
+
+    The MAC of a peer is derived from its IP ([mac_of_ip]) — the
+    testbed substitute for ARP resolution. *)
+
+type t
+
+type conn_handle = {
+  ch_conn : int;  (** Data-path connection index. *)
+  ch_ctx : int;  (** Context queue the connection is bound to. *)
+  ch_state : Conn_state.t;
+      (** Shared so libTOE can reach the host payload buffers, which
+          live in host memory. libTOE must not touch the protocol
+          partition. *)
+}
+
+val create :
+  Sim.Engine.t ->
+  config:Config.t ->
+  datapath:Datapath.t ->
+  core:Host.Host_cpu.core ->
+  unit ->
+  t
+(** Registers itself as the data path's control-segment receiver and
+    starts the CC/RTO iteration loop. *)
+
+val mac_of_ip : int -> int
+(** The fabric-wide IP-to-MAC convention. *)
+
+val listen :
+  t ->
+  ?syn_ack_window:int ->
+  ?app:int ->
+  port:int ->
+  on_accept:(conn_handle -> unit) ->
+  unit ->
+  unit
+(** [syn_ack_window] overrides the (scaled) window advertised in our
+    SYN-ACK — a splicing proxy advertises zero so no payload arrives
+    before the splice is installed. [app] (default 0) identifies the
+    application for port partitioning; listening on a port reserved
+    for another app raises [Invalid_argument]. *)
+
+val connect :
+  t ->
+  remote_ip:int ->
+  remote_port:int ->
+  ctx:int ->
+  on_connected:((conn_handle, string) result -> unit) ->
+  unit
+
+val close : t -> conn:int -> unit
+(** Application close: sends FIN through HC; the connection is
+    deallocated once both directions have closed. *)
+
+val active_flows : t -> int
+
+val retransmit_timeouts : t -> int
+(** Timeout-triggered go-back-N retransmissions issued so far. *)
+
+val set_on_rate_change : t -> (conn:int -> bps:int -> unit) -> unit
+(** Test/inspection hook: observe CC rate decisions. *)
+
+(** {1 Control-plane policies (§3.4)}
+
+    Beyond congestion control, the control plane enforces
+    administrative policies: per-connection rate limits (composed
+    with the congestion controller: the stricter wins), a
+    per-application limit on concurrent connections, and port
+    partitioning among applications. *)
+
+val set_rate_limit : t -> conn:int -> bps:int -> unit
+(** Administrative ceiling for one flow; [0] removes it. Enforced by
+    the flow scheduler like a congestion-control rate, and re-applied
+    whenever the congestion controller would exceed it. *)
+
+val rate_limit : t -> conn:int -> int
+
+val set_connection_limit : t -> int option -> unit
+(** Cap on concurrent established connections: beyond it, incoming
+    SYNs are ignored and local [connect] fails. *)
+
+val reserve_ports : t -> lo:int -> hi:int -> app:int -> unit
+(** Partition a port range to application [app]; [listen] on a
+    reserved port by any other app raises [Invalid_argument]. *)
+
+val port_owner : t -> int -> int option

@@ -1,0 +1,1191 @@
+module S = Tcp.Segment
+
+type xdp_action =
+  | Xdp_pass of S.frame
+  | Xdp_drop
+  | Xdp_tx of S.frame
+  | Xdp_redirect of S.frame
+
+type xdp_hook = { xdp_run : S.frame -> int * xdp_action }
+
+type direction = Dir_rx | Dir_tx
+
+type cc_stats = {
+  ackb : int;
+  ecnb : int;
+  fretx : int;
+  rtt_est_ns : int;
+  tx_backlog : int;
+  tx_inflight : int;
+  ack_pending : bool;
+  last_progress : Sim.Time.t;
+}
+
+type stats = {
+  rx_segments : int;
+  tx_segments : int;
+  tx_acks : int;
+  rx_to_control : int;
+  rx_dropped : int;
+  fast_retx : int;
+  gro_reordered : int;
+  egress_reordered : int;
+  dma_bytes : int;
+}
+
+(* What leaves through the NBI, in egress-sequencer order. *)
+type egress =
+  | Eg_data of Meta.tx_desc * Bytes.t
+  | Eg_ack of Meta.ack_info
+  | Eg_ctl of S.frame
+
+(* Work arriving at a post-processor. *)
+type post_work =
+  | Post_rx of Meta.rx_verdict
+  | Post_tx of Meta.tx_desc
+  | Post_hc of int * Protocol.hc_result  (* conn *)
+
+type conn_lock = { mutable busy : bool; waiters : (unit -> unit) Queue.t }
+
+type t = {
+  engine : Sim.Engine.t;
+  cfg : Config.t;
+  port : Netsim.Fabric.port;
+  mac : int;
+  ip : int;
+  n_ctx : int;
+  (* Connections *)
+  conns : (int, Conn_state.t) Hashtbl.t;
+  conn_db : Tcp.Flow.t Nfp.Lookup.t;
+  mutable next_conn_idx : int;
+  locks : (int, conn_lock) Hashtbl.t;
+  (* FPCs *)
+  preproc_fpcs : Nfp.Fpc.t array;
+  proto_fpcs : Nfp.Fpc.t array array;  (* per flow group, sharded *)
+  postproc_fpcs : Nfp.Fpc.t array array;  (* per flow group *)
+  dma_fpcs : Nfp.Fpc.t array;
+  ctx_fpcs : Nfp.Fpc.t array;
+  sch_fpc : Nfp.Fpc.t;
+  gro_fpc : Nfp.Fpc.t;
+  xdp_fpcs : Nfp.Fpc.t array;
+  rtc_fpc : Nfp.Fpc.t;  (* run-to-completion baseline *)
+  mutable rr_pre : int;
+  mutable rr_post : int;
+  mutable rr_dma : int;
+  (* Engines *)
+  dma : Nfp.Dma.t;
+  (* Caches *)
+  pre_lookup_cache : Nfp.Direct_cache.t;
+  proto_cam : unit Nfp.Cam.t array;  (* presence-only caches *)
+  fg_cls : Nfp.Direct_cache.t array;
+  emem_lru : Nfp.Lru.t;
+  (* Ordering *)
+  rx_gro : Meta.rx_summary Sequencer.t;
+  tx_gro : egress Sequencer.t;
+  (* Scheduling *)
+  sch : Scheduler.t;
+  (* Context queues *)
+  atx : Meta.hc_desc Nfp.Ring.t array;
+  mutable atx_scheduled : bool array;
+  arx_handlers : (Meta.arx_desc -> unit) array;
+  mutable hc_descs_free : int;
+  (* Control plane hooks *)
+  mutable control_rx : S.frame -> unit;
+  (* Flexibility *)
+  mutable xdp_ingress : xdp_hook option;
+  traces : Sim.Trace.t;
+  trace_groups : (string, Sim.Trace.point array) Hashtbl.t;
+  mutable capture : (direction -> S.frame -> unit) option;
+  (* Stats *)
+  mutable st_rx : int;
+  mutable st_tx : int;
+  mutable st_tx_acks : int;
+  mutable st_ctl : int;
+  mutable st_drop : int;
+  mutable st_fretx : int;
+}
+
+let engine t = t.engine
+let config t = t.cfg
+let fabric_port t = t.port
+let mac t = t.mac
+let ip t = t.ip
+let num_ctx t = t.n_ctx
+let traces t = t.traces
+
+let trace_group_points t group =
+  match Hashtbl.find_opt t.trace_groups group with
+  | Some pts -> pts
+  | None -> [||]
+
+(* Per-segment tracepoint overhead for a stage: each enabled point in
+   the stage's group costs a few cycles (instrumentation executes
+   whether or not the event fires); event counters themselves are
+   recorded semantically by [trace_event]. *)
+let trace_cycles t group ~conn =
+  ignore conn;
+  if Sim.Trace.enabled_count t.traces = 0 then 0
+  else begin
+    let pts = trace_group_points t group in
+    let n = ref 0 in
+    Array.iter (fun p -> if Sim.Trace.enabled p then incr n) pts;
+    !n * t.cfg.Config.costs.Config.tracepoint
+  end
+
+(* Record a semantic event on one named tracepoint (counts only when
+   that point is enabled). *)
+let trace_event t group name ~conn =
+  (* Fast path: tracing disabled costs one branch, like the real
+     thing. *)
+  if Sim.Trace.enabled_count t.traces > 0 then begin
+    let full = group ^ ":" ^ name in
+    let pts = trace_group_points t group in
+    Array.iter
+      (fun p ->
+        if Sim.Trace.enabled p && Sim.Trace.point_name p = full then
+          Sim.Trace.hit t.traces p ~now:(Sim.Engine.now t.engine) ~conn
+            ~arg:0)
+      pts
+  end
+
+(* Transport events worth counting, derived from an RX verdict: the
+   bpftrace-style tracepoints of §5.1. *)
+let trace_rx_verdict t (v : Meta.rx_verdict) =
+  if Sim.Trace.enabled_count t.traces = 0 then ()
+  else
+  let conn = v.Meta.v_conn in
+  trace_event t "protocol" "rx_seg" ~conn;
+  if v.Meta.v_fast_retx then trace_event t "protocol" "fast_retx" ~conn;
+  if v.Meta.v_fin_reached then trace_event t "protocol" "fin" ~conn;
+  (match v.Meta.v_place with
+  | Some _ when v.Meta.v_rx_advance = 0 ->
+      trace_event t "protocol" "ooo_seg" ~conn
+  | _ -> ());
+  if v.Meta.v_ack <> None && v.Meta.v_rx_advance = 0 && v.Meta.v_place = None
+  then trace_event t "protocol" "dup_ack" ~conn;
+  if v.Meta.v_wake_tx then trace_event t "protocol" "win_update" ~conn;
+  if v.Meta.v_ack <> None then trace_event t "postproc" "ack_gen" ~conn
+
+let pipelined t = t.cfg.Config.parallelism.Config.pipelined
+
+(* --- Per-connection protocol-stage lock --------------------------- *)
+
+let conn_lock t idx =
+  match Hashtbl.find_opt t.locks idx with
+  | Some l -> l
+  | None ->
+      let l = { busy = false; waiters = Queue.create () } in
+      Hashtbl.replace t.locks idx l;
+      l
+
+let acquire t idx k =
+  let l = conn_lock t idx in
+  if l.busy then Queue.push k l.waiters
+  else begin
+    l.busy <- true;
+    k ()
+  end
+
+let release t idx =
+  let l = conn_lock t idx in
+  match Queue.take_opt l.waiters with
+  | Some k -> k ()
+  | None -> l.busy <- false
+
+(* --- State-access cost model (§4.1 caching) ----------------------- *)
+
+let proto_state_phases t conn_state =
+  let open Nfp.Fpc in
+  if not (pipelined t) then
+    (* Naive baseline: no multi-level caching, state lives in EMEM. *)
+    [ Mem Nfp.Memory.Emem; Mem Nfp.Memory.Emem ]
+  else begin
+    let idx = conn_state.Conn_state.idx in
+    let fg = conn_state.Conn_state.pre.Conn_state.flow_group in
+    let cam = t.proto_cam.(fg) in
+    match Nfp.Cam.find cam idx with
+    | Some () -> [ Mem Nfp.Memory.Local ]
+    | None ->
+        ignore (Nfp.Cam.insert cam idx ());
+        if Nfp.Direct_cache.access t.fg_cls.(fg) idx then
+          [ Mem Nfp.Memory.Cls ]
+        else if Nfp.Lru.access t.emem_lru idx then
+          [ Mem Nfp.Memory.Emem_cached ]
+        else [ Mem Nfp.Memory.Emem ]
+  end
+
+let preproc_lookup_phases t hash =
+  let open Nfp.Fpc in
+  let c = t.cfg.Config.costs in
+  if Nfp.Direct_cache.access t.pre_lookup_cache hash then
+    [ Compute c.Config.preproc_lookup_hit ]
+  else [ Mem Nfp.Memory.Imem; Compute c.Config.preproc_lookup_hit ]
+
+let proto_fpc_for t cs =
+  let fg = cs.Conn_state.pre.Conn_state.flow_group in
+  let pool = t.proto_fpcs.(fg) in
+  pool.(cs.Conn_state.idx mod Array.length pool)
+
+(* Round-robin pools *)
+
+let next_preproc t =
+  let f = t.preproc_fpcs.(t.rr_pre mod Array.length t.preproc_fpcs) in
+  t.rr_pre <- t.rr_pre + 1;
+  f
+
+let next_postproc t fg =
+  let pool = t.postproc_fpcs.(fg) in
+  let f = pool.(t.rr_post mod Array.length pool) in
+  t.rr_post <- t.rr_post + 1;
+  f
+
+let next_dma_fpc t =
+  let f = t.dma_fpcs.(t.rr_dma mod Array.length t.dma_fpcs) in
+  t.rr_dma <- t.rr_dma + 1;
+  f
+
+(* --- Connection management ---------------------------------------- *)
+
+let alloc_conn_idx t =
+  let i = t.next_conn_idx in
+  t.next_conn_idx <- i + 1;
+  i
+
+let conn t idx = Hashtbl.find_opt t.conns idx
+
+let has_flow t flow =
+  Nfp.Lookup.lookup t.conn_db ~hash:(Tcp.Flow.hash flow) flow <> None
+
+let active_conns t = Hashtbl.length t.conns
+
+let install_conn t cs ~k =
+  (* CP writes ~108 B of state across PCIe. *)
+  Nfp.Dma.issue t.dma ~queue:1 ~bytes:128 (fun () ->
+      Hashtbl.replace t.conns cs.Conn_state.idx cs;
+      let flow = cs.Conn_state.flow in
+      Nfp.Lookup.add t.conn_db ~hash:(Tcp.Flow.hash flow) flow
+        cs.Conn_state.idx;
+      k ())
+
+let remove_conn t ~conn =
+  match Hashtbl.find_opt t.conns conn with
+  | None -> ()
+  | Some cs ->
+      cs.Conn_state.active <- false;
+      Hashtbl.remove t.conns conn;
+      let flow = cs.Conn_state.flow in
+      Nfp.Lookup.remove t.conn_db ~hash:(Tcp.Flow.hash flow) flow;
+      Scheduler.forget t.sch ~conn
+
+let set_control_rx t f = t.control_rx <- f
+
+(* --- Notification path (ARX) -------------------------------------- *)
+
+let set_arx_handler t ~ctx f = t.arx_handlers.(ctx) <- f
+
+(* The context-queue stage DMAs the descriptor into the host ring;
+   libTOE sees it one polling period later. *)
+let notify_libtoe t cs (desc : Meta.arx_desc) =
+  let ctx = cs.Conn_state.post.Conn_state.ctx_id mod t.n_ctx in
+  let fpc = t.ctx_fpcs.(ctx mod Array.length t.ctx_fpcs) in
+  let c = t.cfg.Config.costs in
+  let extra = trace_cycles t "ctx" ~conn:cs.Conn_state.idx in
+  Nfp.Fpc.submit fpc
+    [ Compute (c.Config.ctx_desc + extra) ]
+    (fun () ->
+      Nfp.Dma.issue t.dma ~queue:1 ~bytes:32 (fun () ->
+          Sim.Engine.schedule t.engine t.cfg.Config.libtoe_poll (fun () ->
+              t.arx_handlers.(ctx) desc)))
+
+(* --- NBI egress ---------------------------------------------------- *)
+
+let build_data_frame t cs (d : Meta.tx_desc) payload =
+  let pre = cs.Conn_state.pre in
+  let now_us = Protocol.us_of_time (Sim.Engine.now t.engine) in
+  let seg =
+    S.make
+      ~flags:
+        {
+          S.no_flags with
+          S.ack = true;
+          psh = true;
+          fin = d.Meta.t_fin;
+          cwr = d.Meta.t_cwr;
+        }
+      ~window:d.Meta.t_wnd
+      ~options:{ S.mss = None; ts = Some (now_us, d.Meta.t_ts_ecr) }
+      ~payload ~src_ip:pre.Conn_state.local_ip ~dst_ip:pre.Conn_state.peer_ip
+      ~src_port:pre.Conn_state.local_port ~dst_port:pre.Conn_state.remote_port
+      ~seq:d.Meta.t_seq ~ack_seq:d.Meta.t_ack ()
+  in
+  S.make_frame ~ecn:S.Ect0 ~src_mac:t.mac ~dst_mac:pre.Conn_state.peer_mac seg
+
+let build_ack_frame t cs (a : Meta.ack_info) =
+  let pre = cs.Conn_state.pre in
+  let p = cs.Conn_state.proto in
+  let now_us = Protocol.us_of_time (Sim.Engine.now t.engine) in
+  let seg =
+    S.make
+      ~flags:{ S.flags_ack with S.ece = a.Meta.a_ece }
+      ~window:a.Meta.a_wnd
+      ~options:{ S.mss = None; ts = Some (now_us, a.Meta.a_ts_ecr) }
+      ~src_ip:pre.Conn_state.local_ip ~dst_ip:pre.Conn_state.peer_ip
+      ~src_port:pre.Conn_state.local_port ~dst_port:pre.Conn_state.remote_port
+      ~seq:(Conn_state.tx_seq_of_pos cs p.Conn_state.tx_next_pos)
+      ~ack_seq:a.Meta.a_ack ()
+  in
+  S.make_frame ~src_mac:t.mac ~dst_mac:pre.Conn_state.peer_mac seg
+
+let nbi_emit t eg =
+  let frame =
+    match eg with
+    | Eg_data (d, payload) -> begin
+        match conn t d.Meta.t_conn with
+        | Some cs -> Some (build_data_frame t cs d payload)
+        | None -> None
+      end
+    | Eg_ack a -> begin
+        match conn t a.Meta.a_conn with
+        | Some cs -> Some (build_ack_frame t cs a)
+        | None -> None
+      end
+    | Eg_ctl f -> Some f
+  in
+  (match frame with
+  | Some f ->
+      (match t.capture with Some cap -> cap Dir_tx f | None -> ());
+      (match eg with
+      | Eg_data _ -> t.st_tx <- t.st_tx + 1
+      | Eg_ack _ -> t.st_tx_acks <- t.st_tx_acks + 1
+      | Eg_ctl _ -> ());
+      Netsim.Fabric.transmit t.port f
+  | None -> ());
+  (* A data segment's buffer (credit) frees on transmission. *)
+  match eg with
+  | Eg_data _ -> Scheduler.credit_return t.sch
+  | Eg_ack _ | Eg_ctl _ -> ()
+
+(* --- DMA stage ------------------------------------------------------ *)
+
+type dma_work = {
+  dw_conn : int;
+  dw_payload : (int * Bytes.t) option;  (* RX placement *)
+  dw_fetch : (Meta.tx_desc * int * int) option;  (* TX fetch (desc,pos,len) *)
+  dw_ack : Meta.ack_info option;
+  dw_notify : Meta.arx_desc option;
+}
+
+let dma_stage t (w : dma_work) =
+  let c = t.cfg.Config.costs in
+  let fpc = next_dma_fpc t in
+  let extra = trace_cycles t "dma" ~conn:w.dw_conn in
+  Nfp.Fpc.submit fpc
+    [ Compute (c.Config.dma_desc + extra) ]
+    (fun () ->
+      let cs = conn t w.dw_conn in
+      let finish () =
+        (* Notification and ACK leave only after payload DMA (§3.1.3:
+           neither host nor peer may learn of data that has not landed
+           in the receive buffer). *)
+        (match (w.dw_notify, cs) with
+        | Some d, Some cs -> notify_libtoe t cs d
+        | _ -> ());
+        match w.dw_ack with
+        | Some a ->
+            Sequencer.submit t.tx_gro ~seq:a.Meta.a_gseq (Eg_ack a)
+        | None -> ()
+      in
+      match (w.dw_payload, w.dw_fetch, cs) with
+      | Some (pos, bytes), _, Some cs ->
+          (* RX: payload to host receive buffer. *)
+          Nfp.Dma.issue t.dma ~queue:0 ~bytes:(Bytes.length bytes)
+            (fun () ->
+              Host.Payload_buf.write
+                cs.Conn_state.post.Conn_state.rx_buf ~off:pos ~src:bytes
+                ~src_off:0 ~len:(Bytes.length bytes);
+              finish ())
+      | None, Some (desc, pos, len), Some cs ->
+          (* TX: fetch payload from host transmit buffer. *)
+          Nfp.Dma.issue t.dma ~queue:0 ~bytes:len (fun () ->
+              let payload =
+                if len = 0 then Bytes.empty
+                else
+                  Host.Payload_buf.read
+                    cs.Conn_state.post.Conn_state.tx_buf ~off:pos ~len
+              in
+              finish ();
+              Sequencer.submit t.tx_gro ~seq:desc.Meta.t_gseq
+                (Eg_data (desc, payload)))
+      | None, Some (desc, _, _), None ->
+          (* The connection was torn down mid-pipeline: the egress
+             sequence number must still be released or the whole TX
+             reorder stream stalls, and the buffer credit must come
+             back. *)
+          Sequencer.skip t.tx_gro ~seq:desc.Meta.t_gseq;
+          Scheduler.credit_return t.sch;
+          finish ()
+      | _ -> finish ())
+
+(* --- Post-processing stage ----------------------------------------- *)
+
+let rtt_ewma old sample = if old = 0 then sample else ((7 * old) + sample) / 8
+
+let postproc_stage t fg (w : post_work) =
+  let c = t.cfg.Config.costs in
+  let fpc = next_postproc t fg in
+  let conn_idx =
+    match w with
+    | Post_rx v -> v.Meta.v_conn
+    | Post_tx d -> d.Meta.t_conn
+    | Post_hc (i, _) -> i
+  in
+  let cost =
+    match w with
+    | Post_rx _ -> c.Config.postproc_rx
+    | Post_tx _ | Post_hc _ -> c.Config.postproc_tx
+  in
+  let capture_extra =
+    (* tcpdump on egress taps the post-processor. *)
+    match (t.capture, w) with
+    | Some _, Post_tx _ -> c.Config.pcap_capture
+    | _ -> 0
+  in
+  let extra = trace_cycles t "postproc" ~conn:conn_idx in
+  Nfp.Fpc.submit fpc
+    [ Nfp.Fpc.Mem Nfp.Memory.Cls; Compute (cost + extra + capture_extra) ]
+    (fun () ->
+      match (w, conn t conn_idx) with
+      | _, None -> begin
+          (* Connection vanished mid-pipeline: drop cleanly. *)
+          match w with
+          | Post_tx d ->
+              Sequencer.skip t.tx_gro ~seq:d.Meta.t_gseq;
+              Scheduler.on_sent t.sch ~conn:conn_idx ~bytes:0 ~more:false;
+              Scheduler.credit_return t.sch
+          | Post_rx v -> begin
+              match v.Meta.v_ack with
+              | Some a -> Sequencer.skip t.tx_gro ~seq:a.Meta.a_gseq
+              | None -> ()
+            end
+          | Post_hc (_, r) ->
+              (* Release the window-update's egress slot and the HC
+                 descriptor, or both leak on teardown races. *)
+              (match r.Protocol.hc_window_update with
+              | Some a -> Sequencer.skip t.tx_gro ~seq:a.Meta.a_gseq
+              | None -> ());
+              t.hc_descs_free <- t.hc_descs_free + 1
+        end
+      | Post_rx v, Some cs ->
+          let post = cs.Conn_state.post in
+          (* Stats step: congestion-control counters for the CP. *)
+          post.Conn_state.cnt_ackb <-
+            post.Conn_state.cnt_ackb + v.Meta.v_ack_bytes;
+          post.Conn_state.cnt_ecnb <-
+            post.Conn_state.cnt_ecnb + v.Meta.v_ecn_bytes;
+          if v.Meta.v_fast_retx then begin
+            post.Conn_state.cnt_fretx <- post.Conn_state.cnt_fretx + 1;
+            t.st_fretx <- t.st_fretx + 1
+          end;
+          if v.Meta.v_rtt_sample_ns > 0 then
+            post.Conn_state.rtt_est_ns <-
+              rtt_ewma post.Conn_state.rtt_est_ns v.Meta.v_rtt_sample_ns;
+          if v.Meta.v_wake_tx || v.Meta.v_fast_retx then
+            Scheduler.wakeup t.sch ~conn:conn_idx;
+          let notify =
+            if
+              v.Meta.v_rx_advance > 0 || v.Meta.v_tx_freed > 0
+              || v.Meta.v_fin_reached
+            then
+              Some
+                {
+                  Meta.x_opaque = post.Conn_state.opaque;
+                  x_rx_bytes = v.Meta.v_rx_advance;
+                  x_tx_freed = v.Meta.v_tx_freed;
+                  x_fin = v.Meta.v_fin_reached;
+                }
+            else None
+          in
+          dma_stage t
+            {
+              dw_conn = conn_idx;
+              dw_payload = v.Meta.v_place;
+              dw_fetch = None;
+              dw_ack = v.Meta.v_ack;
+              dw_notify = notify;
+            }
+      | Post_tx d, Some _ ->
+          (* FS step: tell the scheduler what happened. *)
+          Scheduler.on_sent t.sch ~conn:conn_idx ~bytes:d.Meta.t_len
+            ~more:d.Meta.t_more;
+          dma_stage t
+            {
+              dw_conn = conn_idx;
+              dw_payload = None;
+              dw_fetch = Some (d, d.Meta.t_pos, d.Meta.t_len);
+              dw_ack = None;
+              dw_notify = None;
+            }
+      | Post_hc (_, r), Some _ ->
+          if r.Protocol.hc_wake_tx then Scheduler.wakeup t.sch ~conn:conn_idx;
+          (match r.Protocol.hc_window_update with
+          | Some a ->
+              dma_stage t
+                {
+                  dw_conn = conn_idx;
+                  dw_payload = None;
+                  dw_fetch = None;
+                  dw_ack = Some a;
+                  dw_notify = None;
+                }
+          | None -> ());
+          t.hc_descs_free <- t.hc_descs_free + 1)
+
+(* --- Protocol stage ------------------------------------------------- *)
+
+let protocol_rx t (s : Meta.rx_summary) =
+  match conn t s.Meta.conn with
+  | None -> ()
+  | Some cs ->
+      let fg = cs.Conn_state.pre.Conn_state.flow_group in
+      acquire t s.Meta.conn (fun () ->
+          let phases = proto_state_phases t cs in
+          let c = t.cfg.Config.costs in
+          let extra = trace_cycles t "protocol" ~conn:s.Meta.conn in
+          let cost =
+            if Bytes.length s.Meta.payload = 0 && not s.Meta.fin then
+              c.Config.protocol_rx_ack
+            else c.Config.protocol_rx
+          in
+          Nfp.Fpc.submit (proto_fpc_for t cs)
+            (phases @ [ Compute (cost + extra) ])
+            (fun () ->
+              let v =
+                Protocol.rx t.cfg ~now:(Sim.Engine.now t.engine) cs s
+                  ~alloc_gseq:(fun () -> Sequencer.next_seq t.tx_gro)
+              in
+              release t s.Meta.conn;
+              trace_rx_verdict t v;
+              postproc_stage t fg (Post_rx v)))
+
+let protocol_tx t ~conn:conn_idx =
+  match conn t conn_idx with
+  | None ->
+      Scheduler.on_sent t.sch ~conn:conn_idx ~bytes:0 ~more:false;
+      Scheduler.credit_return t.sch
+  | Some cs ->
+      let fg = cs.Conn_state.pre.Conn_state.flow_group in
+      acquire t conn_idx (fun () ->
+          let phases = proto_state_phases t cs in
+          let c = t.cfg.Config.costs in
+          let extra = trace_cycles t "protocol" ~conn:conn_idx in
+          ignore fg;
+          Nfp.Fpc.submit (proto_fpc_for t cs)
+            (phases @ [ Compute (c.Config.protocol_tx + extra) ])
+            (fun () ->
+              let d =
+                Protocol.tx t.cfg ~now:(Sim.Engine.now t.engine) cs
+                  ~alloc_gseq:(fun () -> Sequencer.next_seq t.tx_gro)
+              in
+              release t conn_idx;
+              match d with
+              | Some d ->
+                  trace_event t "protocol" "tx_seg" ~conn:conn_idx;
+                  postproc_stage t fg (Post_tx d)
+              | None ->
+                  Scheduler.on_sent t.sch ~conn:conn_idx ~bytes:0 ~more:false;
+                  Scheduler.credit_return t.sch))
+
+let protocol_hc t (d : Meta.hc_desc) =
+  match conn t d.Meta.h_conn with
+  | None -> t.hc_descs_free <- t.hc_descs_free + 1
+  | Some cs ->
+      let fg = cs.Conn_state.pre.Conn_state.flow_group in
+      acquire t d.Meta.h_conn (fun () ->
+          let phases = proto_state_phases t cs in
+          let c = t.cfg.Config.costs in
+          let extra = trace_cycles t "protocol" ~conn:d.Meta.h_conn in
+          ignore fg;
+          Nfp.Fpc.submit (proto_fpc_for t cs)
+            (phases @ [ Compute (c.Config.protocol_hc + extra) ])
+            (fun () ->
+              let r =
+                Protocol.hc t.cfg ~now:(Sim.Engine.now t.engine) cs
+                  d.Meta.h_op ~alloc_gseq:(fun () ->
+                    Sequencer.next_seq t.tx_gro)
+              in
+              release t d.Meta.h_conn;
+              postproc_stage t fg (Post_hc (d.Meta.h_conn, r))))
+
+(* --- GRO (RX reorder point) ----------------------------------------- *)
+
+let gro_release t (s : Meta.rx_summary) =
+  let c = t.cfg.Config.costs in
+  let extra = trace_cycles t "gro" ~conn:s.Meta.conn in
+  Nfp.Fpc.submit t.gro_fpc
+    [ Compute (c.Config.sequencer + extra) ]
+    (fun () -> protocol_rx t s)
+
+(* --- Pre-processing (RX) -------------------------------------------- *)
+
+let forward_to_control t frame =
+  t.st_ctl <- t.st_ctl + 1;
+  let c = t.cfg.Config.costs in
+  let fpc = t.ctx_fpcs.(0) in
+  Nfp.Fpc.submit fpc
+    [ Compute c.Config.ctx_desc ]
+    (fun () ->
+      Nfp.Dma.issue t.dma ~queue:1
+        ~bytes:(S.frame_wire_len frame)
+        (fun () -> t.control_rx frame))
+
+let preproc_rx t gseq (frame : S.frame) =
+  let c = t.cfg.Config.costs in
+  let seg = frame.S.seg in
+  let flow = Tcp.Flow.of_segment_rx seg in
+  let hash = Tcp.Flow.hash flow in
+  let lookup_phases = preproc_lookup_phases t hash in
+  let capture_extra =
+    match t.capture with Some _ -> c.Config.pcap_capture | None -> 0
+  in
+  let extra = trace_cycles t "preproc" ~conn:(-1) in
+  let fpc = next_preproc t in
+  Nfp.Fpc.submit fpc
+    ([ Nfp.Fpc.Compute (c.Config.preproc_validate + capture_extra + extra) ]
+    @ lookup_phases
+    @ [ Nfp.Fpc.Compute c.Config.preproc_summary ])
+    (fun () ->
+      let conn_idx = Nfp.Lookup.lookup t.conn_db ~hash flow in
+      let datapath_ok =
+        S.data_path_flags seg.S.flags && frame.S.vlan = None
+      in
+      match conn_idx with
+      | Some idx when datapath_ok ->
+          let summary =
+            {
+              Meta.rx_gseq = gseq;
+              conn = idx;
+              seq = seg.S.seq;
+              ack_seq = seg.S.ack_seq;
+              has_ack = seg.S.flags.S.ack;
+              wnd = seg.S.window;
+              payload = seg.S.payload;
+              fin = seg.S.flags.S.fin;
+              psh = seg.S.flags.S.psh;
+              ece = seg.S.flags.S.ece;
+              cwr = seg.S.flags.S.cwr;
+              ecn_ce = frame.S.ecn = S.Ce;
+              ts = seg.S.options.S.ts;
+              arrival = Sim.Engine.now t.engine;
+            }
+          in
+          Sequencer.submit t.rx_gro ~seq:gseq summary
+      | _ ->
+          (* Control segment, VLAN-tagged, or unknown connection. *)
+          Sequencer.skip t.rx_gro ~seq:gseq;
+          forward_to_control t frame)
+
+(* --- Run-to-completion baseline (Table 3, row 1) --------------------- *)
+
+let rtc_pcie_sleep t bytes =
+  let p = t.cfg.Config.params in
+  let ser =
+    int_of_float
+      (Float.round (float_of_int (8 * bytes) *. 1000. /. p.Nfp.Params.pcie_gbps))
+  in
+  Nfp.Fpc.Sleep (p.Nfp.Params.pcie_base_latency + ser)
+
+let rtc_rx t (frame : S.frame) =
+  let c = t.cfg.Config.costs in
+  let seg = frame.S.seg in
+  let flow = Tcp.Flow.of_segment_rx seg in
+  let hash = Tcp.Flow.hash flow in
+  let plen = Bytes.length seg.S.payload in
+  let phases =
+    [
+      Nfp.Fpc.Compute
+        (c.Config.preproc_validate + c.Config.preproc_lookup_hit
+       + c.Config.preproc_summary + c.Config.protocol_rx
+       + c.Config.postproc_rx + c.Config.dma_desc + c.Config.ctx_desc);
+      Mem Nfp.Memory.Imem;
+      Mem Nfp.Memory.Emem;
+      Mem Nfp.Memory.Emem;
+      Mem Nfp.Memory.Emem;
+      rtc_pcie_sleep t plen;
+      rtc_pcie_sleep t 32;
+    ]
+  in
+  Nfp.Fpc.submit t.rtc_fpc phases (fun () ->
+      match Nfp.Lookup.lookup t.conn_db ~hash flow with
+      | Some idx when S.data_path_flags seg.S.flags -> begin
+          match conn t idx with
+          | None -> forward_to_control t frame
+          | Some cs ->
+              let summary =
+                {
+                  Meta.rx_gseq = 0;
+                  conn = idx;
+                  seq = seg.S.seq;
+                  ack_seq = seg.S.ack_seq;
+                  has_ack = seg.S.flags.S.ack;
+                  wnd = seg.S.window;
+                  payload = seg.S.payload;
+                  fin = seg.S.flags.S.fin;
+                  psh = seg.S.flags.S.psh;
+                  ece = seg.S.flags.S.ece;
+                  cwr = seg.S.flags.S.cwr;
+                  ecn_ce = frame.S.ecn = S.Ce;
+                  ts = seg.S.options.S.ts;
+                  arrival = Sim.Engine.now t.engine;
+                }
+              in
+              let v =
+                Protocol.rx t.cfg ~now:(Sim.Engine.now t.engine) cs summary
+                  ~alloc_gseq:(fun () -> Sequencer.next_seq t.tx_gro)
+              in
+              let post = cs.Conn_state.post in
+              post.Conn_state.cnt_ackb <-
+                post.Conn_state.cnt_ackb + v.Meta.v_ack_bytes;
+              post.Conn_state.cnt_ecnb <-
+                post.Conn_state.cnt_ecnb + v.Meta.v_ecn_bytes;
+              if v.Meta.v_fast_retx then t.st_fretx <- t.st_fretx + 1;
+              if v.Meta.v_rtt_sample_ns > 0 then
+                post.Conn_state.rtt_est_ns <-
+                  rtt_ewma post.Conn_state.rtt_est_ns v.Meta.v_rtt_sample_ns;
+              (match v.Meta.v_place with
+              | Some (pos, bytes) ->
+                  Host.Payload_buf.write post.Conn_state.rx_buf ~off:pos
+                    ~src:bytes ~src_off:0 ~len:(Bytes.length bytes)
+              | None -> ());
+              if v.Meta.v_wake_tx || v.Meta.v_fast_retx then
+                Scheduler.wakeup t.sch ~conn:idx;
+              if
+                v.Meta.v_rx_advance > 0 || v.Meta.v_tx_freed > 0
+                || v.Meta.v_fin_reached
+              then
+                notify_libtoe t cs
+                  {
+                    Meta.x_opaque = post.Conn_state.opaque;
+                    x_rx_bytes = v.Meta.v_rx_advance;
+                    x_tx_freed = v.Meta.v_tx_freed;
+                    x_fin = v.Meta.v_fin_reached;
+                  };
+              match v.Meta.v_ack with
+              | Some a ->
+                  Sequencer.submit t.tx_gro ~seq:a.Meta.a_gseq (Eg_ack a)
+              | None -> ()
+        end
+      | _ -> forward_to_control t frame)
+
+let rtc_tx t ~conn:conn_idx =
+  let c = t.cfg.Config.costs in
+  let phases =
+    [
+      Nfp.Fpc.Compute
+        (c.Config.scheduler_pick + c.Config.preproc_summary
+       + c.Config.protocol_tx + c.Config.postproc_tx + c.Config.dma_desc);
+      Mem Nfp.Memory.Emem;
+      Mem Nfp.Memory.Emem;
+      Mem Nfp.Memory.Emem;
+      rtc_pcie_sleep t t.cfg.Config.mss;
+    ]
+  in
+  Nfp.Fpc.submit t.rtc_fpc phases (fun () ->
+      match conn t conn_idx with
+      | None ->
+          Scheduler.on_sent t.sch ~conn:conn_idx ~bytes:0 ~more:false;
+          Scheduler.credit_return t.sch
+      | Some cs -> begin
+          let d =
+            Protocol.tx t.cfg ~now:(Sim.Engine.now t.engine) cs
+              ~alloc_gseq:(fun () -> Sequencer.next_seq t.tx_gro)
+          in
+          match d with
+          | None ->
+              Scheduler.on_sent t.sch ~conn:conn_idx ~bytes:0 ~more:false;
+              Scheduler.credit_return t.sch
+          | Some d ->
+              Scheduler.on_sent t.sch ~conn:conn_idx ~bytes:d.Meta.t_len
+                ~more:d.Meta.t_more;
+              let payload =
+                if d.Meta.t_len = 0 then Bytes.empty
+                else
+                  Host.Payload_buf.read cs.Conn_state.post.Conn_state.tx_buf
+                    ~off:d.Meta.t_pos ~len:d.Meta.t_len
+              in
+              Sequencer.submit t.tx_gro ~seq:d.Meta.t_gseq
+                (Eg_data (d, payload))
+        end)
+
+let rtc_hc t (d : Meta.hc_desc) =
+  let c = t.cfg.Config.costs in
+  let phases =
+    [
+      Nfp.Fpc.Compute
+        (c.Config.ctx_desc + c.Config.protocol_hc + c.Config.postproc_tx);
+      Mem Nfp.Memory.Emem;
+      rtc_pcie_sleep t 32;
+    ]
+  in
+  Nfp.Fpc.submit t.rtc_fpc phases (fun () ->
+      (match conn t d.Meta.h_conn with
+      | None -> ()
+      | Some cs ->
+          let r =
+            Protocol.hc t.cfg ~now:(Sim.Engine.now t.engine) cs d.Meta.h_op
+              ~alloc_gseq:(fun () -> Sequencer.next_seq t.tx_gro)
+          in
+          if r.Protocol.hc_wake_tx then
+            Scheduler.wakeup t.sch ~conn:d.Meta.h_conn;
+          match r.Protocol.hc_window_update with
+          | Some a -> Sequencer.submit t.tx_gro ~seq:a.Meta.a_gseq (Eg_ack a)
+          | None -> ());
+      t.hc_descs_free <- t.hc_descs_free + 1)
+
+(* --- NBI ingress ------------------------------------------------------ *)
+
+let rx_datapath t frame =
+  t.st_rx <- t.st_rx + 1;
+  if pipelined t then begin
+    let gseq = Sequencer.next_seq t.rx_gro in
+    preproc_rx t gseq frame
+  end
+  else rtc_rx t frame
+
+let rx_frame t frame =
+  (match t.capture with Some cap -> cap Dir_rx frame | None -> ());
+  match t.xdp_ingress with
+  | None -> rx_datapath t frame
+  | Some hook ->
+      (* XDP modules run on the islands' spare FPCs, before the
+         data-path pipeline; FlexTOE re-sequences afterwards (§3.3). *)
+      let cycles, action = hook.xdp_run frame in
+      let c = t.cfg.Config.costs in
+      let fpc =
+        t.xdp_fpcs.(t.st_rx mod Array.length t.xdp_fpcs)
+      in
+      Nfp.Fpc.submit fpc
+        [ Compute (c.Config.xdp_dispatch + cycles) ]
+        (fun () ->
+          match action with
+          | Xdp_pass f -> rx_datapath t f
+          | Xdp_drop -> t.st_drop <- t.st_drop + 1
+          | Xdp_tx f ->
+              let gseq = Sequencer.next_seq t.tx_gro in
+              Sequencer.submit t.tx_gro ~seq:gseq (Eg_ctl f)
+          | Xdp_redirect f -> forward_to_control t f)
+
+(* --- TX dispatch (from the scheduler) --------------------------------- *)
+
+let dispatch_tx t ~conn:conn_idx =
+  if not (pipelined t) then rtc_tx t ~conn:conn_idx
+  else begin
+    let c = t.cfg.Config.costs in
+    let extra = trace_cycles t "sch" ~conn:conn_idx in
+    Nfp.Fpc.submit t.sch_fpc
+      [ Compute (c.Config.scheduler_pick + extra) ]
+      (fun () ->
+        (* Pre-processing: segment alloc + Ethernet/IP headers. *)
+        let fpc = next_preproc t in
+        let pre_extra = trace_cycles t "preproc" ~conn:conn_idx in
+        Nfp.Fpc.submit fpc
+          [ Compute (c.Config.preproc_summary + pre_extra) ]
+          (fun () -> protocol_tx t ~conn:conn_idx))
+  end
+
+(* --- Host-control path ------------------------------------------------- *)
+
+let rec atx_drain t ctx =
+  t.atx_scheduled.(ctx) <- false;
+  let ring = t.atx.(ctx) in
+  let c = t.cfg.Config.costs in
+  if not (Nfp.Ring.is_empty ring) then begin
+    if t.hc_descs_free <= 0 then begin
+      (* Descriptor pool exhausted: flow-control, retry shortly. *)
+      if not t.atx_scheduled.(ctx) then begin
+        t.atx_scheduled.(ctx) <- true;
+        Sim.Engine.schedule t.engine (Sim.Time.us 2) (fun () ->
+            atx_drain t ctx)
+      end
+    end
+    else begin
+      match Nfp.Ring.pop ring with
+      | None -> ()
+      | Some desc ->
+          t.hc_descs_free <- t.hc_descs_free - 1;
+          let fpc = t.ctx_fpcs.(ctx mod Array.length t.ctx_fpcs) in
+          let extra = trace_cycles t "ctx" ~conn:desc.Meta.h_conn in
+          Nfp.Fpc.submit fpc
+            [ Compute (c.Config.ctx_desc + extra) ]
+            (fun () ->
+              (* Fetch the descriptor from the host context queue. *)
+              Nfp.Dma.issue t.dma ~queue:1 ~bytes:32 (fun () ->
+                  if pipelined t then begin
+                    (* Steer through a pre-processor to the right
+                       protocol stage. *)
+                    let pre = next_preproc t in
+                    Nfp.Fpc.submit pre
+                      [ Compute c.Config.preproc_lookup_hit ]
+                      (fun () -> protocol_hc t desc)
+                  end
+                  else rtc_hc t desc));
+          atx_drain t ctx
+    end
+  end
+
+let atx_push t ~ctx (d : Meta.hc_desc) =
+  let ctx = ctx mod t.n_ctx in
+  let ok = Nfp.Ring.push t.atx.(ctx) d in
+  if ok && not t.atx_scheduled.(ctx) then begin
+    t.atx_scheduled.(ctx) <- true;
+    (* MMIO doorbell posts to the NIC. *)
+    Sim.Engine.schedule t.engine t.cfg.Config.params.Nfp.Params.mmio_latency
+      (fun () -> atx_drain t ctx)
+  end;
+  ok
+
+let cp_push t (d : Meta.hc_desc) =
+  (* Control plane interface (CPI): same path, context queue 0. *)
+  ignore (atx_push t ~ctx:0 d)
+
+let reinject_rx t frame = rx_datapath t frame
+
+let control_tx t frame =
+  Nfp.Dma.issue t.dma ~queue:1
+    ~bytes:(S.frame_wire_len frame)
+    (fun () ->
+      let gseq = Sequencer.next_seq t.tx_gro in
+      Sequencer.submit t.tx_gro ~seq:gseq (Eg_ctl frame))
+
+(* --- CP knobs ----------------------------------------------------------- *)
+
+let read_cc_stats t ~conn:conn_idx =
+  match conn t conn_idx with
+  | None ->
+      {
+        ackb = 0;
+        ecnb = 0;
+        fretx = 0;
+        rtt_est_ns = 0;
+        tx_backlog = 0;
+        tx_inflight = 0;
+        ack_pending = false;
+        last_progress = Sim.Time.zero;
+      }
+  | Some cs ->
+      let post = cs.Conn_state.post in
+      let proto = cs.Conn_state.proto in
+      let r =
+        {
+          ackb = post.Conn_state.cnt_ackb;
+          ecnb = post.Conn_state.cnt_ecnb;
+          fretx = post.Conn_state.cnt_fretx;
+          rtt_est_ns = post.Conn_state.rtt_est_ns;
+          tx_backlog =
+            proto.Conn_state.tx_tail_pos - proto.Conn_state.tx_acked_pos;
+          tx_inflight =
+            proto.Conn_state.tx_next_pos - proto.Conn_state.tx_acked_pos;
+          ack_pending = proto.Conn_state.delack_segs > 0;
+          last_progress = proto.Conn_state.last_progress;
+        }
+      in
+      post.Conn_state.cnt_ackb <- 0;
+      post.Conn_state.cnt_ecnb <- 0;
+      post.Conn_state.cnt_fretx <- 0;
+      r
+
+let set_rate t ~conn:conn_idx ~bps =
+  (* The host does the division; the wheel multiplies (§3.5). *)
+  let ps_per_byte =
+    if bps <= 0 then 0
+    else int_of_float (Float.round (8e12 /. float_of_int bps))
+  in
+  (match conn t conn_idx with
+  | Some cs -> cs.Conn_state.post.Conn_state.rate_bps <- bps
+  | None -> ());
+  Sim.Engine.schedule t.engine t.cfg.Config.params.Nfp.Params.mmio_latency
+    (fun () -> Scheduler.set_interval t.sch ~conn:conn_idx ~ps_per_byte)
+
+let wake_tx t ~conn = Scheduler.wakeup t.sch ~conn
+
+let set_xdp_ingress t h = t.xdp_ingress <- h
+let set_capture t c = t.capture <- c
+
+(* --- Stats ---------------------------------------------------------------- *)
+
+let stats t =
+  {
+    rx_segments = t.st_rx;
+    tx_segments = t.st_tx;
+    tx_acks = t.st_tx_acks;
+    rx_to_control = t.st_ctl;
+    rx_dropped = t.st_drop;
+    fast_retx = t.st_fretx;
+    gro_reordered = Sequencer.reordered t.rx_gro;
+    egress_reordered = Sequencer.reordered t.tx_gro;
+    dma_bytes = Nfp.Dma.bytes_transferred t.dma;
+  }
+
+let all_fpcs t =
+  Array.concat
+    ([
+       t.preproc_fpcs;
+       Array.concat (Array.to_list t.proto_fpcs);
+       t.dma_fpcs;
+       t.ctx_fpcs;
+       [| t.sch_fpc; t.gro_fpc; t.rtc_fpc |];
+       t.xdp_fpcs;
+     ]
+    @ Array.to_list t.postproc_fpcs)
+
+let cache_stats t =
+  let cams =
+    Array.to_list
+      (Array.mapi
+         (fun i cam ->
+           (Printf.sprintf "cam%d" i, Nfp.Cam.hits cam, Nfp.Cam.misses cam))
+         t.proto_cam)
+  in
+  let clss =
+    Array.to_list
+      (Array.mapi
+         (fun i c ->
+           ( Printf.sprintf "cls%d" i,
+             Nfp.Direct_cache.hits c,
+             Nfp.Direct_cache.misses c ))
+         t.fg_cls)
+  in
+  (("pre-lookup", Nfp.Direct_cache.hits t.pre_lookup_cache,
+    Nfp.Direct_cache.misses t.pre_lookup_cache)
+   :: cams)
+  @ clss
+  @ [ ("emem$", Nfp.Lru.hits t.emem_lru, Nfp.Lru.misses t.emem_lru) ]
+
+let fpc_busy t =
+  Array.to_list (all_fpcs t)
+  |> List.map (fun f -> (Nfp.Fpc.name f, Nfp.Fpc.busy_time f))
+
+(* --- Construction ----------------------------------------------------------- *)
+
+let trace_point_names =
+  (* 48 tracepoints across the pipeline (§5.1). *)
+  [
+    ("preproc", [ "seg_valid"; "seg_invalid"; "conn_hit"; "conn_miss";
+                  "steer"; "ctl_fwd" ]);
+    ("gro", [ "in_order"; "reordered"; "queue_occupancy"; "released" ]);
+    ("protocol",
+     [ "rx_seg"; "tx_seg"; "hc_op"; "ooo_seg"; "dup_ack"; "fast_retx";
+       "win_update"; "fin"; "crit_section"; "drop_merge"; "drop_window" ]);
+    ("postproc", [ "ack_gen"; "stamp"; "stats"; "notify"; "ecn_echo" ]);
+    ("dma", [ "payload_rx"; "payload_tx"; "desc"; "queue_depth" ]);
+    ("ctx", [ "arx_notify"; "atx_fetch"; "doorbell"; "pool_empty" ]);
+    ("sch",
+     [ "dispatch"; "rr_pick"; "wheel_park"; "wheel_fire"; "credit_stall" ]);
+    ("nbi", [ "rx_frame"; "tx_frame"; "tx_ack"; "ctl_inject" ]);
+    ("cp", [ "retransmit"; "rate_set"; "conn_install"; "conn_remove";
+             "stats_read" ]);
+  ]
+
+let create engine ~config:cfg ~fabric ~mac ~ip ?(ctx_queues = 4) () =
+  let p = cfg.Config.params in
+  let par = cfg.Config.parallelism in
+  let groups = max 1 par.Config.flow_groups in
+  let threads = max 1 par.Config.fpc_threads in
+  let mk ?(threads = threads) name i =
+    Nfp.Fpc.create engine ~params:p ~threads
+      ~name:(Printf.sprintf "%s%d" name i)
+      ()
+  in
+  let traces = Sim.Trace.create () in
+  let trace_groups = Hashtbl.create 16 in
+  List.iter
+    (fun (group, names) ->
+      let pts =
+        List.map (fun n -> Sim.Trace.register traces ~group n) names
+      in
+      Hashtbl.replace trace_groups group (Array.of_list pts))
+    trace_point_names;
+  let rec t =
+    lazy
+      {
+        engine;
+        cfg;
+        port =
+          Netsim.Fabric.add_port fabric ~rate_gbps:p.Nfp.Params.wire_gbps
+            ~mac ~ip
+            ~rx:(fun frame -> rx_frame (Lazy.force t) frame)
+            ();
+        mac;
+        ip;
+        n_ctx = ctx_queues;
+        conns = Hashtbl.create 1024;
+        conn_db = Nfp.Lookup.create ~equal:Tcp.Flow.equal;
+        next_conn_idx = 0;
+        locks = Hashtbl.create 1024;
+        preproc_fpcs =
+          Array.init
+            (max 1 (par.Config.preproc_replicas * groups))
+            (mk "pre");
+        proto_fpcs =
+          Array.init groups (fun g ->
+              Array.init
+                (max 1 par.Config.proto_replicas)
+                (fun i -> mk "proto" ((g * 10) + i)));
+        postproc_fpcs =
+          Array.init groups (fun g ->
+              Array.init
+                (max 1 par.Config.postproc_replicas)
+                (fun i -> mk "post" ((g * 10) + i)));
+        dma_fpcs = Array.init (max 1 par.Config.dma_replicas) (mk "dma");
+        ctx_fpcs = Array.init (max 1 par.Config.ctx_replicas) (mk "ctx");
+        sch_fpc = mk "sch" 0;
+        gro_fpc = mk "gro" 0;
+        xdp_fpcs = Array.init (3 * groups) (mk "xdp");
+        rtc_fpc = mk ~threads:1 "rtc" 0;
+        rr_pre = 0;
+        rr_post = 0;
+        rr_dma = 0;
+        dma = Nfp.Dma.create engine ~params:p;
+        pre_lookup_cache =
+          Nfp.Direct_cache.create
+            ~entries:p.Nfp.Params.preproc_cache_entries;
+        proto_cam =
+          Array.init groups (fun _ ->
+              Nfp.Cam.create ~entries:p.Nfp.Params.cam_entries);
+        fg_cls =
+          Array.init groups (fun _ ->
+              Nfp.Direct_cache.create
+                ~entries:p.Nfp.Params.cls_cache_entries);
+        emem_lru = Nfp.Lru.create ~entries:p.Nfp.Params.emem_cache_entries;
+        rx_gro =
+          Sequencer.create ~name:"rx-gro" ~release:(fun s ->
+              gro_release (Lazy.force t) s);
+        tx_gro =
+          Sequencer.create ~name:"tx-gro" ~release:(fun e ->
+              nbi_emit (Lazy.force t) e);
+        sch =
+          Scheduler.create engine ~slot:cfg.Config.wheel_slot
+            ~slots:cfg.Config.wheel_slots
+            ~credits:(min 256 p.Nfp.Params.seg_buffers)
+            ~dispatch:(fun ~conn -> dispatch_tx (Lazy.force t) ~conn);
+        atx =
+          Array.init ctx_queues (fun i ->
+              Nfp.Ring.create ~capacity:512
+                ~name:(Printf.sprintf "atx%d" i)
+                ());
+        atx_scheduled = Array.make ctx_queues false;
+        arx_handlers = Array.make ctx_queues (fun _ -> ());
+        hc_descs_free = 128;
+        control_rx = (fun _ -> ());
+        xdp_ingress = None;
+        traces;
+        trace_groups;
+        capture = None;
+        st_rx = 0;
+        st_tx = 0;
+        st_tx_acks = 0;
+        st_ctl = 0;
+        st_drop = 0;
+        st_fretx = 0;
+      }
+  in
+  Lazy.force t

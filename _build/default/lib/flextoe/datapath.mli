@@ -1,0 +1,167 @@
+(** The offloaded FlexTOE data path: the NIC side of the system.
+
+    Owns the FPCs, inter-stage rings, sequencers, DMA engine, flow
+    scheduler, connection caches and the NBI port, and wires the three
+    workflows of §3.1 through the five-stage pipeline:
+
+    - {b RX}: NBI → (XDP) → pre-processing (validate, identify,
+      summarise) → GRO reorder → protocol (atomic per connection) →
+      post-processing (ACK, stamps, stats) → payload DMA →
+      notification + ACK egress;
+    - {b TX}: flow scheduler → pre-processing (alloc, headers) →
+      protocol (sequence) → post-processing → payload fetch DMA →
+      TX reorder → NBI;
+    - {b HC}: doorbell → descriptor fetch DMA → steer → protocol
+      (window/FIN/reset) → scheduler update.
+
+    The host sides (libTOE, control plane) talk to it through context
+    queues and MMIO, never directly. *)
+
+type t
+
+val create :
+  Sim.Engine.t ->
+  config:Config.t ->
+  fabric:Netsim.Fabric.t ->
+  mac:int ->
+  ip:int ->
+  ?ctx_queues:int ->
+  unit ->
+  t
+
+val engine : t -> Sim.Engine.t
+val config : t -> Config.t
+
+val fabric_port : t -> Netsim.Fabric.port
+[@@ocaml.doc
+  " The NBI's port on the fabric (e.g. to shape it for incast    experiments). "]
+val mac : t -> int
+val ip : t -> int
+val num_ctx : t -> int
+
+(** {1 Connection management (control-plane interface)} *)
+
+val alloc_conn_idx : t -> int
+
+val install_conn : t -> Conn_state.t -> k:(unit -> unit) -> unit
+(** Write connection state into the data path (costs a PCIe write);
+    the connection processes data-path segments once [k] runs. *)
+
+val remove_conn : t -> conn:int -> unit
+val conn : t -> int -> Conn_state.t option
+
+val has_flow : t -> Tcp.Flow.t -> bool
+(** Is this 4-tuple installed in the active-connection database? Used
+    by the control plane to distinguish segments that raced a
+    connection installation (reinjected) from stale traffic
+    (dropped). *)
+
+val active_conns : t -> int
+
+(** {1 Control-plane segment path} *)
+
+val set_control_rx : t -> (Tcp.Segment.frame -> unit) -> unit
+(** Non-data-path segments (SYN/RST, unknown connections) are
+    forwarded here, arriving at host-visible time (after the CPI
+    context queue and DMA). *)
+
+val control_tx : t -> Tcp.Segment.frame -> unit
+(** Inject a control segment for transmission (SYN-ACK, RST...);
+    pays host-to-NIC DMA before entering the egress path. *)
+
+val reinject_rx : t -> Tcp.Segment.frame -> unit
+(** Feed a received frame back into the RX pipeline. Used by the
+    control plane for data segments that raced ahead of connection
+    installation. *)
+
+(** {1 Context queues (libTOE interface)} *)
+
+val atx_push : t -> ctx:int -> Meta.hc_desc -> bool
+(** Host-control descriptor + doorbell. [false] if the ATX ring is
+    full (libTOE must retry). *)
+
+val set_arx_handler : t -> ctx:int -> (Meta.arx_desc -> unit) -> unit
+(** Notifications for an application context; the handler runs at the
+    time the descriptor is host-visible (after DMA + libTOE poll
+    delay). *)
+
+(** {1 Control-plane knobs} *)
+
+val cp_push : t -> Meta.hc_desc -> unit
+(** Control-plane-originated HC operation (retransmit). *)
+
+type cc_stats = {
+  ackb : int;
+  ecnb : int;
+  fretx : int;
+  rtt_est_ns : int;
+  tx_backlog : int;  (** Unsent + unacked bytes. *)
+  tx_inflight : int;
+      (** Sent-but-unacknowledged bytes — the RTO condition (a paced
+          flow with nothing in flight must not look stalled). *)
+  ack_pending : bool;  (** Delayed ACK awaiting a control-plane flush. *)
+  last_progress : Sim.Time.t;
+}
+
+val read_cc_stats : t -> conn:int -> cc_stats
+(** Read-and-reset the per-flow congestion statistics (CP loop). *)
+
+val set_rate : t -> conn:int -> bps:int -> unit
+(** Program the flow scheduler's pacing rate via MMIO. The
+    cycles/byte conversion happens here (on the host — FPCs cannot
+    divide). 0 means uncongested. *)
+
+(** {1 Flexibility hooks} *)
+
+type xdp_action =
+  | Xdp_pass of Tcp.Segment.frame
+  | Xdp_drop
+  | Xdp_tx of Tcp.Segment.frame
+  | Xdp_redirect of Tcp.Segment.frame
+
+type xdp_hook = { xdp_run : Tcp.Segment.frame -> int * xdp_action }
+(** [xdp_run frame] returns (FPC cycles consumed, action). *)
+
+val set_xdp_ingress : t -> xdp_hook option -> unit
+
+val traces : t -> Sim.Trace.t
+(** The 48-tracepoint registry (groups: nbi, preproc, gro, protocol,
+    postproc, dma, ctx, sch). Enabling points adds per-segment cycles
+    to the owning stage. *)
+
+type direction = Dir_rx | Dir_tx
+
+val set_capture : t -> (direction -> Tcp.Segment.frame -> unit) option -> unit
+(** tcpdump-style capture tap on the NBI (charges capture cycles per
+    packet on the service island). *)
+
+(** {1 Statistics} *)
+
+type stats = {
+  rx_segments : int;
+  tx_segments : int;
+  tx_acks : int;
+  rx_to_control : int;
+  rx_dropped : int;
+  fast_retx : int;
+  gro_reordered : int;
+  egress_reordered : int;
+  dma_bytes : int;
+}
+
+val stats : t -> stats
+
+val fpc_busy : t -> (string * Sim.Time.t) list
+(** Busy time per FPC, for utilisation reporting. *)
+
+val cache_stats : t -> (string * int * int) list
+(** (cache, hits, misses) for the connection-state hierarchy: the
+    pre-processor's lookup cache, each protocol island's CAM and CLS
+    caches, and the EMEM SRAM cache — the levers behind the
+    connection-scalability behaviour (Figure 14). *)
+
+(** {1 Internals exposed for the control plane and libTOE} *)
+
+val wake_tx : t -> conn:int -> unit
+(** Nudge the flow scheduler (used by the control plane after
+    installing a connection with pending data). *)

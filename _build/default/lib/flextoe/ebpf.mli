@@ -1,0 +1,39 @@
+(** The eBPF virtual machine.
+
+    Interprets {!Bpf_insn} programs against a packet, a 512-byte
+    stack, and a set of {!Bpf_map}s, with the XDP calling convention:
+    r1 points to a context holding [data]/[data_end] pointers, and r0
+    at [Exit] is the XDP action. Memory is a segmented address space
+    (context, packet, stack, map value arenas); every access is
+    bounds-checked and a bad access aborts the program (XDP_ABORTED),
+    like the hardware offload would.
+
+    The instruction count of each run is reported so the data path can
+    charge FPC cycles (eBPF compiles roughly 1:1 to NFP instructions). *)
+
+type program
+
+val load : ?max_insns:int -> Bpf_insn.t array -> (program, string) result
+(** Validate and load: bounded size, jump targets in range, register
+    numbers valid, no writes to r10, known helpers, and an [Exit]
+    present. (A static verifier in the spirit of, but much weaker
+    than, the kernel's.) *)
+
+val instructions : program -> Bpf_insn.t array
+
+type outcome = {
+  ret : int;  (** r0 at exit (an XDP action code), or
+                  {!Bpf_insn.xdp_aborted} on fault. *)
+  insns_executed : int;
+  packet : Bytes.t;  (** Final packet view (head adjustments and
+                          stores applied). *)
+}
+
+val run :
+  program ->
+  maps:Bpf_map.t array ->
+  now_ns:int64 ->
+  packet:Bytes.t ->
+  outcome
+(** Execute over (a copy of) [packet]. Runaway programs are cut off
+    at 65536 instructions and abort. *)

@@ -1,0 +1,104 @@
+type filter =
+  | All
+  | Host of int
+  | Src_host of int
+  | Dst_host of int
+  | Port of int
+  | Tcp_flag of [ `Syn | `Fin | `Rst | `Ack | `Psh ]
+  | And of filter * filter
+  | Or of filter * filter
+  | Not of filter
+
+let rec matches f (frame : Tcp.Segment.frame) =
+  let seg = frame.Tcp.Segment.seg in
+  match f with
+  | All -> true
+  | Host ip -> seg.Tcp.Segment.src_ip = ip || seg.Tcp.Segment.dst_ip = ip
+  | Src_host ip -> seg.Tcp.Segment.src_ip = ip
+  | Dst_host ip -> seg.Tcp.Segment.dst_ip = ip
+  | Port p -> seg.Tcp.Segment.src_port = p || seg.Tcp.Segment.dst_port = p
+  | Tcp_flag flag -> begin
+      let fl = seg.Tcp.Segment.flags in
+      match flag with
+      | `Syn -> fl.Tcp.Segment.syn
+      | `Fin -> fl.Tcp.Segment.fin
+      | `Rst -> fl.Tcp.Segment.rst
+      | `Ack -> fl.Tcp.Segment.ack
+      | `Psh -> fl.Tcp.Segment.psh
+    end
+  | And (a, b) -> matches a frame && matches b frame
+  | Or (a, b) -> matches a frame || matches b frame
+  | Not a -> not (matches a frame)
+
+type record = { ts : Sim.Time.t; orig_len : int; data : Bytes.t }
+
+type t = {
+  engine : Sim.Engine.t;
+  snaplen : int;
+  limit : int;
+  filter : filter;
+  records : record Queue.t;
+  mutable seen : int;
+  mutable captured : int;
+}
+
+let create engine ?(snaplen = 96) ?(limit = 65536) ?(filter = All) () =
+  { engine; snaplen; limit; filter; records = Queue.create ();
+    seen = 0; captured = 0 }
+
+let tap t (_dir : Datapath.direction) frame =
+  t.seen <- t.seen + 1;
+  if matches t.filter frame then begin
+    t.captured <- t.captured + 1;
+    let bytes = Tcp.Wire.encode frame in
+    let orig_len = Bytes.length bytes in
+    let data =
+      if orig_len > t.snaplen then Bytes.sub bytes 0 t.snaplen else bytes
+    in
+    Queue.push { ts = Sim.Engine.now t.engine; orig_len; data } t.records;
+    if Queue.length t.records > t.limit then ignore (Queue.pop t.records)
+  end
+
+let attach t dp = Datapath.set_capture dp (Some (tap t))
+let detach dp = Datapath.set_capture dp None
+let captured t = t.captured
+let seen t = t.seen
+
+let put_u32_le b off v =
+  Bytes.set b off (Char.chr (v land 0xFF));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.set b (off + 2) (Char.chr ((v lsr 16) land 0xFF));
+  Bytes.set b (off + 3) (Char.chr ((v lsr 24) land 0xFF))
+
+let put_u16_le b off v =
+  Bytes.set b off (Char.chr (v land 0xFF));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 8) land 0xFF))
+
+let to_pcap t =
+  let total =
+    Queue.fold (fun n r -> n + 16 + Bytes.length r.data) 24 t.records
+  in
+  let out = Bytes.make total '\000' in
+  (* Global header. *)
+  put_u32_le out 0 0xa1b2c3d4;
+  put_u16_le out 4 2;  (* major *)
+  put_u16_le out 6 4;  (* minor *)
+  put_u32_le out 16 t.snaplen;
+  put_u32_le out 20 1;  (* LINKTYPE_ETHERNET *)
+  let off = ref 24 in
+  Queue.iter
+    (fun r ->
+      let usec_total = int_of_float (Sim.Time.to_us r.ts) in
+      put_u32_le out !off (usec_total / 1_000_000);
+      put_u32_le out (!off + 4) (usec_total mod 1_000_000);
+      put_u32_le out (!off + 8) (Bytes.length r.data);
+      put_u32_le out (!off + 12) r.orig_len;
+      Bytes.blit r.data 0 out (!off + 16) (Bytes.length r.data);
+      off := !off + 16 + Bytes.length r.data)
+    t.records;
+  out
+
+let write_file t path =
+  let oc = open_out_bin path in
+  output_bytes oc (to_pcap t);
+  close_out oc

@@ -1,0 +1,12 @@
+(** VLAN-strip XDP module: remove 802.1Q tags on ingress (Table 2's
+    "XDP (vlan-strip)" extension). *)
+
+type t
+
+val program : unit -> Bpf_insn.t array
+val create : Sim.Engine.t -> t
+val xdp : t -> Xdp.t
+val install : t -> Datapath.t -> unit
+
+val stripped : t -> int
+(** Frames that passed through the module (tagged or not). *)

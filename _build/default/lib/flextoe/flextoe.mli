@@ -1,0 +1,67 @@
+(** FlexTOE: flexible TCP offload with fine-grained parallelism.
+
+    Top-level facade assembling a complete node: a SmartNIC data path
+    ({!Datapath}) attached to the network fabric, a host control plane
+    ({!Control_plane}) on a dedicated core, and a libTOE socket
+    library ({!Libtoe}) for the application, which programs against
+    {!Host.Api}.
+
+    {[
+      let engine = Sim.Engine.create () in
+      let fabric = Netsim.Fabric.create engine () in
+      let server = Flextoe.create_node engine ~fabric ~ip:0x0A000001 () in
+      let client = Flextoe.create_node engine ~fabric ~ip:0x0A000002 () in
+      Host.Rpc.server ~endpoint:(Flextoe.endpoint server) ~port:7
+        ~app_cycles:250 ~handler:Host.Rpc.echo_handler ();
+      ...
+      Sim.Engine.run ~until:(Sim.Time.ms 100) engine
+    ]} *)
+
+(** {1 Components} *)
+
+module Config = Config
+module Conn_state = Conn_state
+module Meta = Meta
+module Protocol = Protocol
+module Sequencer = Sequencer
+module Scheduler = Scheduler
+module Datapath = Datapath
+module Cc = Cc
+module Control_plane = Control_plane
+module Libtoe = Libtoe
+module Bpf_insn = Bpf_insn
+module Bpf_map = Bpf_map
+module Ebpf = Ebpf
+module Xdp = Xdp
+module Ext_firewall = Ext_firewall
+module Ext_vlan = Ext_vlan
+module Ext_splice = Ext_splice
+module Ext_pcap = Ext_pcap
+module Ext_classifier = Ext_classifier
+
+(** {1 Assembled node} *)
+
+type t
+
+val create_node :
+  Sim.Engine.t ->
+  fabric:Netsim.Fabric.t ->
+  ?config:Config.t ->
+  ?app_cores:int ->
+  ip:int ->
+  unit ->
+  t
+(** Build a node: host CPU with [app_cores] application cores (default
+    1) plus one control-plane core, NIC data path with one context
+    queue per application core, control plane, and libTOE. *)
+
+val endpoint : t -> Host.Api.endpoint
+val datapath : t -> Datapath.t
+val control : t -> Control_plane.t
+val libtoe : t -> Libtoe.t
+val cpu : t -> Host.Host_cpu.t
+val app_cores : t -> Host.Host_cpu.core list
+val config : t -> Config.t
+
+val mac_of_ip : int -> int
+(** Fabric-wide IP-to-MAC convention (shared with the baselines). *)

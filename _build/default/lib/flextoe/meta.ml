@@ -1,0 +1,87 @@
+(** Messages flowing between pipeline stages.
+
+    Stages communicate explicitly (no shared state): each record below
+    is the meta-data one stage forwards to the next (§3.3, "state that
+    may be accessed by further pipeline stages is forwarded as
+    meta-data"). *)
+
+(** Header summary produced by the pre-processor (Sum step): only the
+    fields later stages need, plus the connection index and pipeline
+    (GRO) sequence number. *)
+type rx_summary = {
+  rx_gseq : int;
+  conn : int;
+  seq : Tcp.Seq32.t;
+  ack_seq : Tcp.Seq32.t;
+  has_ack : bool;
+  wnd : int;
+  payload : Bytes.t;
+  fin : bool;
+  psh : bool;
+  ece : bool;
+  cwr : bool;
+  ecn_ce : bool;  (** IP-level CE mark. *)
+  ts : (int * int) option;  (** (TSval, TSecr) of the peer. *)
+  arrival : Sim.Time.t;
+}
+
+(** Acknowledgment the post-processor should emit. *)
+type ack_info = {
+  a_conn : int;
+  a_gseq : int;  (** Egress reorder sequence, assigned at protocol. *)
+  a_ack : Tcp.Seq32.t;
+  a_wnd : int;
+  a_ts_ecr : int;  (** Peer TSval to echo (Stamp step). *)
+  a_ece : bool;
+}
+
+(** Protocol-stage output for a received segment. *)
+type rx_verdict = {
+  v_conn : int;
+  v_place : (int * Bytes.t) option;
+      (** Payload to DMA into the RX buffer at this stream position. *)
+  v_rx_advance : int;  (** Newly in-order bytes (incl. filled holes). *)
+  v_tx_freed : int;  (** Acked bytes released from the TX buffer. *)
+  v_ack : ack_info option;
+  v_fin_reached : bool;
+  v_wake_tx : bool;  (** Window/ack progress: wake the scheduler. *)
+  v_rtt_sample_ns : int;  (** 0 = no sample. *)
+  v_ack_bytes : int;  (** For DCTCP: bytes newly acked... *)
+  v_ecn_bytes : int;  (** ...of which acked-with-ECE. *)
+  v_fast_retx : bool;
+}
+
+(** TX segment descriptor (protocol -> post-processing -> DMA). *)
+type tx_desc = {
+  t_conn : int;
+  t_gseq : int;
+  t_pos : int;  (** TX-buffer stream position of the payload. *)
+  t_len : int;
+  t_seq : Tcp.Seq32.t;
+  t_ack : Tcp.Seq32.t;
+  t_wnd : int;
+  t_fin : bool;
+  t_cwr : bool;
+  t_ts_ecr : int;
+  t_more : bool;  (** Flow still has transmittable data. *)
+}
+
+(** Host-control operations (libTOE / control plane -> data path). *)
+type hc_op =
+  | Tx_avail of int  (** App appended N bytes to the TX buffer. *)
+  | Rx_credit of int  (** App consumed N bytes of the RX buffer. *)
+  | Fin  (** App closed its sending direction. *)
+  | Retransmit  (** Control plane: go-back-N reset. *)
+  | Ack_flush
+      (** Control plane: emit any delayed acknowledgment (delayed-ACK
+          mode; the data path has no timers). *)
+
+type hc_desc = { h_conn : int; h_op : hc_op }
+
+(** Notification descriptor (data path -> libTOE, via ARX). *)
+type arx_desc = {
+  x_opaque : int;  (** Application connection id. *)
+  x_rx_bytes : int;  (** Newly readable bytes. *)
+  x_tx_freed : int;  (** Newly free TX-buffer space. *)
+  x_fin : bool;
+}

@@ -1,0 +1,134 @@
+type flow_status = Idle | Ready | Dispatched
+
+type flow = {
+  conn : int;
+  mutable status : flow_status;
+  mutable ps_per_byte : int;
+  mutable next_time : Sim.Time.t;  (* earliest allowed transmission *)
+  mutable wake_pending : bool;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  slot : Sim.Time.t;
+  slots : int;
+  mutable credits : int;
+  dispatch : conn:int -> unit;
+  flows : (int, flow) Hashtbl.t;
+  rr : flow Queue.t;  (* uncongested + due flows *)
+  mutable in_wheel : int;
+  mutable dispatched_total : int;
+}
+
+let create engine ~slot ~slots ~credits ~dispatch =
+  if slot <= 0 || slots <= 0 then
+    invalid_arg "Scheduler.create: bad wheel geometry";
+  {
+    engine;
+    slot;
+    slots;
+    credits;
+    dispatch;
+    flows = Hashtbl.create 256;
+    rr = Queue.create ();
+    in_wheel = 0;
+    dispatched_total = 0;
+  }
+
+let flow t conn =
+  match Hashtbl.find_opt t.flows conn with
+  | Some f -> f
+  | None ->
+      let f =
+        {
+          conn;
+          status = Idle;
+          ps_per_byte = 0;
+          next_time = Sim.Time.zero;
+          wake_pending = false;
+        }
+      in
+      Hashtbl.replace t.flows conn f;
+      f
+
+let rec pump t =
+  if t.credits > 0 && not (Queue.is_empty t.rr) then begin
+    let f = Queue.pop t.rr in
+    if f.status = Ready then begin
+      f.status <- Dispatched;
+      t.credits <- t.credits - 1;
+      t.dispatched_total <- t.dispatched_total + 1;
+      t.dispatch ~conn:f.conn;
+      pump t
+    end
+    else pump t
+  end
+
+(* Park a Ready flow: straight onto the round-robin queue when
+   unpaced or already due; otherwise into the wheel slot covering its
+   deadline (deadlines are rounded up to slot granularity; the horizon
+   clamps far-future deadlines, as a bounded hardware wheel must). *)
+let park t f =
+  let now = Sim.Engine.now t.engine in
+  if f.ps_per_byte = 0 || f.next_time <= now then begin
+    Queue.push f t.rr;
+    pump t
+  end
+  else begin
+    let horizon = t.slot * t.slots in
+    let deadline = min f.next_time (now + horizon) in
+    let slot_deadline = (deadline + t.slot - 1) / t.slot * t.slot in
+    t.in_wheel <- t.in_wheel + 1;
+    Sim.Engine.schedule_at t.engine slot_deadline (fun () ->
+        t.in_wheel <- t.in_wheel - 1;
+        if f.status = Ready then begin
+          Queue.push f t.rr;
+          pump t
+        end)
+  end
+
+let wakeup t ~conn =
+  let f = flow t conn in
+  match f.status with
+  | Idle ->
+      f.status <- Ready;
+      park t f
+  | Ready -> ()
+  | Dispatched -> f.wake_pending <- true
+
+let on_sent t ~conn ~bytes ~more =
+  let f = flow t conn in
+  if f.status = Dispatched then begin
+    if bytes > 0 && f.ps_per_byte > 0 then begin
+      let now = Sim.Engine.now t.engine in
+      let base = max f.next_time now in
+      f.next_time <- base + (bytes * f.ps_per_byte)
+    end;
+    if more || f.wake_pending then begin
+      f.wake_pending <- false;
+      f.status <- Ready;
+      park t f
+    end
+    else f.status <- Idle
+  end
+
+let credit_return t =
+  t.credits <- t.credits + 1;
+  pump t
+
+let set_interval t ~conn ~ps_per_byte = (flow t conn).ps_per_byte <- ps_per_byte
+let interval t ~conn = (flow t conn).ps_per_byte
+
+let forget t ~conn =
+  (match Hashtbl.find_opt t.flows conn with
+  | Some f -> f.status <- Idle
+  | None -> ());
+  Hashtbl.remove t.flows conn
+
+let credits_available t = t.credits
+
+let ready t =
+  Queue.fold (fun n f -> if f.status = Ready then n + 1 else n) 0 t.rr
+  + t.in_wheel
+
+let dispatched_total t = t.dispatched_total

@@ -1,0 +1,61 @@
+type 'a slot = Item of 'a | Skipped
+
+type 'a t = {
+  name : string;
+  release : 'a -> unit;
+  mutable next_alloc : int;
+  mutable next_release : int;
+  waiting : (int, 'a slot) Hashtbl.t;
+  mutable released : int;
+  mutable reordered : int;
+}
+
+let create ~name ~release =
+  {
+    name;
+    release;
+    next_alloc = 0;
+    next_release = 0;
+    waiting = Hashtbl.create 64;
+    released = 0;
+    reordered = 0;
+  }
+
+let next_seq t =
+  let s = t.next_alloc in
+  t.next_alloc <- s + 1;
+  s
+
+let rec drain t =
+  match Hashtbl.find_opt t.waiting t.next_release with
+  | None -> ()
+  | Some slot ->
+      Hashtbl.remove t.waiting t.next_release;
+      t.next_release <- t.next_release + 1;
+      (match slot with
+      | Item v ->
+          t.released <- t.released + 1;
+          t.release v
+      | Skipped -> ());
+      drain t
+
+let check_valid t seq =
+  if seq >= t.next_alloc then
+    invalid_arg (t.name ^ ": sequence number was never allocated");
+  if seq < t.next_release || Hashtbl.mem t.waiting seq then
+    invalid_arg (t.name ^ ": duplicate sequence number")
+
+let submit t ~seq v =
+  check_valid t seq;
+  if seq <> t.next_release then t.reordered <- t.reordered + 1;
+  Hashtbl.replace t.waiting seq (Item v);
+  drain t
+
+let skip t ~seq =
+  check_valid t seq;
+  Hashtbl.replace t.waiting seq Skipped;
+  drain t
+
+let pending t = Hashtbl.length t.waiting
+let released t = t.released
+let reordered t = t.reordered

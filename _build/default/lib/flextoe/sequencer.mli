@@ -1,0 +1,34 @@
+(** Segment sequencing and reordering (§3.2).
+
+    Parallel pipeline stages (replicated pre/post-processors, DMA
+    managers) can reorder segments. Because TCP receivers treat
+    reordering as loss, FlexTOE assigns every segment entering the
+    pipeline a sequence number and re-establishes that order at two
+    choke points: before the protocol stage (the GRO FPC) and before
+    the NBI (the TX reorderer). A dropped segment must {e skip} its
+    sequence number or the stream would stall. *)
+
+type 'a t
+
+val create : name:string -> release:('a -> unit) -> 'a t
+(** [release] is called, in sequence order, for every submitted item. *)
+
+val next_seq : 'a t -> int
+(** Allocate the next pipeline sequence number (at pipeline entry). *)
+
+val submit : 'a t -> seq:int -> 'a -> unit
+(** Hand an item (back) to the sequencer; it is released once all
+    earlier sequence numbers have been submitted or skipped. Raises
+    [Invalid_argument] on duplicate or never-allocated sequence
+    numbers. *)
+
+val skip : 'a t -> seq:int -> unit
+(** Declare a sequence number dead (segment dropped mid-pipeline). *)
+
+val pending : 'a t -> int
+(** Items buffered waiting for a predecessor. *)
+
+val released : 'a t -> int
+val reordered : 'a t -> int
+(** Items that arrived out of pipeline order (a measure of how much
+    reordering the parallel stages introduced). *)

@@ -1,0 +1,1 @@
+lib/host/api.ml: Bytes Host_cpu

@@ -1,0 +1,1 @@
+lib/host/api.mli: Bytes Host_cpu

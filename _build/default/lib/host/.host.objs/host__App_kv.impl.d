@@ -1,0 +1,1 @@
+lib/host/app_kv.ml: Api Bytes Char Framing Hashtbl Host_cpu Queue Rpc Sim String

@@ -1,0 +1,1 @@
+lib/host/app_kv.mli: Api Bytes Rpc Sim

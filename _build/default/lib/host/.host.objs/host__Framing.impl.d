@@ -1,0 +1,1 @@
+lib/host/framing.ml: Buffer Bytes Char

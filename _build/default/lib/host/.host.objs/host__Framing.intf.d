@@ -1,0 +1,1 @@
+lib/host/framing.mli: Bytes

@@ -1,0 +1,1 @@
+lib/host/host_cpu.ml: Array Float Hashtbl List Option Queue Sim String

@@ -1,0 +1,1 @@
+lib/host/host_cpu.mli: Sim

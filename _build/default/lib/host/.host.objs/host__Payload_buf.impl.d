@@ -1,0 +1,1 @@
+lib/host/payload_buf.ml: Bytes

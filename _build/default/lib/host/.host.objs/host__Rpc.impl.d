@@ -1,0 +1,1 @@
+lib/host/rpc.ml: Api Array Bytes Framing Hashtbl Host_cpu List Queue Sim

@@ -1,0 +1,1 @@
+lib/host/rpc.mli: Api Bytes Sim

@@ -1,0 +1,39 @@
+type socket = {
+  send : Bytes.t -> int;
+  recv : max:int -> Bytes.t;
+  rx_available : unit -> int;
+  tx_space : unit -> int;
+  close : unit -> unit;
+  sock_id : int;
+  core : Host_cpu.core;
+  mutable on_readable : unit -> unit;
+  mutable on_writable : unit -> unit;
+  mutable on_peer_closed : unit -> unit;
+}
+
+type endpoint = {
+  listen : port:int -> on_accept:(socket -> unit) -> unit;
+  connect :
+    remote_ip:int ->
+    remote_port:int ->
+    on_connected:((socket, string) result -> unit) ->
+    unit;
+  local_ip : int;
+  app_core : Host_cpu.core;
+}
+
+let null_handler () = ()
+
+let make_socket ~sock_id ~core ~send ~recv ~rx_available ~tx_space ~close =
+  {
+    send;
+    recv;
+    rx_available;
+    tx_space;
+    close;
+    sock_id;
+    core;
+    on_readable = null_handler;
+    on_writable = null_handler;
+    on_peer_closed = null_handler;
+  }

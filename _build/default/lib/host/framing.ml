@@ -1,0 +1,57 @@
+let encode payload =
+  let n = Bytes.length payload in
+  let out = Bytes.create (4 + n) in
+  Bytes.set out 0 (Char.chr ((n lsr 24) land 0xFF));
+  Bytes.set out 1 (Char.chr ((n lsr 16) land 0xFF));
+  Bytes.set out 2 (Char.chr ((n lsr 8) land 0xFF));
+  Bytes.set out 3 (Char.chr (n land 0xFF));
+  Bytes.blit payload 0 out 4 n;
+  out
+
+let encoded_len n = n + 4
+
+(* Stream bytes accumulate in [buf]; [pos] is the consumed prefix.
+   The prefix is dropped only when it dominates the buffer, keeping
+   every operation amortised O(1) per byte. *)
+type t = { mutable buf : Buffer.t; mutable pos : int }
+
+let create () = { buf = Buffer.create 4096; pos = 0 }
+
+let push t chunk = Buffer.add_bytes t.buf chunk
+
+let compact t =
+  if t.pos > 65536 && t.pos * 2 > Buffer.length t.buf then begin
+    let live = Buffer.length t.buf - t.pos in
+    let fresh = Buffer.create (max 4096 live) in
+    Buffer.add_subbytes fresh (Buffer.to_bytes t.buf) t.pos live;
+    t.buf <- fresh;
+    t.pos <- 0
+  end
+
+let byte t i = Char.code (Buffer.nth t.buf (t.pos + i))
+
+let next t =
+  let avail = Buffer.length t.buf - t.pos in
+  if avail < 4 then None
+  else begin
+    let n =
+      (byte t 0 lsl 24) lor (byte t 1 lsl 16) lor (byte t 2 lsl 8)
+      lor byte t 3
+    in
+    if avail < 4 + n then None
+    else begin
+      let payload = Bytes.of_string (Buffer.sub t.buf (t.pos + 4) n) in
+      t.pos <- t.pos + 4 + n;
+      compact t;
+      Some payload
+    end
+  end
+
+let rec iter_available t f =
+  match next t with
+  | Some m ->
+      f m;
+      iter_available t f
+  | None -> ()
+
+let buffered t = Buffer.length t.buf - t.pos

@@ -1,0 +1,28 @@
+(** Length-prefixed message framing over a byte stream.
+
+    RPC workloads exchange messages of [4-byte big-endian length ++
+    payload]. The decoder accumulates arbitrary stream chunks and
+    yields complete messages, independent of segmentation. *)
+
+val encode : Bytes.t -> Bytes.t
+(** Prepend the 4-byte length header. *)
+
+val encoded_len : int -> int
+(** Wire size of a message with a payload of the given size. *)
+
+type t
+(** A streaming decoder. *)
+
+val create : unit -> t
+
+val push : t -> Bytes.t -> unit
+(** Feed a chunk of the stream. *)
+
+val next : t -> Bytes.t option
+(** Pop the next complete message payload, if available. *)
+
+val iter_available : t -> (Bytes.t -> unit) -> unit
+(** Pop and process every complete message. *)
+
+val buffered : t -> int
+(** Bytes held but not yet returned. *)

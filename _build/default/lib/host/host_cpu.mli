@@ -1,0 +1,47 @@
+(** Host CPU model.
+
+    Each core is a FIFO work server: submitted items execute in order,
+    each occupying the core for a given number of cycles. Per-category
+    cycle accounting reproduces the paper's Table 1 breakdown (NIC
+    driver / TCP stack / sockets / application / other). *)
+
+type t
+(** A multi-core host CPU. *)
+
+type core
+
+val create : Sim.Engine.t -> ?freq:Sim.Time.Freq.t -> cores:int -> unit -> t
+(** [freq] defaults to 2 GHz (the testbed's Xeon Gold 6138). *)
+
+val engine : t -> Sim.Engine.t
+val cores : t -> int
+val core : t -> int -> core
+val freq : t -> Sim.Time.Freq.t
+
+val set_noise : t -> interval_cycles:int -> mean_cycles:int -> unit
+(** System jitter: while a core executes, it suffers an
+    exponentially-distributed stall of mean [mean_cycles] roughly once
+    per [interval_cycles] of busy time (scheduler preemption,
+    interrupts, SMIs). Charged to the "noise" accounting category;
+    this is what produces latency tails in an otherwise deterministic
+    simulation, and it scales with CPU time rather than with the
+    number of work items. *)
+
+val exec : core -> ?category:string -> cycles:int -> (unit -> unit) -> unit
+(** Enqueue a work item of [cycles]; the continuation runs when it
+    completes. [category] (default ["other"]) attributes the cycles
+    for accounting. *)
+
+val exec_now : core -> ?category:string -> cycles:int -> unit -> unit
+(** Account cycles with no continuation. *)
+
+val busy_time : core -> Sim.Time.t
+val queue_length : core -> int
+
+val cycles_by_category : t -> (string * int) list
+(** Total cycles charged per category across all cores, sorted by
+    category name. *)
+
+val total_cycles : t -> int
+
+val utilization : core -> total:Sim.Time.t -> float

@@ -1,0 +1,1 @@
+lib/netsim/fabric.ml: Float Hashtbl Sim Tcp

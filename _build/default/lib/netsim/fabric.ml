@@ -1,0 +1,147 @@
+type shaping = {
+  rate_gbps : float;
+  queue_bytes : int;
+  ecn_threshold_bytes : int;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  switch_latency : Sim.Time.t;
+  rng : Sim.Rng.t;
+  mutable loss : float;
+  mutable ports : port list;
+  by_mac : (int, port) Hashtbl.t;
+  by_ip : (int, port) Hashtbl.t;
+  mutable delivered : int;
+  mutable dropped_loss : int;
+  mutable dropped_queue : int;
+  mutable dropped_unroutable : int;
+  mutable ecn_marked : int;
+}
+
+and port = {
+  fabric : t;
+  mac : int;
+  ip : int;
+  rate_gbps : float;
+  rx : Tcp.Segment.frame -> unit;
+  mutable tx_free : Sim.Time.t;  (* ingress serialisation *)
+  mutable egress_free : Sim.Time.t;
+  mutable egress_queued : int;  (* bytes committed but not yet delivered *)
+  mutable shaping : shaping option;
+}
+
+let create engine ?(switch_latency = Sim.Time.us 1) ?(seed = 42L) () =
+  {
+    engine;
+    switch_latency;
+    rng = Sim.Rng.create seed;
+    loss = 0.;
+    ports = [];
+    by_mac = Hashtbl.create 16;
+    by_ip = Hashtbl.create 16;
+    delivered = 0;
+    dropped_loss = 0;
+    dropped_queue = 0;
+    dropped_unroutable = 0;
+    ecn_marked = 0;
+  }
+
+let set_loss t p = t.loss <- p
+
+let add_port t ?(rate_gbps = 40.0) ~mac ~ip ~rx () =
+  let port =
+    {
+      fabric = t;
+      mac;
+      ip;
+      rate_gbps;
+      rx;
+      tx_free = Sim.Time.zero;
+      egress_free = Sim.Time.zero;
+      egress_queued = 0;
+      shaping = None;
+    }
+  in
+  t.ports <- port :: t.ports;
+  Hashtbl.replace t.by_mac mac port;
+  Hashtbl.replace t.by_ip ip port;
+  port
+
+let shape_port _t port ~rate_gbps ~queue_bytes ~ecn_threshold_bytes =
+  port.shaping <- Some { rate_gbps; queue_bytes; ecn_threshold_bytes }
+
+let wire_time ~rate_gbps ~bytes =
+  let bytes = max bytes 64 in
+  let on_wire = bytes + 24 in
+  int_of_float (Float.round (float_of_int (8 * on_wire) *. 1000. /. rate_gbps))
+
+let deliver t (dst : port) frame =
+  let now = Sim.Engine.now t.engine in
+  let bytes = Tcp.Segment.frame_wire_len frame in
+  match dst.shaping with
+  | None ->
+      (* Unshaped: serialise onto the destination link at port rate. *)
+      let ser = wire_time ~rate_gbps:dst.rate_gbps ~bytes in
+      let start = max now dst.egress_free in
+      dst.egress_free <- start + ser;
+      Sim.Engine.schedule_at t.engine dst.egress_free (fun () ->
+          t.delivered <- t.delivered + 1;
+          dst.rx frame)
+  | Some s ->
+      if dst.egress_queued + bytes > s.queue_bytes then
+        t.dropped_queue <- t.dropped_queue + 1
+      else begin
+        let frame =
+          if
+            dst.egress_queued > s.ecn_threshold_bytes
+            && (frame.Tcp.Segment.ecn = Tcp.Segment.Ect0
+               || frame.Tcp.Segment.ecn = Tcp.Segment.Ect1)
+          then begin
+            t.ecn_marked <- t.ecn_marked + 1;
+            { frame with Tcp.Segment.ecn = Tcp.Segment.Ce }
+          end
+          else frame
+        in
+        dst.egress_queued <- dst.egress_queued + bytes;
+        let ser = wire_time ~rate_gbps:s.rate_gbps ~bytes in
+        let start = max now dst.egress_free in
+        dst.egress_free <- start + ser;
+        Sim.Engine.schedule_at t.engine dst.egress_free (fun () ->
+            dst.egress_queued <- dst.egress_queued - bytes;
+            t.delivered <- t.delivered + 1;
+            dst.rx frame)
+      end
+
+let forward t frame =
+  if t.loss > 0. && Sim.Rng.bool t.rng t.loss then
+    t.dropped_loss <- t.dropped_loss + 1
+  else begin
+    let dst_mac = frame.Tcp.Segment.dst_mac in
+    let dst =
+      match Hashtbl.find_opt t.by_mac dst_mac with
+      | Some p -> Some p
+      | None -> Hashtbl.find_opt t.by_ip frame.Tcp.Segment.seg.dst_ip
+    in
+    match dst with
+    | None -> t.dropped_unroutable <- t.dropped_unroutable + 1
+    | Some p -> deliver t p frame
+  end
+
+let transmit port frame =
+  let t = port.fabric in
+  let now = Sim.Engine.now t.engine in
+  let bytes = Tcp.Segment.frame_wire_len frame in
+  let ser = wire_time ~rate_gbps:port.rate_gbps ~bytes in
+  let start = max now port.tx_free in
+  port.tx_free <- start + ser;
+  let arrival = port.tx_free + t.switch_latency in
+  Sim.Engine.schedule_at t.engine arrival (fun () -> forward t frame)
+
+let port_mac p = p.mac
+let port_ip p = p.ip
+let delivered t = t.delivered
+let dropped_loss t = t.dropped_loss
+let dropped_queue t = t.dropped_queue
+let dropped_unroutable t = t.dropped_unroutable
+let ecn_marked t = t.ecn_marked

@@ -1,0 +1,64 @@
+(** The testbed network: NIC ports connected by a switch.
+
+    Models the evaluation cluster's 100 Gbps switch (§5): per-port
+    ingress serialisation at the NIC's line rate, a fixed switch
+    forwarding latency, optional uniform random loss (the packet-loss
+    robustness experiments, Figure 15), and per-port egress shaping
+    with a drop-tail queue and WRED-style ECN marking (the incast
+    experiment, Table 4).
+
+    Frames are delivered to the destination port's receive callback at
+    the virtual time the last byte arrives. *)
+
+type t
+
+type port
+
+val create :
+  Sim.Engine.t -> ?switch_latency:Sim.Time.t -> ?seed:int64 -> unit -> t
+(** [switch_latency] defaults to 1 us (store-and-forward through a
+    data-center ToR). *)
+
+val set_loss : t -> float -> unit
+(** Uniform random drop probability applied to every forwarded frame. *)
+
+val add_port :
+  t ->
+  ?rate_gbps:float ->
+  mac:int ->
+  ip:int ->
+  rx:(Tcp.Segment.frame -> unit) ->
+  unit ->
+  port
+(** Attach a NIC port. [rate_gbps] (default 40.0) bounds both ingress
+    and egress serialisation. *)
+
+val shape_port :
+  t -> port -> rate_gbps:float -> queue_bytes:int -> ecn_threshold_bytes:int
+  -> unit
+(** Restrict a port's egress to [rate_gbps] with a drop-tail queue of
+    [queue_bytes]; frames that find more than [ecn_threshold_bytes]
+    queued are CE-marked if ECT-capable (WRED-style marking). *)
+
+val transmit : port -> Tcp.Segment.frame -> unit
+(** Send a frame into the fabric from this port. *)
+
+val port_mac : port -> int
+val port_ip : port -> int
+
+(** Fabric-wide statistics. *)
+
+val delivered : t -> int
+val dropped_loss : t -> int
+(** Frames dropped by random loss injection. *)
+
+val dropped_queue : t -> int
+(** Frames dropped at a full shaped egress queue. *)
+
+val dropped_unroutable : t -> int
+val ecn_marked : t -> int
+
+val wire_time : rate_gbps:float -> bytes:int -> Sim.Time.t
+(** Serialisation time of a frame of [bytes] on-wire bytes, including
+    Ethernet preamble, FCS and inter-frame gap (24 bytes), with the
+    64-byte minimum frame size applied. *)

@@ -1,0 +1,1 @@
+lib/nfp/cam.mli:

@@ -1,0 +1,1 @@
+lib/nfp/direct_cache.mli:

@@ -1,0 +1,1 @@
+lib/nfp/dma.ml: Array Float Params Queue Sim

@@ -1,0 +1,1 @@
+lib/nfp/dma.mli: Params Sim

@@ -1,0 +1,1 @@
+lib/nfp/fpc.ml: List Memory Params Queue Sim

@@ -1,0 +1,1 @@
+lib/nfp/fpc.mli: Memory Params Sim

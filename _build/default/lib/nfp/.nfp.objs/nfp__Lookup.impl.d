@@ -1,0 +1,1 @@
+lib/nfp/lookup.ml: Hashtbl List Option

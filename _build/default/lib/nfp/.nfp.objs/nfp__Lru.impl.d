@@ -1,0 +1,1 @@
+lib/nfp/lru.ml: Hashtbl

@@ -1,0 +1,1 @@
+lib/nfp/memory.ml: Format Params

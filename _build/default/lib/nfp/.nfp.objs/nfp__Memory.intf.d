@@ -1,0 +1,1 @@
+lib/nfp/memory.mli: Format Params

@@ -1,0 +1,1 @@
+lib/nfp/params.ml: Sim

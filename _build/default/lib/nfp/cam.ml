@@ -1,0 +1,95 @@
+(* The CAM is tiny (16 entries on the NFP-4000), so a linear scan over
+   an array with logical-clock LRU stamps is both simple and fast. *)
+
+type 'a slot = { mutable key : int; mutable value : 'a; mutable stamp : int }
+
+type 'a t = {
+  slots : 'a slot option array;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~entries =
+  if entries <= 0 then invalid_arg "Cam.create: entries must be positive";
+  { slots = Array.make entries None; clock = 0; hits = 0; misses = 0 }
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let find_slot t key =
+  let n = Array.length t.slots in
+  let rec go i =
+    if i >= n then None
+    else
+      match t.slots.(i) with
+      | Some s when s.key = key -> Some s
+      | _ -> go (i + 1)
+  in
+  go 0
+
+let find t key =
+  match find_slot t key with
+  | Some s ->
+      t.hits <- t.hits + 1;
+      s.stamp <- tick t;
+      Some s.value
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let insert t key value =
+  match find_slot t key with
+  | Some s ->
+      s.value <- value;
+      s.stamp <- tick t;
+      None
+  | None -> begin
+      let n = Array.length t.slots in
+      (* Prefer an empty slot; otherwise evict the LRU one. *)
+      let free = ref (-1) and lru = ref (-1) and lru_stamp = ref max_int in
+      for i = 0 to n - 1 do
+        match t.slots.(i) with
+        | None -> if !free < 0 then free := i
+        | Some s ->
+            if s.stamp < !lru_stamp then begin
+              lru_stamp := s.stamp;
+              lru := i
+            end
+      done;
+      if !free >= 0 then begin
+        t.slots.(!free) <- Some { key; value; stamp = tick t };
+        None
+      end
+      else begin
+        let evicted =
+          match t.slots.(!lru) with
+          | Some s -> (s.key, s.value)
+          | None -> assert false
+        in
+        t.slots.(!lru) <- Some { key; value; stamp = tick t };
+        Some evicted
+      end
+    end
+
+let remove t key =
+  Array.iteri
+    (fun i -> function
+      | Some s when s.key = key -> t.slots.(i) <- None
+      | _ -> ())
+    t.slots
+
+let mem t key = find_slot t key <> None
+
+let length t =
+  Array.fold_left (fun n -> function Some _ -> n + 1 | None -> n) 0 t.slots
+
+let capacity t = Array.length t.slots
+let hits t = t.hits
+let misses t = t.misses
+
+let clear t = Array.fill t.slots 0 (Array.length t.slots) None
+
+let iter f t =
+  Array.iter (function Some s -> f s.key s.value | None -> ()) t.slots

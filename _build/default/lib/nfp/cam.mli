@@ -1,0 +1,30 @@
+(** Fully-associative LRU cache, modelling the per-FPC CAM.
+
+    Each FPC's content-addressable memory builds a small (16-entry on
+    the NFP-4000) fully-associative cache over state held in FPC-local
+    memory, with LRU eviction (§4.1). Keys are integers (connection
+    indices or hash values). *)
+
+type 'a t
+
+val create : entries:int -> 'a t
+
+val find : 'a t -> int -> 'a option
+(** Lookup; a hit promotes the entry to most-recently-used and counts
+    toward {!hits}, a miss toward {!misses}. *)
+
+val insert : 'a t -> int -> 'a -> (int * 'a) option
+(** Insert (or overwrite) a binding, returning the evicted LRU
+    binding if the cache was full. *)
+
+val remove : 'a t -> int -> unit
+val mem : 'a t -> int -> bool
+(** Pure membership test; does not touch LRU order or counters. *)
+
+val length : 'a t -> int
+val capacity : 'a t -> int
+val hits : 'a t -> int
+val misses : 'a t -> int
+val clear : 'a t -> unit
+
+val iter : (int -> 'a -> unit) -> 'a t -> unit

@@ -1,0 +1,34 @@
+type t = {
+  slots : int array;  (* -1 = empty *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~entries =
+  if entries <= 0 then
+    invalid_arg "Direct_cache.create: entries must be positive";
+  { slots = Array.make entries (-1); hits = 0; misses = 0 }
+
+let slot t key = key mod Array.length t.slots
+
+let access t key =
+  let i = slot t key in
+  if t.slots.(i) = key then begin
+    t.hits <- t.hits + 1;
+    true
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    t.slots.(i) <- key;
+    false
+  end
+
+let probe t key = t.slots.(slot t key) = key
+
+let invalidate t key =
+  let i = slot t key in
+  if t.slots.(i) = key then t.slots.(i) <- -1
+
+let hits t = t.hits
+let misses t = t.misses
+let clear t = Array.fill t.slots 0 (Array.length t.slots) (-1)

@@ -1,0 +1,25 @@
+(** Direct-mapped cache, modelling the CLS second-level connection
+    cache (512 entries per protocol island) and the pre-processor's
+    128-entry lookup cache (§4.1).
+
+    Only presence is modelled (the cached value lives with the
+    caller); the cache answers "would this access hit CLS or fall
+    through to EMEM?". Conflict misses are real: two keys mapping to
+    the same set evict each other, which the paper mitigates by
+    allocating connection identifiers to minimise collisions. *)
+
+type t
+
+val create : entries:int -> t
+
+val access : t -> int -> bool
+(** [access t key] is [true] on a hit. On a miss the key is installed
+    (evicting the previous occupant of its slot). *)
+
+val probe : t -> int -> bool
+(** Hit test without installing. *)
+
+val invalidate : t -> int -> unit
+val hits : t -> int
+val misses : t -> int
+val clear : t -> unit

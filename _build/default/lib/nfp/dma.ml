@@ -1,0 +1,66 @@
+type queue_state = {
+  mutable inflight : int;
+  waiting : (int * (unit -> unit)) Queue.t;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  params : Params.t;
+  queues : queue_state array;
+  mutable link_free : Sim.Time.t;  (* when the shared link next frees *)
+  mutable completed : int;
+  mutable bytes : int;
+}
+
+let create engine ~params =
+  {
+    engine;
+    params;
+    queues =
+      Array.init params.Params.dma_queues (fun _ ->
+          { inflight = 0; waiting = Queue.create () });
+    link_free = Sim.Time.zero;
+    completed = 0;
+    bytes = 0;
+  }
+
+let serialization_time t bytes =
+  if bytes <= 0 then 0
+  else
+    (* bits / (Gb/s) = ns; work in picoseconds. *)
+    let ps = float_of_int (8 * bytes) *. 1000. /. t.params.Params.pcie_gbps in
+    int_of_float (Float.round ps)
+
+let rec start t q ~bytes k =
+  q.inflight <- q.inflight + 1;
+  let now = Sim.Engine.now t.engine in
+  let ser = serialization_time t bytes in
+  let start_time = max now t.link_free in
+  t.link_free <- start_time + ser;
+  let completion =
+    start_time + ser + t.params.Params.pcie_base_latency - now
+  in
+  Sim.Engine.schedule t.engine completion (fun () ->
+      t.completed <- t.completed + 1;
+      t.bytes <- t.bytes + bytes;
+      q.inflight <- q.inflight - 1;
+      (* Free slot: admit a waiter, if any. *)
+      if not (Queue.is_empty q.waiting) then begin
+        let wbytes, wk = Queue.pop q.waiting in
+        start t q ~bytes:wbytes wk
+      end;
+      k ())
+
+let issue t ~queue ~bytes k =
+  let q = t.queues.(queue mod Array.length t.queues) in
+  if q.inflight < t.params.Params.dma_inflight then start t q ~bytes k
+  else Queue.push (bytes, k) q.waiting
+
+let in_flight t = Array.fold_left (fun n q -> n + q.inflight) 0 t.queues
+
+let queued t =
+  Array.fold_left (fun n q -> n + Queue.length q.waiting) 0 t.queues
+
+let transfers_completed t = t.completed
+let bytes_transferred t = t.bytes
+let busy_until t = t.link_free

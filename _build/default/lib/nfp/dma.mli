@@ -1,0 +1,33 @@
+(** PCIe DMA engine model.
+
+    The PCIe island exposes a pair of DMA transaction queues; FPCs can
+    keep up to 128 asynchronous operations in flight on each (§2.3).
+    The link itself is a serial resource: transfers share PCIe
+    bandwidth, so a congested link stretches completion times — the
+    effect behind the paper's TX-reordering example (§3.2, Figure 7).
+
+    A transfer completes after [base_latency + serialisation on the
+    shared link]. When a queue's in-flight window is full, further
+    issues wait (modelling the FPC's descriptor-slot backpressure). *)
+
+type t
+
+val create : Sim.Engine.t -> params:Params.t -> t
+
+val issue : t -> queue:int -> bytes:int -> (unit -> unit) -> unit
+(** [issue t ~queue ~bytes k] starts a DMA of [bytes]; [k] runs at
+    completion time. [queue] selects a transaction queue
+    (mod the configured queue count). Zero-byte transfers model pure
+    descriptor reads/writes and still pay base latency. *)
+
+val in_flight : t -> int
+(** Transfers currently occupying in-flight slots (all queues). *)
+
+val queued : t -> int
+(** Issues waiting for an in-flight slot. *)
+
+val transfers_completed : t -> int
+val bytes_transferred : t -> int
+
+val busy_until : t -> Sim.Time.t
+(** Time at which the shared link drains, given current commitments. *)

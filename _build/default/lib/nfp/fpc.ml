@@ -1,0 +1,111 @@
+type phase = Compute of int | Mem of Memory.level | Sleep of Sim.Time.t
+
+type work = { phases : phase list; k : unit -> unit }
+
+type t = {
+  engine : Sim.Engine.t;
+  params : Params.t;
+  name : string;
+  threads : int;
+  mutable idle_threads : int;
+  pending : work Queue.t;
+  (* Issue unit: serves one compute burst at a time. *)
+  mutable core_busy : bool;
+  core_waiters : (int * (unit -> unit)) Queue.t;
+  mutable busy : Sim.Time.t;
+  mutable completed : int;
+}
+
+let create engine ~params ?threads ~name () =
+  let threads =
+    match threads with Some n -> n | None -> params.Params.fpc_threads
+  in
+  if threads <= 0 then invalid_arg "Fpc.create: threads must be positive";
+  {
+    engine;
+    params;
+    name;
+    threads;
+    idle_threads = threads;
+    pending = Queue.create ();
+    core_busy = false;
+    core_waiters = Queue.create ();
+    busy = 0;
+    completed = 0;
+  }
+
+let name t = t.name
+
+let mem_latency t level =
+  Sim.Time.Freq.cycles t.params.Params.fpc_freq
+    (Memory.latency_cycles t.params level)
+
+(* Grant the core to a compute burst; on completion, hand it to the
+   next waiter. *)
+let rec grant_core t cycles k =
+  t.core_busy <- true;
+  let dur = Sim.Time.Freq.cycles t.params.Params.fpc_freq cycles in
+  t.busy <- t.busy + dur;
+  Sim.Engine.schedule t.engine dur (fun () ->
+      t.core_busy <- false;
+      release_core t;
+      k ())
+
+and release_core t =
+  if (not t.core_busy) && not (Queue.is_empty t.core_waiters) then begin
+    let cycles, k = Queue.pop t.core_waiters in
+    grant_core t cycles k
+  end
+
+let request_core t cycles k =
+  if t.core_busy then Queue.push (cycles, k) t.core_waiters
+  else grant_core t cycles k
+
+let rec run_phases t phases k =
+  match phases with
+  | [] ->
+      t.completed <- t.completed + 1;
+      k ();
+      thread_done t
+  | Compute 0 :: rest -> run_phases t rest k
+  | Compute cycles :: rest ->
+      request_core t cycles (fun () -> run_phases t rest k)
+  | Mem level :: rest ->
+      Sim.Engine.schedule t.engine (mem_latency t level) (fun () ->
+          run_phases t rest k)
+  | Sleep d :: rest ->
+      Sim.Engine.schedule t.engine d (fun () -> run_phases t rest k)
+
+and thread_done t =
+  if Queue.is_empty t.pending then t.idle_threads <- t.idle_threads + 1
+  else begin
+    let w = Queue.pop t.pending in
+    run_phases t w.phases w.k
+  end
+
+let submit t phases k =
+  if t.idle_threads > 0 then begin
+    t.idle_threads <- t.idle_threads - 1;
+    (* Start on the next engine tick to keep submit non-reentrant. *)
+    Sim.Engine.schedule t.engine 0 (fun () -> run_phases t phases k)
+  end
+  else Queue.push { phases; k } t.pending
+
+let queue_length t = Queue.length t.pending
+let in_flight t = t.threads - t.idle_threads
+let busy_time t = t.busy
+
+let utilization t ~total =
+  if total <= 0 then 0. else Sim.Time.to_sec t.busy /. Sim.Time.to_sec total
+
+let items_completed t = t.completed
+
+let phase_cost params phases =
+  let freq = params.Params.fpc_freq in
+  List.fold_left
+    (fun acc -> function
+      | Compute c -> acc + Sim.Time.Freq.cycles freq c
+      | Mem l ->
+          acc + Sim.Time.Freq.cycles freq (Memory.latency_cycles params l)
+      | Sleep d -> acc + d)
+    0 phases

@@ -1,0 +1,47 @@
+(** Flow-processing core model.
+
+    An FPC is a single-issue 32-bit core with (up to) 8 hardware
+    threads. Compute occupies the core exclusively; memory accesses
+    and asynchronous engine operations only occupy the issuing thread,
+    so with multiple hardware threads, stalls overlap with other
+    threads' compute — the mechanism behind the paper's 2.25×
+    "intra-FPC parallelism" gain (Table 3).
+
+    Work is submitted as a list of {!phase}s plus a completion
+    continuation. An idle hardware thread picks up the next item;
+    items queue FIFO when all threads are busy. *)
+
+type phase =
+  | Compute of int  (** Occupy the core for N cycles. *)
+  | Mem of Memory.level  (** Stall the thread for the level's latency. *)
+  | Sleep of Sim.Time.t  (** Stall the thread for an absolute duration. *)
+
+type t
+
+val create :
+  Sim.Engine.t -> params:Params.t -> ?threads:int -> name:string -> unit -> t
+(** [threads] defaults to [params.fpc_threads]. *)
+
+val name : t -> string
+
+val submit : t -> phase list -> (unit -> unit) -> unit
+(** Enqueue a work item; the continuation runs (at the virtual time of
+    completion) after all phases have executed. *)
+
+val queue_length : t -> int
+(** Items waiting for a hardware thread. *)
+
+val in_flight : t -> int
+(** Items currently executing on hardware threads. *)
+
+val busy_time : t -> Sim.Time.t
+(** Cumulative time the core (issue unit) was executing compute. *)
+
+val utilization : t -> total:Sim.Time.t -> float
+(** [busy_time / total]. *)
+
+val items_completed : t -> int
+
+val phase_cost : Params.t -> phase list -> Sim.Time.t
+(** Lower-bound latency of a phase list on an unloaded core (used by
+    tests and by the run-to-completion baseline accounting). *)

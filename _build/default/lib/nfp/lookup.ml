@@ -1,0 +1,35 @@
+type 'tuple t = {
+  equal : 'tuple -> 'tuple -> bool;
+  buckets : (int, ('tuple * int) list) Hashtbl.t;
+  mutable entries : int;
+}
+
+let create ~equal = { equal; buckets = Hashtbl.create 1024; entries = 0 }
+
+let remove t ~hash tuple =
+  match Hashtbl.find_opt t.buckets hash with
+  | None -> ()
+  | Some chain ->
+      let chain' =
+        List.filter (fun (tp, _) -> not (t.equal tp tuple)) chain
+      in
+      if List.length chain' < List.length chain then
+        t.entries <- t.entries - 1;
+      if chain' = [] then Hashtbl.remove t.buckets hash
+      else Hashtbl.replace t.buckets hash chain'
+
+let add t ~hash tuple conn_idx =
+  remove t ~hash tuple;
+  let chain = Option.value ~default:[] (Hashtbl.find_opt t.buckets hash) in
+  Hashtbl.replace t.buckets hash ((tuple, conn_idx) :: chain);
+  t.entries <- t.entries + 1
+
+let lookup t ~hash tuple =
+  match Hashtbl.find_opt t.buckets hash with
+  | None -> None
+  | Some chain ->
+      List.find_map
+        (fun (tp, idx) -> if t.equal tp tuple then Some idx else None)
+        chain
+
+let entries t = t.entries

@@ -1,0 +1,26 @@
+(** IMEM hardware lookup engine: the active-connection database.
+
+    The pre-processor hashes a segment's 4-tuple with CRC-32 and uses
+    the IMEM lookup engine to resolve the connection index, with CAM
+    resolution of hash collisions (§4.1). A small direct-mapped cache
+    on the hash value (128 entries) sits in the pre-processor's local
+    memory in front of the engine.
+
+    The caller supplies the CRC-32 hash (computed with the FPC's CRC
+    acceleration) and, on a candidate match, verifies the full tuple —
+    this module stores tuples keyed by hash and handles collisions
+    with per-bucket chains, like the hardware CAM. *)
+
+type 'tuple t
+
+val create : equal:('tuple -> 'tuple -> bool) -> 'tuple t
+
+val add : 'tuple t -> hash:int -> 'tuple -> int -> unit
+(** [add t ~hash tuple conn_idx] registers an active connection. *)
+
+val remove : 'tuple t -> hash:int -> 'tuple -> unit
+
+val lookup : 'tuple t -> hash:int -> 'tuple -> int option
+(** Resolve a tuple to its connection index. *)
+
+val entries : 'tuple t -> int

@@ -1,0 +1,75 @@
+type node = {
+  key : int;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  entries : int;
+  tbl : (int, node) Hashtbl.t;
+  mutable head : node option;  (* most recently used *)
+  mutable tail : node option;  (* least recently used *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~entries =
+  if entries <= 0 then invalid_arg "Lru.create: entries must be positive";
+  {
+    entries;
+    tbl = Hashtbl.create (2 * entries);
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+  }
+
+let unlink t n =
+  (match n.prev with
+  | Some p -> p.next <- n.next
+  | None -> t.head <- n.next);
+  (match n.next with
+  | Some s -> s.prev <- n.prev
+  | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let access t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some n ->
+      t.hits <- t.hits + 1;
+      unlink t n;
+      push_front t n;
+      true
+  | None ->
+      t.misses <- t.misses + 1;
+      if Hashtbl.length t.tbl >= t.entries then begin
+        match t.tail with
+        | Some lru ->
+            unlink t lru;
+            Hashtbl.remove t.tbl lru.key
+        | None -> ()
+      end;
+      let n = { key; prev = None; next = None } in
+      Hashtbl.replace t.tbl key n;
+      push_front t n;
+      false
+
+let mem t key = Hashtbl.mem t.tbl key
+
+let remove t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some n ->
+      unlink t n;
+      Hashtbl.remove t.tbl key
+  | None -> ()
+
+let length t = Hashtbl.length t.tbl
+let hits t = t.hits
+let misses t = t.misses

@@ -1,0 +1,22 @@
+(** O(1) LRU set over integer keys, modelling the EMEM SRAM cache.
+
+    The 2 GB EMEM DRAM is fronted by a 3 MB SRAM cache (§2.3); with
+    108 B of connection state the paper reports ~16 K connections
+    resident (§A). This structure answers "does this access hit the
+    SRAM cache?" for arbitrarily many connections with constant-time
+    updates (unlike {!Cam}, which is a deliberately tiny linear-scan
+    structure). *)
+
+type t
+
+val create : entries:int -> t
+
+val access : t -> int -> bool
+(** [true] on hit; either way the key becomes most-recently-used
+    (installed on miss, evicting the LRU key if full). *)
+
+val mem : t -> int -> bool
+val remove : t -> int -> unit
+val length : t -> int
+val hits : t -> int
+val misses : t -> int

@@ -1,0 +1,19 @@
+type level = Local | Cls | Ctm | Imem | Emem_cached | Emem
+
+let latency_cycles (p : Params.t) = function
+  | Local -> p.local_mem_cycles
+  | Cls -> p.cls_cycles
+  | Ctm -> p.ctm_cycles
+  | Imem -> p.imem_cycles
+  | Emem_cached -> p.emem_cache_cycles
+  | Emem -> p.emem_cycles
+
+let pp_level fmt l =
+  Format.pp_print_string fmt
+    (match l with
+    | Local -> "local"
+    | Cls -> "CLS"
+    | Ctm -> "CTM"
+    | Imem -> "IMEM"
+    | Emem_cached -> "EMEM$"
+    | Emem -> "EMEM")

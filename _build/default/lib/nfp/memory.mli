@@ -1,0 +1,12 @@
+(** The NFP memory hierarchy as access-latency levels. *)
+
+type level =
+  | Local  (** FPC-local memory and registers. *)
+  | Cls  (** Island-local scratch (64 KB). *)
+  | Ctm  (** Island target memory (256 KB). *)
+  | Imem  (** Internal SRAM (4 MB). *)
+  | Emem_cached  (** EMEM access hitting the 3 MB SRAM cache. *)
+  | Emem  (** External DRAM (2 GB). *)
+
+val latency_cycles : Params.t -> level -> int
+val pp_level : Format.formatter -> level -> unit

@@ -1,0 +1,47 @@
+type 'a t = {
+  name : string;
+  q : 'a Queue.t;
+  capacity : int option;
+  mutable notify : (unit -> unit) option;
+  mutable max_occ : int;
+  mutable pushes : int;
+  mutable drops : int;
+}
+
+let create ?capacity ~name () =
+  {
+    name;
+    q = Queue.create ();
+    capacity;
+    notify = None;
+    max_occ = 0;
+    pushes = 0;
+    drops = 0;
+  }
+
+let name t = t.name
+
+let push t v =
+  let full =
+    match t.capacity with Some c -> Queue.length t.q >= c | None -> false
+  in
+  if full then begin
+    t.drops <- t.drops + 1;
+    false
+  end
+  else begin
+    Queue.push v t.q;
+    t.pushes <- t.pushes + 1;
+    if Queue.length t.q > t.max_occ then t.max_occ <- Queue.length t.q;
+    (match t.notify with Some f -> f () | None -> ());
+    true
+  end
+
+let pop t = Queue.take_opt t.q
+let is_empty t = Queue.is_empty t.q
+let length t = Queue.length t.q
+let capacity t = t.capacity
+let set_notify t f = t.notify <- Some f
+let max_occupancy t = t.max_occ
+let pushes t = t.pushes
+let drops t = t.drops

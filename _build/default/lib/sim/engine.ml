@@ -1,0 +1,64 @@
+type handle = Event_queue.handle
+
+type t = {
+  mutable clock : Time.t;
+  queue : (unit -> unit) Event_queue.t;
+  root_rng : Rng.t;
+  mutable processed : int;
+}
+
+let create ?(seed = 1L) () =
+  {
+    clock = Time.zero;
+    queue = Event_queue.create ();
+    root_rng = Rng.create seed;
+    processed = 0;
+  }
+
+let now t = t.clock
+let rng t = t.root_rng
+
+let schedule_at t time k =
+  if time < t.clock then
+    invalid_arg
+      (Format.asprintf "Engine.schedule_at: %a is in the past (now %a)"
+         Time.pp time Time.pp t.clock);
+  Event_queue.push t.queue time k
+
+let schedule t delay k =
+  let delay = max 0 delay in
+  Event_queue.push t.queue (t.clock + delay) k
+
+let schedule_cancellable t delay k =
+  let delay = max 0 delay in
+  Event_queue.push_cancellable t.queue (t.clock + delay) k
+
+let cancel t h = Event_queue.cancel t.queue h
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, k) ->
+      t.clock <- max t.clock time;
+      t.processed <- t.processed + 1;
+      k ();
+      true
+
+let run ?until ?max_events t =
+  let continue () =
+    (match max_events with Some m -> t.processed < m | None -> true)
+    &&
+    match (until, Event_queue.peek_time t.queue) with
+    | _, None -> false
+    | None, Some _ -> true
+    | Some u, Some next -> next <= u
+  in
+  while continue () do
+    ignore (step t)
+  done;
+  match until with
+  | Some u when t.clock < u -> t.clock <- u
+  | _ -> ()
+
+let events_processed t = t.processed
+let pending t = Event_queue.length t.queue

@@ -1,0 +1,49 @@
+(** The discrete-event simulation engine.
+
+    A single global virtual clock and an event loop. All hardware and
+    software actors in the model (FPCs, DMA engines, links, host
+    cores, applications) schedule continuation callbacks on one
+    engine. Execution is single-threaded and deterministic. *)
+
+type t
+
+type handle
+(** A cancellable scheduled callback. *)
+
+val create : ?seed:int64 -> unit -> t
+(** [create ~seed ()] is a fresh engine at time zero with a
+    deterministic root RNG ([seed] defaults to [1L]). *)
+
+val now : t -> Time.t
+(** Current virtual time. *)
+
+val rng : t -> Rng.t
+(** The engine's root RNG. Actors needing independent streams should
+    {!Rng.split} it at construction time. *)
+
+val schedule_at : t -> Time.t -> (unit -> unit) -> unit
+(** [schedule_at t time k] runs [k] at absolute [time]. Scheduling in
+    the past raises [Invalid_argument]. *)
+
+val schedule : t -> Time.t -> (unit -> unit) -> unit
+(** [schedule t delay k] runs [k] after [delay] (relative). A
+    non-positive delay runs [k] at the current time, after events
+    already queued for this instant. *)
+
+val schedule_cancellable : t -> Time.t -> (unit -> unit) -> handle
+(** Like {!schedule} (relative delay) but cancellable. *)
+
+val cancel : t -> handle -> unit
+
+val run : ?until:Time.t -> ?max_events:int -> t -> unit
+(** Run the event loop until the queue empties, [until] is reached
+    (events at later times stay queued), or [max_events] callbacks
+    have run. *)
+
+val step : t -> bool
+(** Run a single event; [false] if the queue was empty. *)
+
+val events_processed : t -> int
+
+val pending : t -> int
+(** Number of events currently queued. *)

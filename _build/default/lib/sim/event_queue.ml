@@ -1,0 +1,122 @@
+type handle = int
+
+type 'a entry = { time : Time.t; seq : int; id : handle; value : 'a }
+(* [id] is -1 for events that cannot be cancelled. *)
+
+type 'a t = {
+  mutable heap : 'a entry option array;
+  mutable size : int;
+  mutable next_seq : int;
+  mutable next_id : int;
+  live_handles : (handle, unit) Hashtbl.t;
+  mutable live : int;
+}
+
+let create () =
+  {
+    heap = Array.make 64 None;
+    size = 0;
+    next_seq = 0;
+    next_id = 0;
+    live_handles = Hashtbl.create 16;
+    live = 0;
+  }
+
+let entry_lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let get q i =
+  match q.heap.(i) with
+  | Some e -> e
+  | None -> assert false
+
+let swap q i j =
+  let tmp = q.heap.(i) in
+  q.heap.(i) <- q.heap.(j);
+  q.heap.(j) <- tmp
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_lt (get q i) (get q parent) then begin
+      swap q i parent;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < q.size && entry_lt (get q l) (get q !smallest) then smallest := l;
+  if r < q.size && entry_lt (get q r) (get q !smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap q i !smallest;
+    sift_down q !smallest
+  end
+
+let grow q =
+  let heap = Array.make (2 * Array.length q.heap) None in
+  Array.blit q.heap 0 heap 0 q.size;
+  q.heap <- heap
+
+let push_entry q time value id =
+  if q.size = Array.length q.heap then grow q;
+  let e = { time; seq = q.next_seq; id; value } in
+  q.next_seq <- q.next_seq + 1;
+  q.heap.(q.size) <- Some e;
+  q.size <- q.size + 1;
+  q.live <- q.live + 1;
+  sift_up q (q.size - 1)
+
+let push q time value = push_entry q time value (-1)
+
+let push_cancellable q time value =
+  let id = q.next_id in
+  q.next_id <- id + 1;
+  Hashtbl.replace q.live_handles id ();
+  push_entry q time value id;
+  id
+
+let cancel q h =
+  if Hashtbl.mem q.live_handles h then begin
+    Hashtbl.remove q.live_handles h;
+    q.live <- q.live - 1
+  end
+
+(* A popped entry is dead if it was cancellable and its handle is no
+   longer live (i.e. [cancel] ran before it fired). *)
+let entry_dead q e = e.id >= 0 && not (Hashtbl.mem q.live_handles e.id)
+
+let pop_raw q =
+  if q.size = 0 then None
+  else begin
+    let e = get q 0 in
+    q.size <- q.size - 1;
+    q.heap.(0) <- q.heap.(q.size);
+    q.heap.(q.size) <- None;
+    if q.size > 0 then sift_down q 0;
+    Some e
+  end
+
+let rec pop q =
+  match pop_raw q with
+  | None -> None
+  | Some e ->
+      if entry_dead q e then pop q
+      else begin
+        if e.id >= 0 then Hashtbl.remove q.live_handles e.id;
+        q.live <- q.live - 1;
+        Some (e.time, e.value)
+      end
+
+let rec peek_time q =
+  if q.size = 0 then None
+  else
+    let e = get q 0 in
+    if entry_dead q e then begin
+      ignore (pop_raw q);
+      peek_time q
+    end
+    else Some e.time
+
+let is_empty q = q.live = 0
+let length q = q.live

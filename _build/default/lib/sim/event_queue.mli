@@ -1,0 +1,33 @@
+(** Priority queue of timed events.
+
+    A binary min-heap keyed on (time, insertion sequence). Events with
+    equal timestamps pop in insertion order, which makes simulations
+    deterministic without relying on heap tie-breaking accidents. *)
+
+type 'a t
+
+type handle
+(** Identifies a cancellable event. *)
+
+val create : unit -> 'a t
+
+val push : 'a t -> Time.t -> 'a -> unit
+(** [push q time v] schedules [v] at [time]. *)
+
+val push_cancellable : 'a t -> Time.t -> 'a -> handle
+(** Like {!push} but returns a handle for {!cancel}. *)
+
+val cancel : 'a t -> handle -> unit
+(** Cancel a previously pushed event. Cancelling an event that has
+    already popped (or was already cancelled) is a no-op. *)
+
+val pop : 'a t -> (Time.t * 'a) option
+(** Remove and return the earliest live event. *)
+
+val peek_time : 'a t -> Time.t option
+(** Timestamp of the earliest live event, if any. *)
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+(** Number of live (non-cancelled) events. *)

@@ -1,0 +1,39 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+(* splitmix64 (Steele, Lea, Flood 2014). *)
+let next64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let split t = create (next64 t)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: non-positive bound";
+  let mask = Int64.to_int (Int64.shift_right_logical (next64 t) 2) in
+  mask mod bound
+
+let float t bound =
+  (* 53 random bits into the mantissa. *)
+  let bits = Int64.to_float (Int64.shift_right_logical (next64 t) 11) in
+  bits /. 9007199254740992.0 *. bound
+
+let bool t p = float t 1.0 < p
+
+let exponential t mean =
+  let u = float t 1.0 in
+  let u = if u <= 0. then 1e-12 else u in
+  -.mean *. log u
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

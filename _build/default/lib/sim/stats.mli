@@ -1,0 +1,66 @@
+(** Measurement utilities for experiments.
+
+    Counters, log-bucketed latency histograms with percentile queries
+    (HdrHistogram-style), throughput meters, and fairness metrics. *)
+
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val get : t -> int
+  val reset : t -> unit
+end
+
+module Histogram : sig
+  type t
+  (** Records non-negative integer samples (typically picoseconds or
+      cycles) in logarithmic buckets with 64 sub-buckets per octave,
+      bounding relative quantile error below ~1.6%. *)
+
+  val create : unit -> t
+  val add : t -> int -> unit
+  val count : t -> int
+  val min : t -> int
+  val max : t -> int
+  val mean : t -> float
+
+  val percentile : t -> float -> int
+  (** [percentile h p] for [p] in [0, 100]. Returns 0 on an empty
+      histogram. *)
+
+  val merge : t -> t -> unit
+  (** [merge dst src] adds all of [src]'s samples into [dst]. *)
+
+  val reset : t -> unit
+end
+
+module Meter : sig
+  type t
+  (** Accumulates (bytes, operations) over a window of virtual time to
+      report throughput. *)
+
+  val create : unit -> t
+  val record : t -> ?bytes:int -> ?ops:int -> unit -> unit
+  val bytes : t -> int
+  val ops : t -> int
+
+  val gbps : t -> duration:Time.t -> float
+  (** Bits per second / 1e9 over [duration]. *)
+
+  val mops : t -> duration:Time.t -> float
+  (** Million operations per second over [duration]. *)
+
+  val reset : t -> unit
+end
+
+val jain_fairness : float array -> float
+(** Jain's fairness index: [(sum x)^2 / (n * sum x^2)]. 1.0 is
+    perfectly fair; 1/n is maximally unfair. Returns 1.0 for empty or
+    all-zero input. *)
+
+val mean : float array -> float
+val percentile_of_sorted : float array -> float -> float
+(** [percentile_of_sorted a p] with [a] sorted ascending, [p] in
+    [0, 100], using linear interpolation. *)

@@ -1,0 +1,62 @@
+type point = {
+  group : string;
+  name : string;
+  mutable on : bool;
+  mutable count : int;
+}
+
+type event = { time : Time.t; point_name : string; conn : int; arg : int }
+
+type t = {
+  tbl : (string * string, point) Hashtbl.t;
+  mutable order : point list;  (* reverse registration order *)
+  mutable sink : (event -> unit) option;
+  mutable n_enabled : int;
+}
+
+let create () =
+  { tbl = Hashtbl.create 64; order = []; sink = None; n_enabled = 0 }
+
+let register t ~group name =
+  match Hashtbl.find_opt t.tbl (group, name) with
+  | Some p -> p
+  | None ->
+      let p = { group; name; on = false; count = 0 } in
+      Hashtbl.replace t.tbl (group, name) p;
+      t.order <- p :: t.order;
+      p
+
+let point_name p = p.group ^ ":" ^ p.name
+
+let matches ?group ?name p =
+  (match group with Some g -> p.group = g | None -> true)
+  && match name with Some n -> p.name = n | None -> true
+
+let set_state t ?group ?name on =
+  List.iter
+    (fun p ->
+      if matches ?group ?name p && p.on <> on then begin
+        p.on <- on;
+        t.n_enabled <- (t.n_enabled + if on then 1 else -1)
+      end)
+    t.order;
+  t.n_enabled
+
+let enable t ?group ?name () = set_state t ?group ?name true
+let disable t ?group ?name () = set_state t ?group ?name false
+let enabled_count t = t.n_enabled
+let enabled p = p.on
+
+let set_sink t f = t.sink <- Some f
+
+let hit t p ~now ~conn ~arg =
+  if p.on then begin
+    p.count <- p.count + 1;
+    match t.sink with
+    | Some f -> f { time = now; point_name = point_name p; conn; arg }
+    | None -> ()
+  end
+
+let hits p = p.count
+let points t = List.rev t.order
+let reset_counts t = List.iter (fun p -> p.count <- 0) t.order

@@ -1,0 +1,50 @@
+(** Lightweight tracepoint registry.
+
+    FlexTOE's flexibility story (§5.1 of the paper) includes 48
+    data-path tracepoints that can be toggled at run time. This module
+    provides the registry: named tracepoints grouped by subsystem,
+    each with a hit counter and an optional sink. Disabled tracepoints
+    cost one branch. The data-path charges extra FPC cycles per
+    enabled tracepoint; that cost lives in the pipeline code, not
+    here. *)
+
+type t
+(** A tracepoint registry. *)
+
+type point
+(** A single named tracepoint. *)
+
+type event = {
+  time : Time.t;
+  point_name : string;
+  conn : int;  (** Connection index, or -1. *)
+  arg : int;  (** Tracepoint-specific argument (e.g. queue depth). *)
+}
+
+val create : unit -> t
+
+val register : t -> group:string -> string -> point
+(** [register t ~group name] adds a tracepoint. Registering the same
+    [group]/[name] twice returns the existing point. *)
+
+val point_name : point -> string
+
+val enable : t -> ?group:string -> ?name:string -> unit -> int
+(** Enable matching tracepoints (all, a whole group, or a single
+    point). Returns the number of points now enabled. *)
+
+val disable : t -> ?group:string -> ?name:string -> unit -> int
+val enabled_count : t -> int
+val enabled : point -> bool
+
+val set_sink : t -> (event -> unit) -> unit
+(** Install a callback receiving every hit of every enabled point. *)
+
+val hit : t -> point -> now:Time.t -> conn:int -> arg:int -> unit
+(** Record a hit if the point is enabled (counter + sink). *)
+
+val hits : point -> int
+(** Total recorded hits of a point. *)
+
+val points : t -> point list
+val reset_counts : t -> unit

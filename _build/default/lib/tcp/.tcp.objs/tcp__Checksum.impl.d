@@ -1,0 +1,1 @@
+lib/tcp/checksum.ml: Array Bytes Char Lazy List

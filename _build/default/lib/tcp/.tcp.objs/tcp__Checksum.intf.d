@@ -1,0 +1,1 @@
+lib/tcp/checksum.mli: Bytes

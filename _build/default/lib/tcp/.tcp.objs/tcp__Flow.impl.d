@@ -1,0 +1,1 @@
+lib/tcp/flow.ml: Checksum Format Hashtbl Map Segment Stdlib

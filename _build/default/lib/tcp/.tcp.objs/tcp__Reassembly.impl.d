@@ -1,0 +1,1 @@
+lib/tcp/reassembly.ml: Format Seq32

@@ -1,0 +1,1 @@
+lib/tcp/reassembly.mli: Format Seq32

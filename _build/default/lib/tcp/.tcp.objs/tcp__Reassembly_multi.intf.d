@@ -1,0 +1,1 @@
+lib/tcp/reassembly_multi.mli: Seq32

@@ -1,0 +1,1 @@
+lib/tcp/segment.ml: Bytes Format List Printf Seq32 String

@@ -1,0 +1,1 @@
+lib/tcp/seq32.mli: Format

@@ -1,0 +1,1 @@
+lib/tcp/wire.ml: Bytes Char Checksum Format Result Segment

@@ -1,0 +1,30 @@
+(** Internet checksum (RFC 1071) and CRC-32.
+
+    The Internet checksum covers IPv4 headers and TCP
+    pseudo-header+segment. CRC-32 (IEEE 802.3 polynomial) models the
+    NFP-4000's CRC acceleration, used by FlexTOE's pre-processor to
+    hash a segment's 4-tuple into the active-connection database and
+    to pick flow groups. *)
+
+val ones_complement : Bytes.t -> off:int -> len:int -> init:int -> int
+(** Raw 16-bit ones'-complement sum (not yet complemented). An odd
+    trailing byte is padded with zero, per RFC 1071. *)
+
+val finish : int -> int
+(** Fold carries and complement, yielding the 16-bit checksum. *)
+
+val internet : Bytes.t -> off:int -> len:int -> int
+(** [finish (ones_complement ~init:0 ...)]. *)
+
+val pseudo_header_sum :
+  src_ip:int -> dst_ip:int -> protocol:int -> length:int -> int
+(** Ones'-complement sum of the IPv4 pseudo-header for TCP/UDP
+    checksums. *)
+
+val crc32 : Bytes.t -> off:int -> len:int -> int
+(** CRC-32 (reflected, IEEE polynomial 0xEDB88320), as used for flow
+    hashing. *)
+
+val crc32_ints : int list -> int
+(** CRC-32 over a list of 32-bit big-endian words; convenient for
+    hashing a 4-tuple without materialising bytes. *)

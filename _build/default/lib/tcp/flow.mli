@@ -1,0 +1,37 @@
+(** Connection 4-tuples and flow-group hashing.
+
+    A flow is identified by (local ip, local port, remote ip, remote
+    port). FlexTOE partitions established connections into
+    {e flow groups} by hashing the 4-tuple with CRC-32 (the NFP's CRC
+    acceleration); each flow group is pinned to one protocol island. *)
+
+type t = {
+  local_ip : int;
+  local_port : int;
+  remote_ip : int;
+  remote_port : int;
+}
+
+val v : local_ip:int -> local_port:int -> remote_ip:int -> remote_port:int -> t
+
+val reverse : t -> t
+(** Swap local and remote: the tuple as seen from the peer. *)
+
+val of_segment_rx : Segment.t -> t
+(** The tuple of a {e received} segment from the receiver's point of
+    view (local = segment destination). *)
+
+val hash : t -> int
+(** Direction-sensitive CRC-32 of the tuple. Note: [hash t] and
+    [hash (reverse t)] differ; the data path always hashes the RX
+    orientation. *)
+
+val flow_group : t -> groups:int -> int
+(** [hash t mod groups]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,57 @@
+(** Receive-side byte-stream reassembly, FlexTOE style (§3.1.3).
+
+    FlexTOE's protocol stage tracks exactly {e one} out-of-order
+    interval per connection and reassembles directly in the host
+    socket receive buffer: in-order data advances the window;
+    out-of-order data is merged into the interval when it overlaps or
+    abuts it, and dropped otherwise (forcing the sender to
+    retransmit); when an in-order segment fills the hole, the window
+    jumps past the interval and the interval resets.
+
+    Offsets in outcomes are byte offsets relative to the {e current}
+    expected sequence number, i.e. relative to the receive buffer
+    head, so the caller can place payload without further seq
+    arithmetic. *)
+
+type t
+
+val create : next:Seq32.t -> t
+val next : t -> Seq32.t
+(** Next expected sequence number (the cumulative ACK point). *)
+
+val ooo_interval : t -> (Seq32.t * int) option
+(** The tracked out-of-order interval (start, length), if any. *)
+
+val has_hole : t -> bool
+
+type outcome =
+  | Accept of {
+      trim : int;  (** Payload bytes to skip at the front (old data). *)
+      len : int;  (** Bytes to copy at buffer offset 0. *)
+      advance : int;
+          (** How far the window advances: [>= len] when the segment
+              fills the hole and the interval is consumed. *)
+      filled_hole : bool;
+    }  (** In-order (possibly head-trimmed) data. *)
+  | Ooo_accept of {
+      trim : int;
+      off : int;  (** Buffer offset (relative to window head). *)
+      len : int;
+    }  (** Stored out of order; merged into the interval. *)
+  | Duplicate  (** Entirely old data: triggers a duplicate ACK. *)
+  | Drop_merge_failed
+      (** Out-of-order and not mergeable with the tracked interval. *)
+  | Drop_out_of_window  (** Beyond the advertised receive window. *)
+
+val process : t -> seq:Seq32.t -> len:int -> window:int -> outcome
+(** [process t ~seq ~len ~window] handles a payload-bearing segment.
+    [window] is the free receive-buffer space measured from the
+    window head. [len] must be positive. State is updated according
+    to the returned outcome. *)
+
+val force_advance : t -> int -> unit
+(** Advance the expected sequence number without data (used for FIN,
+    which consumes one sequence number). Clears the interval if the
+    advance covers it. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,32 @@
+(** General multi-interval receive reassembly.
+
+    Unlike FlexTOE's deliberately restricted single-interval scheme
+    ({!Reassembly}), this tracks arbitrarily many out-of-order
+    intervals — the behaviour of a full host stack such as Linux,
+    whose "more sophisticated reassembly and recovery algorithms"
+    (§5.3) let it ride out higher loss rates. Used by the baseline
+    stack models. *)
+
+type t
+
+val create : next:Seq32.t -> t
+
+val next : t -> Seq32.t
+(** Cumulative in-order point. *)
+
+val intervals : t -> (Seq32.t * int) list
+(** Out-of-order intervals, ascending. *)
+
+type outcome =
+  | Accept of { trim : int; len : int; advance : int }
+      (** In-order data; [advance >= len] when it joins buffered
+          intervals. *)
+  | Ooo_accept of { trim : int; off : int; len : int }
+  | Duplicate
+  | Drop_out_of_window
+
+val process : t -> seq:Seq32.t -> len:int -> window:int -> outcome
+(** Same contract as {!Reassembly.process}, but out-of-order data is
+    never dropped for lack of interval slots. *)
+
+val force_advance : t -> int -> unit

@@ -1,0 +1,122 @@
+type flags = {
+  syn : bool;
+  ack : bool;
+  fin : bool;
+  rst : bool;
+  psh : bool;
+  urg : bool;
+  ece : bool;
+  cwr : bool;
+}
+
+let no_flags =
+  {
+    syn = false;
+    ack = false;
+    fin = false;
+    rst = false;
+    psh = false;
+    urg = false;
+    ece = false;
+    cwr = false;
+  }
+
+let flags_ack = { no_flags with ack = true }
+
+let pp_flags fmt f =
+  let tags =
+    [
+      ("SYN", f.syn); ("ACK", f.ack); ("FIN", f.fin); ("RST", f.rst);
+      ("PSH", f.psh); ("URG", f.urg); ("ECE", f.ece); ("CWR", f.cwr);
+    ]
+  in
+  let set = List.filter_map (fun (n, b) -> if b then Some n else None) tags in
+  Format.fprintf fmt "[%s]" (String.concat "," set)
+
+let data_path_flags f = not (f.syn || f.rst || f.urg)
+
+type tcp_options = { mss : int option; ts : (int * int) option }
+
+let no_options = { mss = None; ts = None }
+
+type ecn = Not_ect | Ect0 | Ect1 | Ce
+
+type t = {
+  src_ip : int;
+  dst_ip : int;
+  src_port : int;
+  dst_port : int;
+  seq : Seq32.t;
+  ack_seq : Seq32.t;
+  flags : flags;
+  window : int;
+  options : tcp_options;
+  payload : Bytes.t;
+}
+
+type frame = {
+  src_mac : int;
+  dst_mac : int;
+  vlan : int option;
+  ecn : ecn;
+  seg : t;
+}
+
+let payload_len t = Bytes.length t.payload
+
+let options_len o =
+  let mss = match o.mss with Some _ -> 4 | None -> 0 in
+  (* Timestamp option: 10 bytes, conventionally preceded by two NOPs. *)
+  let ts = match o.ts with Some _ -> 12 | None -> 0 in
+  mss + ts
+
+let header_len t = 20 + ((options_len t.options + 3) / 4 * 4)
+
+let eth_header_len vlan = match vlan with Some _ -> 18 | None -> 14
+
+let frame_wire_len f =
+  eth_header_len f.vlan + 20 + header_len f.seg + payload_len f.seg
+
+let make ?(flags = no_flags) ?(window = 0xFFFF) ?(options = no_options)
+    ?(payload = Bytes.empty) ~src_ip ~dst_ip ~src_port ~dst_port ~seq
+    ~ack_seq () =
+  {
+    src_ip;
+    dst_ip;
+    src_port;
+    dst_port;
+    seq;
+    ack_seq;
+    flags;
+    window;
+    options;
+    payload;
+  }
+
+let make_frame ?(vlan = None) ?(ecn = Not_ect) ~src_mac ~dst_mac seg =
+  { src_mac; dst_mac; vlan; ecn; seg }
+
+let pp_ip fmt ip =
+  Format.fprintf fmt "%d.%d.%d.%d" ((ip lsr 24) land 0xFF)
+    ((ip lsr 16) land 0xFF)
+    ((ip lsr 8) land 0xFF)
+    (ip land 0xFF)
+
+let pp fmt t =
+  Format.fprintf fmt "%a:%d>%a:%d seq=%a ack=%a %a win=%d len=%d" pp_ip
+    t.src_ip t.src_port pp_ip t.dst_ip t.dst_port Seq32.pp t.seq Seq32.pp
+    t.ack_seq pp_flags t.flags t.window (payload_len t)
+
+let pp_frame fmt f =
+  let ecn =
+    match f.ecn with Not_ect -> "" | Ect0 -> " ect0" | Ect1 -> " ect1"
+    | Ce -> " CE"
+  in
+  let vlan =
+    match f.vlan with Some v -> Printf.sprintf " vlan=%d" v | None -> ""
+  in
+  Format.fprintf fmt "%a%s%s" pp f.seg vlan ecn
+
+let mtu = 1500
+let default_mss = mtu - 40
+let mss_with_timestamps = default_mss - 12

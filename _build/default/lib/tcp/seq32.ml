@@ -1,0 +1,24 @@
+type t = int
+
+let mask = 0xFFFF_FFFF
+let of_int x = x land mask
+let zero = 0
+let add a n = (a + n) land mask
+let succ a = add a 1
+
+let diff a b =
+  let d = (a - b) land mask in
+  if d >= 0x8000_0000 then d - 0x1_0000_0000 else d
+
+let lt a b = diff a b < 0
+let le a b = diff a b <= 0
+let gt a b = diff a b > 0
+let ge a b = diff a b >= 0
+let max a b = if ge a b then a else b
+let min a b = if le a b then a else b
+
+let in_window x ~base ~size =
+  let d = (x - base) land mask in
+  d < size
+
+let pp fmt t = Format.fprintf fmt "%u" t

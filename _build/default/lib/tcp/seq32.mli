@@ -1,0 +1,35 @@
+(** 32-bit wrapping TCP sequence-number arithmetic (RFC 793 / 1982).
+
+    Sequence numbers live in [\[0, 2^32)] and all comparisons are
+    modular: [lt a b] means "a is before b" when the distance between
+    them is less than 2^31. *)
+
+type t = int
+(** Always in [\[0, 2^32)]. *)
+
+val of_int : int -> t
+(** Truncates to 32 bits. *)
+
+val zero : t
+val add : t -> int -> t
+val succ : t -> t
+
+val diff : t -> t -> int
+(** [diff a b] is the signed modular distance [a - b], in
+    [\[-2^31, 2^31)]. *)
+
+val lt : t -> t -> bool
+val le : t -> t -> bool
+val gt : t -> t -> bool
+val ge : t -> t -> bool
+
+val max : t -> t -> t
+(** The later of the two in modular order. *)
+
+val min : t -> t -> t
+
+val in_window : t -> base:t -> size:int -> bool
+(** [in_window x ~base ~size] is true iff [x] lies in
+    [\[base, base+size)] modulo 2^32. *)
+
+val pp : Format.formatter -> t -> unit

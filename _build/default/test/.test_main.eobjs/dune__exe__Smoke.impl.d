@@ -1,0 +1,1 @@
+test/smoke.ml: Alcotest Flextoe Host Netsim Sim

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines Bytes Host List Netsim Option Sim

@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Bytes Flextoe Host List Netsim Sim Tcp

@@ -1,0 +1,1 @@
+test/test_datapath.ml: Alcotest Bytes Flextoe Host List Netsim Option Sim String Tcp

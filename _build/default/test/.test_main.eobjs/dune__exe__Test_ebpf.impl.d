@@ -1,0 +1,1 @@
+test/test_ebpf.ml: Alcotest Array Bytes Char Flextoe Gen Int64 List QCheck QCheck_alcotest Sim Tcp

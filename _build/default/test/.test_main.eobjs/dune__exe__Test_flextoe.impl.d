@@ -1,0 +1,1 @@
+test/test_flextoe.ml: Alcotest Array Bytes Flextoe Int64 List Option QCheck QCheck_alcotest Sim Tcp

@@ -1,0 +1,1 @@
+test/test_host.ml: Alcotest Bytes Char Flextoe Gen Host List Netsim Option Printf QCheck QCheck_alcotest Sim

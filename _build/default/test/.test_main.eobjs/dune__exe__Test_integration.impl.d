@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Baselines Buffer Bytes Char Flextoe Host List Netsim Printf Sim

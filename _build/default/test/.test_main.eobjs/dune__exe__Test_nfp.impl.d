@@ -1,0 +1,1 @@
+test/test_nfp.ml: Alcotest Int List Nfp QCheck QCheck_alcotest Sim String

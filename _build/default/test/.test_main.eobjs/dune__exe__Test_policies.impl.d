@@ -1,0 +1,1 @@
+test/test_policies.ml: Alcotest Bytes Flextoe Host Netsim Printf Sim

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Bytes Flextoe Gen Host Int64 Netsim QCheck QCheck_alcotest Sim Tcp

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Float Gen List QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_tcp.ml: Alcotest Array Bytes Char Int64 List Printf QCheck QCheck_alcotest Result Sim String Tcp

@@ -1,0 +1,32 @@
+(* Quick end-to-end smoke check used while bringing the system up;
+   kept as a test. *)
+
+let run () =
+  let engine = Sim.Engine.create () in
+  let fabric = Netsim.Fabric.create engine () in
+  let server = Flextoe.create_node engine ~fabric ~ip:0x0A000001 () in
+  let client = Flextoe.create_node engine ~fabric ~ip:0x0A000002 () in
+  let stats = Host.Rpc.Stats.create engine in
+  Host.Rpc.server
+    ~endpoint:(Flextoe.endpoint server)
+    ~port:7 ~app_cycles:250 ~handler:Host.Rpc.echo_handler ();
+  Host.Rpc.Stats.start_measuring stats;
+  let _client =
+    Host.Rpc.closed_loop_client
+      ~endpoint:(Flextoe.endpoint client)
+      ~engine ~server_ip:0x0A000001 ~server_port:7 ~conns:4 ~pipeline:2
+      ~req_bytes:64 ~stats ()
+  in
+  Sim.Engine.run ~until:(Sim.Time.ms 20) engine;
+  (Host.Rpc.Stats.ops stats, Flextoe.datapath server)
+
+let test_echo_ops () =
+  let ops, dp = run () in
+  Alcotest.(check bool) "some RPCs completed" true (ops > 100);
+  let st = Flextoe.Datapath.stats dp in
+  Alcotest.(check bool) "segments received" true
+    (st.Flextoe.Datapath.rx_segments > 100);
+  Alcotest.(check bool) "acks sent" true (st.Flextoe.Datapath.tx_acks > 100)
+
+let suite =
+  [ Alcotest.test_case "end-to-end echo over FlexTOE" `Quick test_echo_ops ]

@@ -1,0 +1,165 @@
+(* Congestion-control algorithm tests (pure Cc module). *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let wire = 40_000_000_000
+
+let obs ?(acked = 100_000) ?(ecn = 0) ?(fretx = 0) ?(rtt = 100_000) () =
+  {
+    Flextoe.Cc.acked_bytes = acked;
+    ecn_bytes = ecn;
+    fast_retx = fretx;
+    rtt_ns = rtt;
+    interval = Sim.Time.us 50;
+  }
+
+let test_throughput_estimate () =
+  (* 100 KB over 50 us = 16 Gbps. *)
+  check_int "estimate" 16_000_000_000
+    (Flextoe.Cc.throughput_estimate (obs ()))
+
+(* --- DCTCP ------------------------------------------------------------ *)
+
+let test_dctcp_starts_uncongested () =
+  let d = Flextoe.Cc.Dctcp.create () in
+  check_bool "no marks -> keep" true
+    (Flextoe.Cc.Dctcp.update d ~wire_bps:wire (obs ()) = Flextoe.Cc.Keep);
+  check_int "still unpaced" 0 (Flextoe.Cc.Dctcp.rate_bps d)
+
+let test_dctcp_alpha_tracks_marking () =
+  let d = Flextoe.Cc.Dctcp.create () in
+  (* Fully-marked intervals drive alpha toward 1 with gain 1/16. *)
+  for _ = 1 to 100 do
+    ignore
+      (Flextoe.Cc.Dctcp.update d ~wire_bps:wire
+         (obs ~acked:100_000 ~ecn:100_000 ()))
+  done;
+  check_bool "alpha -> 1" true (Flextoe.Cc.Dctcp.alpha d > 0.95);
+  (* Unmarked intervals decay it back. *)
+  for _ = 1 to 100 do
+    ignore (Flextoe.Cc.Dctcp.update d ~wire_bps:wire (obs ()))
+  done;
+  check_bool "alpha decays" true (Flextoe.Cc.Dctcp.alpha d < 0.05)
+
+let test_dctcp_cut_proportional_to_alpha () =
+  (* Light marking cuts gently; heavy marking cuts toward half. *)
+  let run_marked frac n =
+    let d = Flextoe.Cc.Dctcp.create () in
+    let acked = 1_000_000 in
+    for _ = 1 to n do
+      ignore
+        (Flextoe.Cc.Dctcp.update d ~wire_bps:wire
+           (obs ~acked ~ecn:(int_of_float (frac *. float_of_int acked)) ()))
+    done;
+    Flextoe.Cc.Dctcp.rate_bps d
+  in
+  let light = run_marked 0.05 10 in
+  let heavy = run_marked 1.0 10 in
+  check_bool "both paced" true (light > 0 && heavy > 0);
+  check_bool "heavier marking, lower rate" true (heavy < light)
+
+let test_dctcp_additive_increase_recovers () =
+  let d = Flextoe.Cc.Dctcp.create () in
+  (* Enter congestion once. *)
+  ignore
+    (Flextoe.Cc.Dctcp.update d ~wire_bps:wire
+       (obs ~acked:1_000_000 ~ecn:1_000_000 ()));
+  let r0 = Flextoe.Cc.Dctcp.rate_bps d in
+  check_bool "paced" true (r0 > 0);
+  (* Clean intervals: proportional increase until uncongested again
+     (rate/16 per step compounds: ~16 ln(wire/r0) steps). *)
+  let steps = ref 0 in
+  while Flextoe.Cc.Dctcp.rate_bps d > 0 && !steps < 100_000 do
+    incr steps;
+    ignore (Flextoe.Cc.Dctcp.update d ~wire_bps:wire (obs ()))
+  done;
+  check_bool "returns to uncongested" true
+    (Flextoe.Cc.Dctcp.rate_bps d = 0);
+  check_bool
+    (Printf.sprintf "recovers in tens of decisions (%d)" !steps)
+    true
+    (!steps >= 1 && !steps < 2000)
+
+let test_dctcp_retx_halves () =
+  let d = Flextoe.Cc.Dctcp.create () in
+  ignore
+    (Flextoe.Cc.Dctcp.update d ~wire_bps:wire
+       (obs ~acked:1_000_000 ~ecn:100_000 ()));
+  let before = Flextoe.Cc.Dctcp.rate_bps d in
+  ignore (Flextoe.Cc.Dctcp.update d ~wire_bps:wire (obs ~fretx:1 ()));
+  let after = Flextoe.Cc.Dctcp.rate_bps d in
+  check_bool "halved on loss" true
+    (after <= (before / 2) + Flextoe.Cc.min_rate_bps)
+
+let test_dctcp_rate_floor () =
+  let d = Flextoe.Cc.Dctcp.create () in
+  for _ = 1 to 50 do
+    ignore
+      (Flextoe.Cc.Dctcp.update d ~wire_bps:wire
+         (obs ~acked:1000 ~ecn:1000 ~fretx:1 ()))
+  done;
+  check_bool "never below the floor" true
+    (Flextoe.Cc.Dctcp.rate_bps d >= Flextoe.Cc.min_rate_bps)
+
+(* --- TIMELY ------------------------------------------------------------- *)
+
+let test_timely_low_rtt_no_pacing () =
+  let t = Flextoe.Cc.Timely.create () in
+  for _ = 1 to 20 do
+    ignore
+      (Flextoe.Cc.Timely.update t ~wire_bps:wire
+         (obs ~rtt:(Flextoe.Cc.Timely.t_low_ns / 2) ()))
+  done;
+  check_int "stays uncongested below t_low" 0 (Flextoe.Cc.Timely.rate_bps t)
+
+let test_timely_high_rtt_cuts () =
+  let t = Flextoe.Cc.Timely.create () in
+  ignore
+    (Flextoe.Cc.Timely.update t ~wire_bps:wire
+       (obs ~rtt:(2 * Flextoe.Cc.Timely.t_high_ns) ()));
+  check_bool "paced above t_high" true (Flextoe.Cc.Timely.rate_bps t > 0);
+  let r1 = Flextoe.Cc.Timely.rate_bps t in
+  ignore
+    (Flextoe.Cc.Timely.update t ~wire_bps:wire
+       (obs ~rtt:(4 * Flextoe.Cc.Timely.t_high_ns) ()));
+  check_bool "keeps cutting while RTT high" true
+    (Flextoe.Cc.Timely.rate_bps t < r1)
+
+let test_timely_gradient () =
+  let t = Flextoe.Cc.Timely.create () in
+  (* Mid-band rising RTT: gradient positive -> decrease. *)
+  ignore (Flextoe.Cc.Timely.update t ~wire_bps:wire (obs ~rtt:100_000 ()));
+  ignore (Flextoe.Cc.Timely.update t ~wire_bps:wire (obs ~rtt:200_000 ()));
+  let paced = Flextoe.Cc.Timely.rate_bps t in
+  check_bool "rising RTT paces" true (paced > 0);
+  (* Falling RTT: gradient negative -> additive increase. *)
+  ignore (Flextoe.Cc.Timely.update t ~wire_bps:wire (obs ~rtt:150_000 ()));
+  check_bool "falling RTT increases" true
+    (Flextoe.Cc.Timely.rate_bps t > paced)
+
+let test_timely_no_sample_keeps () =
+  let t = Flextoe.Cc.Timely.create () in
+  check_bool "no RTT sample -> keep" true
+    (Flextoe.Cc.Timely.update t ~wire_bps:wire (obs ~rtt:0 ())
+    = Flextoe.Cc.Keep)
+
+let suite =
+  [
+    Alcotest.test_case "throughput estimate" `Quick test_throughput_estimate;
+    Alcotest.test_case "dctcp starts uncongested" `Quick
+      test_dctcp_starts_uncongested;
+    Alcotest.test_case "dctcp alpha EWMA" `Quick test_dctcp_alpha_tracks_marking;
+    Alcotest.test_case "dctcp proportional cut" `Quick
+      test_dctcp_cut_proportional_to_alpha;
+    Alcotest.test_case "dctcp additive increase" `Quick
+      test_dctcp_additive_increase_recovers;
+    Alcotest.test_case "dctcp halves on retransmit" `Quick
+      test_dctcp_retx_halves;
+    Alcotest.test_case "dctcp rate floor" `Quick test_dctcp_rate_floor;
+    Alcotest.test_case "timely low rtt" `Quick test_timely_low_rtt_no_pacing;
+    Alcotest.test_case "timely high rtt cuts" `Quick test_timely_high_rtt_cuts;
+    Alcotest.test_case "timely gradient band" `Quick test_timely_gradient;
+    Alcotest.test_case "timely keeps without sample" `Quick
+      test_timely_no_sample_keeps;
+  ]

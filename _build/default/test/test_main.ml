@@ -1,0 +1,26 @@
+let () =
+  Alcotest.run "flextoe"
+    [
+      ("sim", Test_sim.suite);
+      ("tcp", Test_tcp.suite);
+      ("tcp-golden", Test_tcp.golden_suite);
+      ("nfp", Test_nfp.suite);
+      ("netsim", Test_netsim.suite);
+      ("baselines", Test_baselines.suite);
+      ("host", Test_host.suite);
+      ("flextoe", Test_flextoe.suite);
+      ("ebpf", Test_ebpf.suite);
+      ("cc", Test_cc.suite);
+      ("classifier", Test_ebpf.classifier_suite);
+      ("delayed-acks", Test_flextoe.delayed_ack_suite);
+      ("policies", Test_policies.suite);
+      ("properties", Test_properties.suite);
+      ("wraparound", Test_flextoe.wraparound_suite);
+      ("datapath", Test_datapath.suite);
+      ("coverage", Test_coverage.suite);
+      ("vlan", Test_datapath.vlan_suite);
+      ("open-loop", Test_host.open_loop_suite);
+      ("smoke", Smoke.suite);
+      ("integration", Test_integration.suite);
+      ("integration-ext", Test_integration.extended_suite);
+    ]

@@ -1,0 +1,132 @@
+(* Control-plane policy tests (§3.4): per-connection rate limits,
+   connection limits, port partitioning. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let ip_a = 0x0A000001
+let ip_b = 0x0A000002
+
+let mk_pair () =
+  let engine = Sim.Engine.create () in
+  let fabric = Netsim.Fabric.create engine () in
+  let a = Flextoe.create_node engine ~fabric ~ip:ip_a () in
+  let b = Flextoe.create_node engine ~fabric ~ip:ip_b () in
+  (engine, a, b)
+
+let test_rate_limit_enforced () =
+  let engine, a, b = mk_pair () in
+  (* Sink on a; bulk source on b; cap b's flow to 2 Gbps. *)
+  let received = ref 0 in
+  (Flextoe.endpoint a).Host.Api.listen ~port:5001 ~on_accept:(fun sock ->
+      sock.Host.Api.on_readable <-
+        (fun () ->
+          received :=
+            !received + Bytes.length (sock.Host.Api.recv ~max:max_int)));
+  let conn_id = ref (-1) in
+  Flextoe.Control_plane.connect (Flextoe.control b) ~remote_ip:ip_a
+    ~remote_port:5001 ~ctx:0
+    ~on_connected:(fun r ->
+      match r with
+      | Error e -> Alcotest.failf "connect: %s" e
+      | Ok handle -> conn_id := handle.Flextoe.Control_plane.ch_conn);
+  Sim.Engine.run ~until:(Sim.Time.ms 5) engine;
+  check_bool "connected" true (!conn_id >= 0);
+  (* Drive the flow via libTOE-level plumbing: write through the raw
+     handle is awkward, so open a normal socket alongside. *)
+  let engine2, a2, b2 = mk_pair () in
+  let received2 = ref 0 in
+  (Flextoe.endpoint a2).Host.Api.listen ~port:5001 ~on_accept:(fun sock ->
+      sock.Host.Api.on_readable <-
+        (fun () ->
+          received2 :=
+            !received2 + Bytes.length (sock.Host.Api.recv ~max:max_int)));
+  (Flextoe.endpoint b2).Host.Api.connect ~remote_ip:ip_a ~remote_port:5001
+    ~on_connected:(fun r ->
+      match r with
+      | Error e -> Alcotest.failf "connect: %s" e
+      | Ok sock ->
+          let chunk = Bytes.make 16384 'r' in
+          let push () = while sock.Host.Api.send chunk > 0 do () done in
+          sock.Host.Api.on_writable <- push;
+          push ());
+  Sim.Engine.run ~until:(Sim.Time.ms 5) engine2;
+  (* Cap every active flow on b2 at 2 Gbps. *)
+  Flextoe.Control_plane.set_rate_limit (Flextoe.control b2) ~conn:0
+    ~bps:2_000_000_000;
+  let before = !received2 in
+  Sim.Engine.run ~until:(Sim.Time.ms 55) engine2;
+  let gbps = float_of_int (8 * (!received2 - before)) /. 0.05 /. 1e9 in
+  check_bool
+    (Printf.sprintf "rate near the 2G cap (got %.2f)" gbps)
+    true
+    (gbps > 1.2 && gbps < 2.4);
+  check_int "limit readable" 2_000_000_000
+    (Flextoe.Control_plane.rate_limit (Flextoe.control b2) ~conn:0);
+  ignore engine
+
+let test_connection_limit () =
+  let engine, a, b = mk_pair () in
+  Flextoe.Control_plane.set_connection_limit (Flextoe.control a) (Some 3);
+  (Flextoe.endpoint a).Host.Api.listen ~port:7 ~on_accept:(fun _ -> ());
+  let ok = ref 0 and failed = ref 0 in
+  for _ = 1 to 6 do
+    (Flextoe.endpoint b).Host.Api.connect ~remote_ip:ip_a ~remote_port:7
+      ~on_connected:(fun r ->
+        match r with Ok _ -> incr ok | Error _ -> incr failed)
+  done;
+  Sim.Engine.run ~until:(Sim.Time.ms 100) engine;
+  check_int "only 3 admitted" 3 !ok;
+  check_int "the rest timed out" 3 !failed;
+  check_int "server tracks 3" 3
+    (Flextoe.Datapath.active_conns (Flextoe.datapath a))
+
+let test_local_connect_limit () =
+  let engine, a, b = mk_pair () in
+  Flextoe.Control_plane.set_connection_limit (Flextoe.control b) (Some 2);
+  (Flextoe.endpoint a).Host.Api.listen ~port:7 ~on_accept:(fun _ -> ());
+  let ok = ref 0 and failed = ref 0 in
+  let rec connect_next n =
+    if n > 0 then
+      (Flextoe.endpoint b).Host.Api.connect ~remote_ip:ip_a ~remote_port:7
+        ~on_connected:(fun r ->
+          (match r with Ok _ -> incr ok | Error _ -> incr failed);
+          connect_next (n - 1))
+  in
+  connect_next 4;
+  Sim.Engine.run ~until:(Sim.Time.ms 50) engine;
+  check_int "two connects succeed" 2 !ok;
+  check_int "then the limit rejects immediately" 2 !failed
+
+let test_port_partitioning () =
+  let _, a, _ = mk_pair () in
+  let cp = Flextoe.control a in
+  Flextoe.Control_plane.reserve_ports cp ~lo:8000 ~hi:8099 ~app:1;
+  Flextoe.Control_plane.reserve_ports cp ~lo:9000 ~hi:9000 ~app:2;
+  Alcotest.(check (option int)) "owner" (Some 1)
+    (Flextoe.Control_plane.port_owner cp 8042);
+  (* The owning app may listen. *)
+  Flextoe.Control_plane.listen cp ~app:1 ~port:8042 ~on_accept:(fun _ -> ())
+    ();
+  (* Another app may not. *)
+  Alcotest.check_raises "foreign app rejected"
+    (Invalid_argument
+       "Control_plane.listen: port 9000 is reserved for application 2")
+    (fun () ->
+      Flextoe.Control_plane.listen cp ~app:1 ~port:9000
+        ~on_accept:(fun _ -> ())
+        ());
+  (* Unreserved ports are free for all. *)
+  Flextoe.Control_plane.listen cp ~app:7 ~port:12345
+    ~on_accept:(fun _ -> ())
+    ()
+
+let suite =
+  [
+    Alcotest.test_case "per-connection rate limit" `Quick
+      test_rate_limit_enforced;
+    Alcotest.test_case "incoming connection limit" `Quick
+      test_connection_limit;
+    Alcotest.test_case "local connect limit" `Quick test_local_connect_limit;
+    Alcotest.test_case "port partitioning" `Quick test_port_partitioning;
+  ]

@@ -1,0 +1,190 @@
+(* Cross-cutting property tests: protocol-state invariants under
+   random event sequences, eBPF ALU semantics against an Int64
+   reference, and end-to-end simulation determinism. *)
+
+module C = Flextoe.Conn_state
+module P = Flextoe.Protocol
+module M = Flextoe.Meta
+module I = Flextoe.Bpf_insn
+module E = Flextoe.Ebpf
+
+let check_bool = Alcotest.(check bool)
+
+(* --- Protocol invariants -------------------------------------------- *)
+
+let cfg = Flextoe.Config.default
+
+let mk_conn () =
+  let flow =
+    Tcp.Flow.v ~local_ip:1 ~local_port:80 ~remote_ip:2 ~remote_port:4000
+  in
+  C.create ~idx:0 ~flow ~peer_mac:2 ~flow_group:0 ~tx_isn:77 ~rx_isn:991
+    ~opaque:0 ~ctx_id:0 ~rx_buf_bytes:65536 ~tx_buf_bytes:65536 ()
+
+let invariants (c : C.t) =
+  let p = c.C.proto in
+  p.C.tx_acked_pos <= p.C.tx_next_pos
+  && p.C.tx_next_pos <= p.C.tx_max_pos
+  && p.C.tx_next_pos <= p.C.tx_tail_pos
+  && p.C.rx_avail >= 0
+  && p.C.rx_avail <= 65536
+  && p.C.delack_segs >= 0
+
+(* A random interleaving of application writes, transmissions,
+   (possibly bogus) acknowledgments and (possibly out-of-order,
+   duplicated) data arrivals must never break the positional
+   invariants of the protocol partition. *)
+let prop_protocol_invariants =
+  QCheck.Test.make ~name:"protocol: invariants hold under random events"
+    ~count:200
+    QCheck.(pair (int_bound 10_000) (int_range 20 120))
+    (fun (seed, steps) ->
+      let rng = Sim.Rng.create (Int64.of_int (seed + 1)) in
+      let c = mk_conn () in
+      let gseq = ref 0 in
+      let alloc_gseq () = incr gseq; !gseq in
+      let ok = ref true in
+      for step = 1 to steps do
+        let now = Sim.Time.us step in
+        (match Sim.Rng.int rng 6 with
+        | 0 ->
+            (* App writes. *)
+            ignore
+              (P.hc cfg ~now c (M.Tx_avail (Sim.Rng.int rng 5000 + 1))
+                 ~alloc_gseq)
+        | 1 ->
+            (* Transmit whatever is allowed. *)
+            ignore (P.tx cfg ~now c ~alloc_gseq)
+        | 2 ->
+            (* An ACK at a random position (possibly stale/bogus). *)
+            let pos = Sim.Rng.int rng (c.C.proto.C.tx_max_pos + 2000 + 1) in
+            ignore
+              (P.rx cfg ~now c
+                 {
+                   M.rx_gseq = 0; conn = 0;
+                   seq = Tcp.Seq32.add 991 1;
+                   ack_seq = C.tx_seq_of_pos c pos;
+                   has_ack = true;
+                   wnd = Sim.Rng.int rng 512;
+                   payload = Bytes.empty;
+                   fin = false; psh = false; ece = Sim.Rng.bool rng 0.2;
+                   cwr = false; ecn_ce = false; ts = None; arrival = now;
+                 }
+                 ~alloc_gseq)
+        | 3 | 4 ->
+            (* Data at a random nearby sequence (dups, overlaps, ooo). *)
+            let off = Sim.Rng.int rng 8000 - 2000 in
+            let seq = Tcp.Seq32.add (C.rx_seq_of_pos c 0)
+                (max 0 (C.rx_next_pos c + off)) in
+            let len = 1 + Sim.Rng.int rng 1448 in
+            ignore
+              (P.rx cfg ~now c
+                 {
+                   M.rx_gseq = 0; conn = 0; seq;
+                   ack_seq = C.tx_seq_of_pos c c.C.proto.C.tx_acked_pos;
+                   has_ack = true; wnd = 512;
+                   payload = Bytes.make len 'd';
+                   fin = Sim.Rng.bool rng 0.02;
+                   psh = false; ece = false; cwr = false;
+                   ecn_ce = Sim.Rng.bool rng 0.1; ts = None; arrival = now;
+                 }
+                 ~alloc_gseq)
+        | _ ->
+            (* Control-plane retransmit / credits. *)
+            let op =
+              if Sim.Rng.bool rng 0.5 then M.Retransmit
+              else M.Rx_credit (Sim.Rng.int rng 4096)
+            in
+            ignore (P.hc cfg ~now c op ~alloc_gseq));
+        if not (invariants c) then ok := false
+      done;
+      !ok)
+
+(* --- eBPF ALU vs Int64 reference --------------------------------------- *)
+
+let reference_alu64 op a b =
+  let open Int64 in
+  match op with
+  | I.Add -> add a b
+  | I.Sub -> sub a b
+  | I.Mul -> mul a b
+  | I.Div -> if b = 0L then 0L else unsigned_div a b
+  | I.Or -> logor a b
+  | I.And -> logand a b
+  | I.Lsh -> shift_left a (to_int (logand b 63L))
+  | I.Rsh -> shift_right_logical a (to_int (logand b 63L))
+  | I.Neg -> neg a
+  | I.Mod -> if b = 0L then a else unsigned_rem a b
+  | I.Xor -> logxor a b
+  | I.Mov -> b
+  | I.Arsh -> shift_right a (to_int (logand b 63L))
+
+let prop_vm_alu64_matches_reference =
+  let op_gen =
+    QCheck.Gen.oneofl
+      [ I.Add; I.Sub; I.Mul; I.Div; I.Or; I.And; I.Lsh; I.Rsh; I.Neg;
+        I.Mod; I.Xor; I.Mov; I.Arsh ]
+  in
+  QCheck.Test.make ~name:"ebpf: alu64 agrees with the Int64 reference"
+    ~count:500
+    QCheck.(make Gen.(triple op_gen ui64 ui64))
+    (fun (op, a, b) ->
+      let prog =
+        [|
+          I.Ld_imm64 (1, a);
+          I.Ld_imm64 (2, b);
+          I.Alu64 (op, 1, I.Reg 2);
+          (* Store the full 64-bit result to the stack and read back
+             its halves, since exit truncates r0 to 32 bits. *)
+          I.Stx (I.W64, 10, -8, 1);
+          I.Ldx (I.W32, 0, 10, -8);
+          I.Exit;
+        |]
+      in
+      let lo32 =
+        match E.load prog with
+        | Ok p ->
+            (E.run p ~maps:[||] ~now_ns:0L ~packet:(Bytes.make 64 ' ')).E.ret
+        | Error e -> failwith e
+      in
+      let expected =
+        Int64.to_int (Int64.logand (reference_alu64 op a b) 0xFFFFFFFFL)
+      in
+      lo32 = expected)
+
+(* --- Determinism ----------------------------------------------------------- *)
+
+let run_sim seed =
+  let engine = Sim.Engine.create ~seed () in
+  let fabric = Netsim.Fabric.create engine () in
+  Netsim.Fabric.set_loss fabric 0.005;
+  let a = Flextoe.create_node engine ~fabric ~ip:0x0A000001 () in
+  let b = Flextoe.create_node engine ~fabric ~ip:0x0A000002 () in
+  let stats = Host.Rpc.Stats.create engine in
+  Host.Rpc.server ~endpoint:(Flextoe.endpoint a) ~port:7 ~app_cycles:100
+    ~handler:Host.Rpc.echo_handler ();
+  Host.Rpc.Stats.start_measuring stats;
+  ignore
+    (Host.Rpc.closed_loop_client ~endpoint:(Flextoe.endpoint b)
+       ~engine:engine ~server_ip:0x0A000001 ~server_port:7 ~conns:8
+       ~pipeline:4 ~req_bytes:512 ~stats ());
+  Sim.Engine.run ~until:(Sim.Time.ms 20) engine;
+  let st = Flextoe.Datapath.stats (Flextoe.datapath a) in
+  ( Host.Rpc.Stats.ops stats,
+    st.Flextoe.Datapath.rx_segments,
+    st.Flextoe.Datapath.tx_acks,
+    Sim.Engine.events_processed engine )
+
+let test_simulation_deterministic () =
+  let r1 = run_sim 77L and r2 = run_sim 77L in
+  check_bool "identical results for identical seeds" true (r1 = r2);
+  let r3 = run_sim 78L in
+  check_bool "different seed perturbs the run" true (r1 <> r3)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_protocol_invariants;
+    QCheck_alcotest.to_alcotest prop_vm_alu64_matches_reference;
+    Alcotest.test_case "simulation determinism" `Quick
+      test_simulation_deterministic;
+  ]

@@ -1,0 +1,258 @@
+(* Simulation-engine substrate tests. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Time ----------------------------------------------------------- *)
+
+let test_time_units () =
+  check_int "ns" 1_000 (Sim.Time.ns 1);
+  check_int "us" 1_000_000 (Sim.Time.us 1);
+  check_int "ms" 1_000_000_000 (Sim.Time.ms 1);
+  check_int "sec" 2_500_000_000_000 (Sim.Time.sec 2.5);
+  Alcotest.(check (float 1e-9)) "to_sec" 1.0 (Sim.Time.to_sec (Sim.Time.sec 1.))
+
+let test_freq_exact () =
+  let fpc = Sim.Time.Freq.of_mhz 800 in
+  check_int "800MHz period" 1250 (Sim.Time.Freq.ps_per_cycle fpc);
+  check_int "100 cycles" 125_000 (Sim.Time.Freq.cycles fpc 100);
+  let host = Sim.Time.Freq.of_ghz 2.0 in
+  check_int "2GHz period" 500 (Sim.Time.Freq.ps_per_cycle host);
+  check_int "to_cycles rounds up" 3 (Sim.Time.Freq.to_cycles host 1001)
+
+let test_freq_invalid () =
+  Alcotest.check_raises "non-integral period"
+    (Invalid_argument "Freq.of_mhz: period is not a whole number of picoseconds")
+    (fun () -> ignore (Sim.Time.Freq.of_mhz 3000))
+
+(* --- Event queue ------------------------------------------------------ *)
+
+let test_queue_ordering () =
+  let q = Sim.Event_queue.create () in
+  Sim.Event_queue.push q 30 "c";
+  Sim.Event_queue.push q 10 "a";
+  Sim.Event_queue.push q 20 "b";
+  let pops = List.init 3 (fun _ -> Sim.Event_queue.pop q) in
+  Alcotest.(check (list (option (pair int string))))
+    "sorted" [ Some (10, "a"); Some (20, "b"); Some (30, "c") ] pops;
+  check_bool "empty" true (Sim.Event_queue.is_empty q)
+
+let test_queue_fifo_ties () =
+  let q = Sim.Event_queue.create () in
+  List.iter (fun v -> Sim.Event_queue.push q 5 v) [ 1; 2; 3; 4 ];
+  let order =
+    List.init 4 (fun _ ->
+        match Sim.Event_queue.pop q with Some (_, v) -> v | None -> -1)
+  in
+  Alcotest.(check (list int)) "insertion order" [ 1; 2; 3; 4 ] order
+
+let test_queue_cancel () =
+  let q = Sim.Event_queue.create () in
+  Sim.Event_queue.push q 1 "keep1";
+  let h = Sim.Event_queue.push_cancellable q 2 "dead" in
+  Sim.Event_queue.push q 3 "keep2";
+  Sim.Event_queue.cancel q h;
+  Sim.Event_queue.cancel q h;  (* double-cancel is a no-op *)
+  check_int "length counts live only" 2 (Sim.Event_queue.length q);
+  let vs =
+    List.init 2 (fun _ ->
+        match Sim.Event_queue.pop q with Some (_, v) -> v | None -> "?")
+  in
+  Alcotest.(check (list string)) "cancelled skipped" [ "keep1"; "keep2" ] vs;
+  (* cancelling after pop is a no-op *)
+  let h2 = Sim.Event_queue.push_cancellable q 4 "x" in
+  ignore (Sim.Event_queue.pop q);
+  Sim.Event_queue.cancel q h2;
+  check_int "no corruption" 0 (Sim.Event_queue.length q)
+
+let prop_queue_sorted =
+  QCheck.Test.make ~name:"event queue pops in nondecreasing time order"
+    ~count:200
+    QCheck.(list (int_bound 100_000))
+    (fun times ->
+      let q = Sim.Event_queue.create () in
+      List.iter (fun t -> Sim.Event_queue.push q t t) times;
+      let rec drain prev acc =
+        match Sim.Event_queue.pop q with
+        | None -> List.rev acc
+        | Some (t, _) ->
+            if t < prev then raise Exit;
+            drain t (t :: acc)
+      in
+      let popped = drain min_int [] in
+      List.length popped = List.length times
+      && List.sort compare times = popped)
+
+(* --- Engine ----------------------------------------------------------- *)
+
+let test_engine_run_until () =
+  let e = Sim.Engine.create () in
+  let hits = ref [] in
+  Sim.Engine.schedule e (Sim.Time.us 10) (fun () -> hits := 10 :: !hits);
+  Sim.Engine.schedule e (Sim.Time.us 30) (fun () -> hits := 30 :: !hits);
+  Sim.Engine.run ~until:(Sim.Time.us 20) e;
+  Alcotest.(check (list int)) "only first fired" [ 10 ] !hits;
+  check_int "clock advanced to until" (Sim.Time.us 20) (Sim.Engine.now e);
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "second fired" [ 30; 10 ] !hits
+
+let test_engine_nested_schedule () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  Sim.Engine.schedule e 100 (fun () ->
+      log := "outer" :: !log;
+      Sim.Engine.schedule e 50 (fun () -> log := "inner" :: !log));
+  Sim.Engine.run e;
+  Alcotest.(check (list string)) "nested" [ "inner"; "outer" ] !log;
+  check_int "final time" 150 (Sim.Engine.now e)
+
+let test_engine_cancel () =
+  let e = Sim.Engine.create () in
+  let fired = ref false in
+  let h = Sim.Engine.schedule_cancellable e 100 (fun () -> fired := true) in
+  Sim.Engine.cancel e h;
+  Sim.Engine.run e;
+  check_bool "cancelled never fires" false !fired
+
+let test_engine_past_raises () =
+  let e = Sim.Engine.create () in
+  Sim.Engine.schedule e 100 (fun () ->
+      Alcotest.check_raises "past scheduling"
+        (Invalid_argument
+           "Engine.schedule_at: 50ps is in the past (now 100ps)") (fun () ->
+          Sim.Engine.schedule_at e 50 ignore));
+  Sim.Engine.run e
+
+(* --- RNG ---------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Sim.Rng.create 99L and b = Sim.Rng.create 99L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Sim.Rng.next64 a) (Sim.Rng.next64 b)
+  done
+
+let test_rng_bounds () =
+  let r = Sim.Rng.create 7L in
+  for _ = 1 to 1000 do
+    let v = Sim.Rng.int r 17 in
+    check_bool "in range" true (v >= 0 && v < 17);
+    let f = Sim.Rng.float r 2.5 in
+    check_bool "float range" true (f >= 0. && f < 2.5)
+  done
+
+let test_rng_bool_rate () =
+  let r = Sim.Rng.create 13L in
+  let hits = ref 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    if Sim.Rng.bool r 0.02 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  check_bool "2% +- 0.5%" true (rate > 0.015 && rate < 0.025)
+
+(* --- Stats ----------------------------------------------------------------- *)
+
+let test_histogram_exact_small () =
+  let h = Sim.Stats.Histogram.create () in
+  List.iter (Sim.Stats.Histogram.add h) [ 1; 2; 3; 4; 5 ];
+  check_int "min" 1 (Sim.Stats.Histogram.min h);
+  check_int "max" 5 (Sim.Stats.Histogram.max h);
+  check_int "p50" 3 (Sim.Stats.Histogram.percentile h 50.);
+  check_int "p100" 5 (Sim.Stats.Histogram.percentile h 100.);
+  Alcotest.(check (float 0.001)) "mean" 3.0 (Sim.Stats.Histogram.mean h)
+
+let prop_histogram_bounds =
+  QCheck.Test.make
+    ~name:"histogram percentile error is within bucket resolution"
+    ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 500) (int_bound 1_000_000))
+    (fun samples ->
+      samples = []
+      ||
+      let h = Sim.Stats.Histogram.create () in
+      List.iter (Sim.Stats.Histogram.add h) samples;
+      let sorted = Array.of_list (List.sort compare samples) in
+      List.for_all
+        (fun p ->
+          (* Same nearest-rank convention as the histogram. *)
+          let n = Array.length sorted in
+          let rank =
+            let r = int_of_float (Float.round (p /. 100. *. float_of_int n)) in
+            max 1 (min n r)
+          in
+          let exact = sorted.(rank - 1) in
+          let est = Sim.Stats.Histogram.percentile h p in
+          (* within 2x bucket resolution (1.6%) or tiny absolute *)
+          abs (est - exact) <= max 4 (exact / 16))
+        [ 50.; 90.; 99. ])
+
+let test_histogram_merge () =
+  let a = Sim.Stats.Histogram.create () in
+  let b = Sim.Stats.Histogram.create () in
+  Sim.Stats.Histogram.add a 10;
+  Sim.Stats.Histogram.add b 1000;
+  Sim.Stats.Histogram.merge a b;
+  check_int "count" 2 (Sim.Stats.Histogram.count a);
+  check_int "min" 10 (Sim.Stats.Histogram.min a);
+  check_int "max" 1000 (Sim.Stats.Histogram.max a)
+
+let test_jain () =
+  Alcotest.(check (float 1e-9)) "equal shares" 1.0
+    (Sim.Stats.jain_fairness [| 5.; 5.; 5.; 5. |]);
+  Alcotest.(check (float 1e-9)) "one hog" 0.25
+    (Sim.Stats.jain_fairness [| 4.; 0.; 0.; 0. |]);
+  Alcotest.(check (float 1e-9)) "empty" 1.0 (Sim.Stats.jain_fairness [||])
+
+let test_meter () =
+  let m = Sim.Stats.Meter.create () in
+  Sim.Stats.Meter.record m ~bytes:1_000_000 ~ops:10 ();
+  Alcotest.(check (float 0.001)) "gbps" 8.0
+    (Sim.Stats.Meter.gbps m ~duration:(Sim.Time.ms 1));
+  Alcotest.(check (float 0.001)) "mops" 0.01
+    (Sim.Stats.Meter.mops m ~duration:(Sim.Time.ms 1))
+
+(* --- Trace -------------------------------------------------------------------- *)
+
+let test_trace_registry () =
+  let t = Sim.Trace.create () in
+  let p1 = Sim.Trace.register t ~group:"proto" "rx" in
+  let _p2 = Sim.Trace.register t ~group:"proto" "tx" in
+  let _p3 = Sim.Trace.register t ~group:"dma" "desc" in
+  check_int "enable group" 2 (Sim.Trace.enable t ~group:"proto" ());
+  Sim.Trace.hit t p1 ~now:0 ~conn:1 ~arg:0;
+  Sim.Trace.hit t p1 ~now:1 ~conn:1 ~arg:0;
+  check_int "hits recorded" 2 (Sim.Trace.hits p1);
+  check_int "enable all" 3 (Sim.Trace.enable t ());
+  check_int "disable one" 2 (Sim.Trace.disable t ~group:"dma" ~name:"desc" ());
+  let events = ref 0 in
+  Sim.Trace.set_sink t (fun _ -> incr events);
+  Sim.Trace.hit t p1 ~now:2 ~conn:1 ~arg:7;
+  check_int "sink called" 1 !events;
+  check_int "registered" 3 (List.length (Sim.Trace.points t))
+
+let suite =
+  [
+    Alcotest.test_case "time units" `Quick test_time_units;
+    Alcotest.test_case "frequency arithmetic" `Quick test_freq_exact;
+    Alcotest.test_case "invalid frequency" `Quick test_freq_invalid;
+    Alcotest.test_case "event queue ordering" `Quick test_queue_ordering;
+    Alcotest.test_case "event queue FIFO ties" `Quick test_queue_fifo_ties;
+    Alcotest.test_case "event queue cancel" `Quick test_queue_cancel;
+    QCheck_alcotest.to_alcotest prop_queue_sorted;
+    Alcotest.test_case "engine run until" `Quick test_engine_run_until;
+    Alcotest.test_case "engine nested scheduling" `Quick
+      test_engine_nested_schedule;
+    Alcotest.test_case "engine cancel" `Quick test_engine_cancel;
+    Alcotest.test_case "engine rejects the past" `Quick
+      test_engine_past_raises;
+    Alcotest.test_case "rng determinism" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng bernoulli rate" `Quick test_rng_bool_rate;
+    Alcotest.test_case "histogram small values exact" `Quick
+      test_histogram_exact_small;
+    QCheck_alcotest.to_alcotest prop_histogram_bounds;
+    Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
+    Alcotest.test_case "jain fairness index" `Quick test_jain;
+    Alcotest.test_case "throughput meter" `Quick test_meter;
+    Alcotest.test_case "tracepoint registry" `Quick test_trace_registry;
+  ]
