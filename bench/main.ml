@@ -21,6 +21,7 @@ let experiments =
     ("table3", Table3.run);
     ("table4", Table4.run);
     ("ablations", Ablations.run);
+    ("chaos", Chaos.run);
     ("micro", Microbench.run);
   ]
 

@@ -11,6 +11,7 @@ type parallelism = {
 
 type stage_costs = {
   preproc_validate : int;
+  preproc_csum : int;
   preproc_lookup_hit : int;
   preproc_summary : int;
   protocol_rx : int;
@@ -40,6 +41,8 @@ type t = {
   delayed_acks : bool;
   window_scale : int;
   rto : Sim.Time.t;
+  rto_max : Sim.Time.t;
+  max_rto_retries : int;
   cc : congestion_control;
   cc_interval : Sim.Time.t;
   wheel_slot : Sim.Time.t;
@@ -52,6 +55,7 @@ type t = {
 let default_costs =
   {
     preproc_validate = 50;
+    preproc_csum = 30;
     preproc_lookup_hit = 25;
     preproc_summary = 55;
     protocol_rx = 90;
@@ -99,6 +103,8 @@ let default =
     delayed_acks = false;
     window_scale = 7;
     rto = Sim.Time.ms 2;
+    rto_max = Sim.Time.ms 32;
+    max_rto_retries = 8;
     cc = Dctcp;
     cc_interval = Sim.Time.us 50;
     wheel_slot = Sim.Time.us 2;

@@ -28,6 +28,10 @@ type parallelism = {
     simulation; see DESIGN.md §6 for how they were chosen. *)
 type stage_costs = {
   preproc_validate : int;
+  preproc_csum : int;
+      (** TCP checksum verification: fixed overhead of driving the CRC
+          unit; the per-byte part is derived from the frame length in
+          the pre-processor. *)
   preproc_lookup_hit : int;  (** Local lookup-cache hit. *)
   preproc_summary : int;
   protocol_rx : int;  (** Data-bearing segment. *)
@@ -66,7 +70,14 @@ type t = {
       (** Fixed window-scale shift assumed on both ends (no SYN
           negotiation is modelled); data-center defaults need windows
           larger than 64 KB. *)
-  rto : Sim.Time.t;  (** Control-plane retransmission timeout. *)
+  rto : Sim.Time.t;
+      (** Control-plane retransmission timeout (initial value; the
+          per-connection timeout doubles on each consecutive timeout —
+          exponential backoff — and resets on forward progress). *)
+  rto_max : Sim.Time.t;  (** Backoff ceiling. *)
+  max_rto_retries : int;
+      (** Consecutive timeouts without progress before the control
+          plane aborts the connection and notifies the application. *)
   cc : congestion_control;
   cc_interval : Sim.Time.t;  (** Control-plane iteration interval. *)
   wheel_slot : Sim.Time.t;  (** Carousel time-wheel slot granularity. *)

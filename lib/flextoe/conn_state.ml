@@ -27,6 +27,7 @@ type proto = {
   mutable ece_pending : bool;
   mutable cwr_pending : bool;
   mutable recover_pos : int;
+  mutable karn_pos : int;
   mutable last_progress : Sim.Time.t;
 }
 
@@ -87,6 +88,7 @@ let create ~idx ~flow ~peer_mac ~flow_group ~tx_isn ~rx_isn
         ece_pending = false;
         cwr_pending = false;
         recover_pos = 0;
+        karn_pos = 0;
         last_progress = Sim.Time.zero;
       };
     post =

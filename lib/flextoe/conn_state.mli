@@ -48,6 +48,12 @@ type proto = {
   mutable recover_pos : int;
       (** Fast-retransmit gate: no second fast retransmit until the
           acked point passes this position (go-back-N recovery). *)
+  mutable karn_pos : int;
+      (** Karn's algorithm: positions at or below this were (go-back-N)
+          retransmitted, so an ACK covering them is ambiguous — the
+          timestamp echo may stem from the original transmission — and
+          yields no RTT sample. Set to [tx_max_pos] at every
+          retransmission. *)
   mutable last_progress : Sim.Time.t;
       (** Last time the acked point advanced (control-plane RTO). *)
 }

@@ -37,6 +37,10 @@ type cc_flow = {
   mutable cf_acc_fretx : int;
   mutable cf_last_decision : Sim.Time.t;
   mutable cf_closing : bool;
+  (* Retransmission-timeout state: the current (backed-off) timeout
+     and the consecutive timeouts since the acked point last moved. *)
+  mutable cf_rto : Sim.Time.t;
+  mutable cf_retries : int;
 }
 
 type t = {
@@ -51,6 +55,8 @@ type t = {
   mutable next_port : int;
   mutable next_ctx : int;
   mutable rto_count : int;
+  mutable rto_aborts : int;
+  mutable rto_log : (int * Sim.Time.t) list;  (* newest first *)
   mutable on_rate_change : conn:int -> bps:int -> unit;
   mutable conn_limit : int option;
   mutable partitions : (int * int * int) list;  (* lo, hi, app *)
@@ -58,6 +64,8 @@ type t = {
 
 let active_flows t = Hashtbl.length t.flows
 let retransmit_timeouts t = t.rto_count
+let retransmit_aborts t = t.rto_aborts
+let rto_events t = List.rev t.rto_log
 let set_on_rate_change t f = t.on_rate_change <- f
 
 let cp_cycles = 1800  (* handshake step on the CP core *)
@@ -121,6 +129,8 @@ let finalize t ?remote_win (p : pending) k =
           cf_acc_fretx = 0;
           cf_last_decision = Sim.Engine.now t.engine;
           cf_closing = false;
+          cf_rto = t.cfg.Config.rto;
+          cf_retries = 0;
         };
       Tcp.Flow.Tbl.remove t.pending p.p_flow;
       k { ch_conn = idx; ch_ctx = p.p_ctx; ch_state = cs })
@@ -354,17 +364,43 @@ let iterate_flow t now (f : cc_flow) =
   f.cf_acc_ackb <- f.cf_acc_ackb + st.Datapath.ackb;
   f.cf_acc_ecnb <- f.cf_acc_ecnb + st.Datapath.ecnb;
   f.cf_acc_fretx <- f.cf_acc_fretx + st.Datapath.fretx;
+  (* Forward progress re-arms the timeout at its base value. *)
+  if st.Datapath.ackb > 0 then begin
+    f.cf_rto <- t.cfg.Config.rto;
+    f.cf_retries <- 0
+  end;
   (* Retransmission timeout monitoring (§3.4): only data actually in
      flight can time out — a paced flow between transmissions is not
-     stalled. *)
-  if
-    st.Datapath.tx_inflight > 0
-    && now - st.Datapath.last_progress > t.cfg.Config.rto
-  then begin
-    t.rto_count <- t.rto_count + 1;
-    Datapath.cp_push t.dp { Meta.h_conn = f.cf_conn; h_op = Meta.Retransmit };
-    f.cf_acc_fretx <- f.cf_acc_fretx + 1
-  end;
+     stalled. Consecutive timeouts without progress back the timeout
+     off exponentially (capped), and past [max_rto_retries] the flow
+     is declared dead: the application is notified ([x_err]) and the
+     connection is torn down. *)
+  let aborted =
+    if
+      st.Datapath.tx_inflight > 0
+      && now - st.Datapath.last_progress > f.cf_rto
+    then
+      if f.cf_retries >= t.cfg.Config.max_rto_retries then begin
+        t.rto_aborts <- t.rto_aborts + 1;
+        Datapath.notify_abort t.dp ~conn:f.cf_conn;
+        Datapath.remove_conn t.dp ~conn:f.cf_conn;
+        Hashtbl.remove t.flows f.cf_conn;
+        true
+      end
+      else begin
+        t.rto_count <- t.rto_count + 1;
+        t.rto_log <- (f.cf_conn, now) :: t.rto_log;
+        Datapath.cp_push t.dp
+          { Meta.h_conn = f.cf_conn; h_op = Meta.Retransmit };
+        f.cf_acc_fretx <- f.cf_acc_fretx + 1;
+        f.cf_retries <- f.cf_retries + 1;
+        f.cf_rto <- min (2 * f.cf_rto) t.cfg.Config.rto_max;
+        false
+      end
+    else false
+  in
+  if aborted then ()
+  else begin
   if st.Datapath.ack_pending then
     Datapath.cp_push t.dp { Meta.h_conn = f.cf_conn; h_op = Meta.Ack_flush };
   (* One congestion decision per (estimated) RTT. *)
@@ -403,6 +439,7 @@ let iterate_flow t now (f : cc_flow) =
         Hashtbl.remove t.flows f.cf_conn
     | _ -> ()
   end
+  end
 
 let rec cc_loop t () =
   let now = Sim.Engine.now t.engine in
@@ -427,6 +464,8 @@ let create engine ~config ~datapath ~core () =
       next_port = 40_000;
       next_ctx = 0;
       rto_count = 0;
+      rto_aborts = 0;
+      rto_log = [];
       on_rate_change = (fun ~conn:_ ~bps:_ -> ());
       conn_limit = None;
       partitions = [];

@@ -66,6 +66,16 @@ val active_flows : t -> int
 val retransmit_timeouts : t -> int
 (** Timeout-triggered go-back-N retransmissions issued so far. *)
 
+val retransmit_aborts : t -> int
+(** Connections torn down after [max_rto_retries] consecutive
+    timeouts without forward progress. The application is notified
+    through its context queue ([x_err]). *)
+
+val rto_events : t -> (int * Sim.Time.t) list
+(** Every timeout-triggered retransmission as (connection, time), in
+    chronological order — consecutive gaps for one connection expose
+    the exponential backoff. *)
+
 val set_on_rate_change : t -> (conn:int -> bps:int -> unit) -> unit
 (** Test/inspection hook: observe CC rate decisions. *)
 

@@ -27,6 +27,7 @@ type stats = {
   tx_acks : int;
   rx_to_control : int;
   rx_dropped : int;
+  rx_dropped_csum : int;
   fast_retx : int;
   gro_reordered : int;
   egress_reordered : int;
@@ -102,6 +103,7 @@ type t = {
   mutable st_tx_acks : int;
   mutable st_ctl : int;
   mutable st_drop : int;
+  mutable st_drop_csum : int;
   mutable st_fretx : int;
 }
 
@@ -282,6 +284,8 @@ let set_control_rx t f = t.control_rx <- f
 (* --- Notification path (ARX) -------------------------------------- *)
 
 let set_arx_handler t ~ctx f = t.arx_handlers.(ctx) <- f
+
+let dma_engine t = t.dma
 
 (* The context-queue stage DMAs the descriptor into the host ring;
    libTOE sees it one polling period later. *)
@@ -502,6 +506,7 @@ let postproc_stage t fg (w : post_work) =
                   x_rx_bytes = v.Meta.v_rx_advance;
                   x_tx_freed = v.Meta.v_tx_freed;
                   x_fin = v.Meta.v_fin_reached;
+                  x_err = false;
                 }
             else None
           in
@@ -638,6 +643,12 @@ let forward_to_control t frame =
         ~bytes:(S.frame_wire_len frame)
         (fun () -> t.control_rx frame))
 
+(* Checksum verification cost: driving the CRC/checksum unit has a
+   fixed overhead plus a per-16B streaming component over the frame
+   (the NFP checksums at near line rate). *)
+let csum_cycles t frame =
+  t.cfg.Config.costs.Config.preproc_csum + (S.frame_wire_len frame / 16)
+
 let preproc_rx t gseq (frame : S.frame) =
   let c = t.cfg.Config.costs in
   let seg = frame.S.seg in
@@ -650,10 +661,23 @@ let preproc_rx t gseq (frame : S.frame) =
   let extra = trace_cycles t "preproc" ~conn:(-1) in
   let fpc = next_preproc t in
   Nfp.Fpc.submit fpc
-    ([ Nfp.Fpc.Compute (c.Config.preproc_validate + capture_extra + extra) ]
+    ([
+       Nfp.Fpc.Compute
+         (c.Config.preproc_validate + csum_cycles t frame + capture_extra
+        + extra);
+     ]
     @ lookup_phases
     @ [ Nfp.Fpc.Compute c.Config.preproc_summary ])
     (fun () ->
+      if not (S.csum_ok frame) then begin
+        (* Corrupted in flight: drop at pre-processing so it never
+           reaches GRO or the protocol stage. The sender recovers via
+           retransmission (dup-ACK or RTO), exactly as for loss. *)
+        t.st_drop_csum <- t.st_drop_csum + 1;
+        trace_event t "preproc" "seg_invalid" ~conn:(-1);
+        Sequencer.skip t.rx_gro ~seq:gseq
+      end
+      else
       let conn_idx = Nfp.Lookup.lookup t.conn_db ~hash flow in
       let datapath_ok =
         S.data_path_flags seg.S.flags && frame.S.vlan = None
@@ -703,9 +727,10 @@ let rtc_rx t (frame : S.frame) =
   let phases =
     [
       Nfp.Fpc.Compute
-        (c.Config.preproc_validate + c.Config.preproc_lookup_hit
-       + c.Config.preproc_summary + c.Config.protocol_rx
-       + c.Config.postproc_rx + c.Config.dma_desc + c.Config.ctx_desc);
+        (c.Config.preproc_validate + csum_cycles t frame
+       + c.Config.preproc_lookup_hit + c.Config.preproc_summary
+       + c.Config.protocol_rx + c.Config.postproc_rx + c.Config.dma_desc
+       + c.Config.ctx_desc);
       Mem Nfp.Memory.Imem;
       Mem Nfp.Memory.Emem;
       Mem Nfp.Memory.Emem;
@@ -715,6 +740,9 @@ let rtc_rx t (frame : S.frame) =
     ]
   in
   Nfp.Fpc.submit t.rtc_fpc phases (fun () ->
+      if not (S.csum_ok frame) then
+        t.st_drop_csum <- t.st_drop_csum + 1
+      else
       match Nfp.Lookup.lookup t.conn_db ~hash flow with
       | Some idx when S.data_path_flags seg.S.flags -> begin
           match conn t idx with
@@ -768,6 +796,7 @@ let rtc_rx t (frame : S.frame) =
                     x_rx_bytes = v.Meta.v_rx_advance;
                     x_tx_freed = v.Meta.v_tx_freed;
                     x_fin = v.Meta.v_fin_reached;
+                    x_err = false;
                   };
               match v.Meta.v_ack with
               | Some a ->
@@ -947,6 +976,22 @@ let cp_push t (d : Meta.hc_desc) =
   (* Control plane interface (CPI): same path, context queue 0. *)
   ignore (atx_push t ~ctx:0 d)
 
+(* Abort notification (CP decided the flow is unrecoverable). Must be
+   sent while the connection state still exists — callers remove the
+   connection afterwards. *)
+let notify_abort t ~conn:conn_idx =
+  match conn t conn_idx with
+  | None -> ()
+  | Some cs ->
+      notify_libtoe t cs
+        {
+          Meta.x_opaque = cs.Conn_state.post.Conn_state.opaque;
+          x_rx_bytes = 0;
+          x_tx_freed = 0;
+          x_fin = false;
+          x_err = true;
+        }
+
 let reinject_rx t frame = rx_datapath t frame
 
 let control_tx t frame =
@@ -1019,6 +1064,7 @@ let stats t =
     tx_acks = t.st_tx_acks;
     rx_to_control = t.st_ctl;
     rx_dropped = t.st_drop;
+    rx_dropped_csum = t.st_drop_csum;
     fast_retx = t.st_fretx;
     gro_reordered = Sequencer.reordered t.rx_gro;
     egress_reordered = Sequencer.reordered t.tx_gro;
@@ -1185,6 +1231,7 @@ let create engine ~config:cfg ~fabric ~mac ~ip ?(ctx_queues = 4) () =
         st_tx_acks = 0;
         st_ctl = 0;
         st_drop = 0;
+        st_drop_csum = 0;
         st_fretx = 0;
       }
   in

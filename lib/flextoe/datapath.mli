@@ -90,6 +90,15 @@ val set_arx_handler : t -> ctx:int -> (Meta.arx_desc -> unit) -> unit
 val cp_push : t -> Meta.hc_desc -> unit
 (** Control-plane-originated HC operation (retransmit). *)
 
+val notify_abort : t -> conn:int -> unit
+(** Push an abort notification ([x_err]) to the connection's context
+    queue. Called by the control plane before tearing down a flow
+    whose retransmission retries are exhausted, so the application
+    learns the connection died instead of waiting forever. *)
+
+val dma_engine : t -> Nfp.Dma.t
+(** The PCIe DMA engine (e.g. to inject transfer faults). *)
+
 type cc_stats = {
   ackb : int;
   ecnb : int;
@@ -143,6 +152,10 @@ type stats = {
   tx_acks : int;
   rx_to_control : int;
   rx_dropped : int;
+  rx_dropped_csum : int;
+      (** Frames whose TCP checksum failed verification, dropped at
+          RX pre-processing (they never reach GRO or the protocol
+          stage). *)
   fast_retx : int;
   gro_reordered : int;
   egress_reordered : int;

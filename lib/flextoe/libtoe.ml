@@ -12,6 +12,7 @@ type sock = {
   mutable tx_avail_pending : int;  (* appended, not yet announced *)
   mutable fin_pending : bool;
   mutable hc_retry_armed : bool;
+  mutable hc_retry_delay : Sim.Time.t;  (* current backoff *)
   mutable peer_closed : bool;
   mutable closed : bool;
 }
@@ -25,18 +26,26 @@ type t = {
   by_opaque : (int, sock) Hashtbl.t;
   mutable next_sock : int;
   mutable next_core : int;
+  mutable atx_retries : int;
+  mutable aborted : int;
   endpoint : Host.Api.endpoint;
 }
 
 let sockets_open t = Hashtbl.length t.by_opaque
+let atx_retries t = t.atx_retries
+let sockets_aborted t = t.aborted
 
 let charge sock cycles =
   Host.Host_cpu.exec_now sock.core ~category:"sockets" ~cycles ()
 
+let hc_retry_base = Sim.Time.us 5
+let hc_retry_max = Sim.Time.us 80
+
 (* Post pending host-control updates. The ATX ring can be full under
    bursts (it flow-controls the host, §3.1.1): updates coalesce here
-   and retry shortly instead of being lost — a lost Tx_avail would
-   strand the data forever. *)
+   and retry with exponential backoff instead of being lost — a lost
+   Tx_avail would strand the data forever, while hammering a full
+   ring every fixed interval just burns the doorbell path. *)
 let rec flush_hc t sock =
   let conn = sock.handle.Control_plane.ch_conn in
   let push op = Datapath.atx_push t.dp ~ctx:sock.ctx
@@ -60,9 +69,13 @@ let rec flush_hc t sock =
     sock.tx_avail_pending > 0 || sock.rx_credit_pending > 0
     || sock.fin_pending
   in
-  if backlog && not sock.hc_retry_armed then begin
+  if not backlog then sock.hc_retry_delay <- hc_retry_base
+  else if not sock.hc_retry_armed then begin
     sock.hc_retry_armed <- true;
-    Sim.Engine.schedule t.engine (Sim.Time.us 5) (fun () ->
+    t.atx_retries <- t.atx_retries + 1;
+    let delay = sock.hc_retry_delay in
+    sock.hc_retry_delay <- min (2 * delay) hc_retry_max;
+    Sim.Engine.schedule t.engine delay (fun () ->
         sock.hc_retry_armed <- false;
         flush_hc t sock)
   end
@@ -145,6 +158,7 @@ let make_sock t (handle : Control_plane.conn_handle) =
         tx_avail_pending = 0;
         fin_pending = false;
         hc_retry_armed = false;
+        hc_retry_delay = hc_retry_base;
         peer_closed = false;
         closed = false;
       }
@@ -162,14 +176,29 @@ let on_arx t (d : Meta.arx_desc) =
   | Some sock ->
       Host.Host_cpu.exec sock.core ~category:"sockets"
         ~cycles:t.cfg.Config.notify_cycles (fun () ->
-          if d.Meta.x_rx_bytes > 0 then
-            sock.rx_ready <- sock.rx_ready + d.Meta.x_rx_bytes;
-          if d.Meta.x_tx_freed > 0 then
-            sock.tx_free <- sock.tx_free + d.Meta.x_tx_freed;
-          if d.Meta.x_fin then sock.peer_closed <- true;
-          if d.Meta.x_rx_bytes > 0 then sock.api.Host.Api.on_readable ();
-          if d.Meta.x_tx_freed > 0 then sock.api.Host.Api.on_writable ();
-          if d.Meta.x_fin then sock.api.Host.Api.on_peer_closed ())
+          if d.Meta.x_err then begin
+            (* Connection aborted by the control plane: the data-path
+               state is gone, so pending HC updates are moot and no
+               further notifications will arrive. *)
+            sock.closed <- true;
+            sock.peer_closed <- true;
+            sock.tx_avail_pending <- 0;
+            sock.rx_credit_pending <- 0;
+            sock.fin_pending <- false;
+            t.aborted <- t.aborted + 1;
+            Hashtbl.remove t.by_opaque d.Meta.x_opaque;
+            sock.api.Host.Api.on_error ()
+          end
+          else begin
+            if d.Meta.x_rx_bytes > 0 then
+              sock.rx_ready <- sock.rx_ready + d.Meta.x_rx_bytes;
+            if d.Meta.x_tx_freed > 0 then
+              sock.tx_free <- sock.tx_free + d.Meta.x_tx_freed;
+            if d.Meta.x_fin then sock.peer_closed <- true;
+            if d.Meta.x_rx_bytes > 0 then sock.api.Host.Api.on_readable ();
+            if d.Meta.x_tx_freed > 0 then sock.api.Host.Api.on_writable ();
+            if d.Meta.x_fin then sock.api.Host.Api.on_peer_closed ()
+          end)
 
 (* --- Endpoint construction ------------------------------------------ *)
 
@@ -186,6 +215,8 @@ let create engine ~config ~datapath ~control ~cores () =
         by_opaque = Hashtbl.create 256;
         next_sock = 0;
         next_core = 0;
+        atx_retries = 0;
+        aborted = 0;
         endpoint =
           {
             Host.Api.listen =

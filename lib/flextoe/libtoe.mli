@@ -31,3 +31,12 @@ val endpoint : t -> Host.Api.endpoint
 (** The application-facing socket interface. *)
 
 val sockets_open : t -> int
+
+val atx_retries : t -> int
+(** Times a full ATX ring forced HC updates to be re-posted later.
+    Retries back off exponentially (5 us doubling to 80 us) and reset
+    once the backlog drains. *)
+
+val sockets_aborted : t -> int
+(** Sockets killed by a stack-side abort notification ([x_err]);
+    their [on_error] callback has fired. *)

@@ -84,4 +84,9 @@ type arx_desc = {
   x_rx_bytes : int;  (** Newly readable bytes. *)
   x_tx_freed : int;  (** Newly free TX-buffer space. *)
   x_fin : bool;
+  x_err : bool;
+      (** Connection aborted by the control plane (retransmission
+          retries exhausted): the flow is dead, buffered state is
+          gone, and the application must not expect further
+          notifications. *)
 }

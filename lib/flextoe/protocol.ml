@@ -43,11 +43,16 @@ let process_ack cfg ~now conn (s : Meta.rx_summary) =
       p.dupack_cnt <- 0;
       p.last_progress <- now;
       let rtt =
-        match s.Meta.ts with
-        | Some (_tsval, tsecr) when tsecr > 0 ->
-            let sample = (us_of_time now - tsecr) land 0xFFFF_FFFF in
-            if sample < 10_000_000 then sample * 1000 else 0
-        | _ -> 0
+        (* Karn: an ACK that doesn't pass the retransmission high-water
+           mark may echo a timestamp from the original transmission —
+           no sample. *)
+        if ack_pos <= p.karn_pos then 0
+        else
+          match s.Meta.ts with
+          | Some (_tsval, tsecr) when tsecr > 0 ->
+              let sample = (us_of_time now - tsecr) land 0xFFFF_FFFF in
+              if sample < 10_000_000 then sample * 1000 else 0
+          | _ -> 0
       in
       let ecnb = if s.Meta.ece then freed else 0 in
       if s.Meta.ece then p.cwr_pending <- true;
@@ -71,6 +76,7 @@ let process_ack cfg ~now conn (s : Meta.rx_summary) =
           (* Fast retransmit: go-back-N reset. *)
           p.recover_pos <- p.tx_next_pos;
           p.tx_next_pos <- p.tx_acked_pos;
+          p.karn_pos <- p.tx_max_pos;
           p.fin_sent <- false;
           p.dupack_cnt <- 0;
           (0, 0, 0, 0, true, true)
@@ -243,6 +249,7 @@ let hc cfg ~now conn op ~alloc_gseq =
       { hc_wake_tx = true; hc_window_update = None }
   | Meta.Retransmit ->
       p.tx_next_pos <- p.tx_acked_pos;
+      p.karn_pos <- p.tx_max_pos;
       p.fin_sent <- false;
       p.dupack_cnt <- 0;
       p.last_progress <- now;

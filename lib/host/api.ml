@@ -9,6 +9,7 @@ type socket = {
   mutable on_readable : unit -> unit;
   mutable on_writable : unit -> unit;
   mutable on_peer_closed : unit -> unit;
+  mutable on_error : unit -> unit;
 }
 
 type endpoint = {
@@ -36,4 +37,5 @@ let make_socket ~sock_id ~core ~send ~recv ~rx_available ~tx_space ~close =
     on_readable = null_handler;
     on_writable = null_handler;
     on_peer_closed = null_handler;
+    on_error = null_handler;
   }

@@ -28,6 +28,10 @@ type socket = {
   mutable on_readable : unit -> unit;
   mutable on_writable : unit -> unit;
   mutable on_peer_closed : unit -> unit;
+  mutable on_error : unit -> unit;
+      (** The stack aborted the connection (e.g. retransmission
+          retries exhausted): the socket is dead, unread data is lost,
+          and no further callbacks will fire. *)
 }
 
 type endpoint = {

@@ -29,7 +29,14 @@ and port = {
   mutable egress_free : Sim.Time.t;
   mutable egress_queued : int;  (* bytes committed but not yet delivered *)
   mutable shaping : shaping option;
+  mutable tx_fault : fault_hook option;
+  mutable rx_fault : fault_hook option;
 }
+
+(* A fault hook intercepts a frame and decides its fate by invoking
+   the continuation zero (drop), one (pass, possibly mutated or
+   delayed via the engine) or several (duplicate) times. *)
+and fault_hook = Tcp.Segment.frame -> (Tcp.Segment.frame -> unit) -> unit
 
 let create engine ?(switch_latency = Sim.Time.us 1) ?(seed = 42L) () =
   {
@@ -61,6 +68,8 @@ let add_port t ?(rate_gbps = 40.0) ~mac ~ip ~rx () =
       egress_free = Sim.Time.zero;
       egress_queued = 0;
       shaping = None;
+      tx_fault = None;
+      rx_fault = None;
     }
   in
   t.ports <- port :: t.ports;
@@ -76,6 +85,11 @@ let wire_time ~rate_gbps ~bytes =
   let on_wire = bytes + 24 in
   int_of_float (Float.round (float_of_int (8 * on_wire) *. 1000. /. rate_gbps))
 
+(* Hand a frame to the destination port's receiver, through its
+   ingress fault stage if one is attached. *)
+let rx_into (dst : port) frame =
+  match dst.rx_fault with None -> dst.rx frame | Some hook -> hook frame dst.rx
+
 let deliver t (dst : port) frame =
   let now = Sim.Engine.now t.engine in
   let bytes = Tcp.Segment.frame_wire_len frame in
@@ -87,7 +101,7 @@ let deliver t (dst : port) frame =
       dst.egress_free <- start + ser;
       Sim.Engine.schedule_at t.engine dst.egress_free (fun () ->
           t.delivered <- t.delivered + 1;
-          dst.rx frame)
+          rx_into dst frame)
   | Some s ->
       if dst.egress_queued + bytes > s.queue_bytes then
         t.dropped_queue <- t.dropped_queue + 1
@@ -110,7 +124,7 @@ let deliver t (dst : port) frame =
         Sim.Engine.schedule_at t.engine dst.egress_free (fun () ->
             dst.egress_queued <- dst.egress_queued - bytes;
             t.delivered <- t.delivered + 1;
-            dst.rx frame)
+            rx_into dst frame)
       end
 
 let forward t frame =
@@ -128,7 +142,7 @@ let forward t frame =
     | Some p -> deliver t p frame
   end
 
-let transmit port frame =
+let transmit_clean port frame =
   let t = port.fabric in
   let now = Sim.Engine.now t.engine in
   let bytes = Tcp.Segment.frame_wire_len frame in
@@ -137,6 +151,14 @@ let transmit port frame =
   port.tx_free <- start + ser;
   let arrival = port.tx_free + t.switch_latency in
   Sim.Engine.schedule_at t.engine arrival (fun () -> forward t frame)
+
+let transmit port frame =
+  match port.tx_fault with
+  | None -> transmit_clean port frame
+  | Some hook -> hook frame (transmit_clean port)
+
+let set_tx_fault port hook = port.tx_fault <- hook
+let set_rx_fault port hook = port.rx_fault <- hook
 
 let port_mac p = p.mac
 let port_ip p = p.ip

@@ -43,6 +43,23 @@ val shape_port :
 val transmit : port -> Tcp.Segment.frame -> unit
 (** Send a frame into the fabric from this port. *)
 
+(** {1 Fault injection}
+
+    A fault hook intercepts every frame crossing a port boundary and
+    decides its fate by invoking the continuation zero (drop), one
+    (pass — possibly mutated, or later via the engine) or several
+    (duplicate) times. Build hooks with {!Faults}. *)
+
+type fault_hook = Tcp.Segment.frame -> (Tcp.Segment.frame -> unit) -> unit
+
+val set_tx_fault : port -> fault_hook option -> unit
+(** Intercept frames this port transmits, before ingress
+    serialisation. *)
+
+val set_rx_fault : port -> fault_hook option -> unit
+(** Intercept frames delivered to this port, at arrival time, before
+    the receive callback. *)
+
 val port_mac : port -> int
 val port_ip : port -> int
 

@@ -1,7 +1,25 @@
+(* A transfer's continuation must not observe reordering within its
+   queue: descriptors (HC ops, ARX notifications) and payload writes
+   rely on FIFO semantics, exactly like PCIe read-completion ordering
+   within a traffic class. Physical transfers may finish out of order
+   once the fault stage retries one of them, so each queue keeps its
+   issue-order ticket list and releases continuations strictly from
+   the head. With no faults, completions are already FIFO and every
+   continuation runs at its own completion instant. *)
+type ticket = {
+  tk_bytes : int;
+  tk_k : unit -> unit;
+  mutable tk_attempt : int;
+  mutable tk_done : bool;
+}
+
 type queue_state = {
   mutable inflight : int;
-  waiting : (int * (unit -> unit)) Queue.t;
+  waiting : ticket Queue.t;  (* blocked on an in-flight slot *)
+  order : ticket Queue.t;  (* issue order; head releases first *)
 }
+
+type fault = { f_rng : Sim.Rng.t; f_rate : float; f_max_retries : int }
 
 type t = {
   engine : Sim.Engine.t;
@@ -10,6 +28,10 @@ type t = {
   mutable link_free : Sim.Time.t;  (* when the shared link next frees *)
   mutable completed : int;
   mutable bytes : int;
+  mutable fault : fault option;
+  mutable faults_injected : int;
+  mutable retries : int;
+  mutable retries_exhausted : int;
 }
 
 let create engine ~params =
@@ -18,11 +40,25 @@ let create engine ~params =
     params;
     queues =
       Array.init params.Params.dma_queues (fun _ ->
-          { inflight = 0; waiting = Queue.create () });
+          {
+            inflight = 0;
+            waiting = Queue.create ();
+            order = Queue.create ();
+          });
     link_free = Sim.Time.zero;
     completed = 0;
     bytes = 0;
+    fault = None;
+    faults_injected = 0;
+    retries = 0;
+    retries_exhausted = 0;
   }
+
+let set_fault t ?(seed = 0xD0AL) ~rate ?(max_retries = 8) () =
+  t.fault <-
+    Some { f_rng = Sim.Rng.create seed; f_rate = rate; f_max_retries = max_retries }
+
+let clear_fault t = t.fault <- None
 
 let serialization_time t bytes =
   if bytes <= 0 then 0
@@ -31,30 +67,58 @@ let serialization_time t bytes =
     let ps = float_of_int (8 * bytes) *. 1000. /. t.params.Params.pcie_gbps in
     int_of_float (Float.round ps)
 
-let rec start t q ~bytes k =
+(* Release finished tickets from the head of the queue's issue order:
+   a still-retrying transfer ahead in the order holds everything
+   behind it. *)
+let drain_order q =
+  while (not (Queue.is_empty q.order)) && (Queue.peek q.order).tk_done do
+    (Queue.pop q.order).tk_k ()
+  done
+
+let rec start t q tk =
   q.inflight <- q.inflight + 1;
   let now = Sim.Engine.now t.engine in
-  let ser = serialization_time t bytes in
+  let ser = serialization_time t tk.tk_bytes in
   let start_time = max now t.link_free in
   t.link_free <- start_time + ser;
   let completion =
     start_time + ser + t.params.Params.pcie_base_latency - now
   in
   Sim.Engine.schedule t.engine completion (fun () ->
-      t.completed <- t.completed + 1;
-      t.bytes <- t.bytes + bytes;
       q.inflight <- q.inflight - 1;
       (* Free slot: admit a waiter, if any. *)
-      if not (Queue.is_empty q.waiting) then begin
-        let wbytes, wk = Queue.pop q.waiting in
-        start t q ~bytes:wbytes wk
-      end;
-      k ())
+      if not (Queue.is_empty q.waiting) then start t q (Queue.pop q.waiting);
+      (* The transfer occupied the link either way; an injected fault
+         (flaky link: CRC error, completion timeout) means the payload
+         must be re-sent, paying serialisation and latency again. *)
+      let failed =
+        match t.fault with
+        | Some f when f.f_rate > 0. && Sim.Rng.bool f.f_rng f.f_rate ->
+            t.faults_injected <- t.faults_injected + 1;
+            true
+        | _ -> false
+      in
+      match t.fault with
+      | Some f when failed && tk.tk_attempt < f.f_max_retries ->
+          t.retries <- t.retries + 1;
+          tk.tk_attempt <- tk.tk_attempt + 1;
+          admit t q tk
+      | _ ->
+          if failed then t.retries_exhausted <- t.retries_exhausted + 1;
+          t.completed <- t.completed + 1;
+          t.bytes <- t.bytes + tk.tk_bytes;
+          tk.tk_done <- true;
+          drain_order q)
+
+and admit t q tk =
+  if q.inflight < t.params.Params.dma_inflight then start t q tk
+  else Queue.push tk q.waiting
 
 let issue t ~queue ~bytes k =
   let q = t.queues.(queue mod Array.length t.queues) in
-  if q.inflight < t.params.Params.dma_inflight then start t q ~bytes k
-  else Queue.push (bytes, k) q.waiting
+  let tk = { tk_bytes = bytes; tk_k = k; tk_attempt = 0; tk_done = false } in
+  Queue.push tk q.order;
+  admit t q tk
 
 let in_flight t = Array.fold_left (fun n q -> n + q.inflight) 0 t.queues
 
@@ -64,3 +128,6 @@ let queued t =
 let transfers_completed t = t.completed
 let bytes_transferred t = t.bytes
 let busy_until t = t.link_free
+let faults_injected t = t.faults_injected
+let retries t = t.retries
+let retries_exhausted t = t.retries_exhausted

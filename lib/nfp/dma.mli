@@ -18,7 +18,14 @@ val issue : t -> queue:int -> bytes:int -> (unit -> unit) -> unit
 (** [issue t ~queue ~bytes k] starts a DMA of [bytes]; [k] runs at
     completion time. [queue] selects a transaction queue
     (mod the configured queue count). Zero-byte transfers model pure
-    descriptor reads/writes and still pay base latency. *)
+    descriptor reads/writes and still pay base latency.
+
+    Continuations are released in issue order per queue (PCIe
+    read-completion ordering within a traffic class): a transfer held
+    up by fault retries also holds the continuations of everything
+    issued after it on the same queue. Callers therefore see FIFO
+    semantics even on a flaky link — descriptor rings and payload
+    writes stay ordered. *)
 
 val in_flight : t -> int
 (** Transfers currently occupying in-flight slots (all queues). *)
@@ -31,3 +38,31 @@ val bytes_transferred : t -> int
 
 val busy_until : t -> Sim.Time.t
 (** Time at which the shared link drains, given current commitments. *)
+
+(** {1 Fault injection}
+
+    A flaky PCIe link: each transfer attempt independently fails with
+    the configured rate (modelling CRC errors / completion timeouts)
+    and is retried through the normal issue path, paying serialisation
+    and base latency again. After [max_retries] failed attempts the
+    transfer completes anyway and is counted in
+    {!retries_exhausted} — at realistic rates exhaustion is
+    vanishingly rare (1e-16 at 1% with 8 retries), and completing
+    keeps callers' continuations alive so higher layers observe
+    latency inflation, not a wedged pipeline. *)
+
+val set_fault : t -> ?seed:int64 -> rate:float -> ?max_retries:int -> unit -> unit
+(** Enable per-attempt failure injection ([max_retries] defaults
+    to 8; the RNG is private to the fault stage, so enabling it does
+    not perturb other random streams). *)
+
+val clear_fault : t -> unit
+
+val faults_injected : t -> int
+(** Failed transfer attempts. *)
+
+val retries : t -> int
+(** Re-issued attempts (equals {!faults_injected} minus exhaustions). *)
+
+val retries_exhausted : t -> int
+(** Transfers that failed even their last permitted attempt. *)

@@ -60,6 +60,7 @@ type frame = {
   vlan : int option;
   ecn : ecn;
   seg : t;
+  csum : int;
 }
 
 let payload_len t = Bytes.length t.payload
@@ -93,8 +94,62 @@ let make ?(flags = no_flags) ?(window = 0xFFFF) ?(options = no_options)
     payload;
   }
 
-let make_frame ?(vlan = None) ?(ecn = Not_ect) ~src_mac ~dst_mac seg =
-  { src_mac; dst_mac; vlan; ecn; seg }
+let flag_bits f =
+  (if f.cwr then 0x80 else 0)
+  lor (if f.ece then 0x40 else 0)
+  lor (if f.urg then 0x20 else 0)
+  lor (if f.ack then 0x10 else 0)
+  lor (if f.psh then 0x08 else 0)
+  lor (if f.rst then 0x04 else 0)
+  lor (if f.syn then 0x02 else 0)
+  lor if f.fin then 0x01 else 0
+
+(* TCP checksum over the pseudo-header, the logical header fields and
+   the payload. Computed on the structured representation rather than
+   wire bytes (the data path never materialises frames), but covering
+   every field {!Wire.encode} would serialise, so any in-flight
+   mutation of the segment is detectable. *)
+let checksum seg =
+  let opt_words =
+    (match seg.options.mss with Some m -> [ 0x0204; m land 0xFFFF ] | None -> [])
+    @
+    match seg.options.ts with
+    | Some (tsval, tsecr) ->
+        [
+          0x0101; 0x080A;
+          (tsval lsr 16) land 0xFFFF; tsval land 0xFFFF;
+          (tsecr lsr 16) land 0xFFFF; tsecr land 0xFFFF;
+        ]
+    | None -> []
+  in
+  let header_words =
+    [
+      seg.src_port land 0xFFFF;
+      seg.dst_port land 0xFFFF;
+      (seg.seq lsr 16) land 0xFFFF;
+      seg.seq land 0xFFFF;
+      (seg.ack_seq lsr 16) land 0xFFFF;
+      seg.ack_seq land 0xFFFF;
+      ((header_len seg / 4) lsl 12) lor flag_bits seg.flags;
+      seg.window land 0xFFFF;
+    ]
+    @ opt_words
+  in
+  let init =
+    Checksum.pseudo_header_sum ~src_ip:seg.src_ip ~dst_ip:seg.dst_ip
+      ~protocol:6
+      ~length:(header_len seg + payload_len seg)
+    + List.fold_left ( + ) 0 header_words
+  in
+  Checksum.finish
+    (Checksum.ones_complement seg.payload ~off:0 ~len:(payload_len seg)
+       ~init)
+
+let make_frame ?(vlan = None) ?(ecn = Not_ect) ?csum ~src_mac ~dst_mac seg =
+  let csum = match csum with Some c -> c | None -> checksum seg in
+  { src_mac; dst_mac; vlan; ecn; seg; csum }
+
+let csum_ok f = f.csum = checksum f.seg
 
 let pp_ip fmt ip =
   Format.fprintf fmt "%d.%d.%d.%d" ((ip lsr 24) land 0xFF)

@@ -54,6 +54,12 @@ type frame = {
   vlan : int option;  (** 802.1Q VLAN id, if tagged. *)
   ecn : ecn;
   seg : t;
+  csum : int;
+      (** TCP checksum carried by the frame. {!make_frame} computes it
+          from the segment; fault injection mutates the segment
+          without updating it, so receivers can detect corruption with
+          {!csum_ok}. The IP-level ECN codepoint is outside its
+          coverage (ECN remarking in the fabric keeps it valid). *)
 }
 
 val payload_len : t -> int
@@ -79,7 +85,23 @@ val make :
   t
 
 val make_frame :
-  ?vlan:int option -> ?ecn:ecn -> src_mac:int -> dst_mac:int -> t -> frame
+  ?vlan:int option ->
+  ?ecn:ecn ->
+  ?csum:int ->
+  src_mac:int ->
+  dst_mac:int ->
+  t ->
+  frame
+(** [csum] defaults to [checksum seg]; pass a stale value to model a
+    corrupted frame. *)
+
+val checksum : t -> int
+(** Model-level TCP checksum (RFC 1071 ones'-complement) over the
+    pseudo-header, all header fields and the payload of the structured
+    segment. *)
+
+val csum_ok : frame -> bool
+(** Does the carried checksum match the segment's contents? *)
 
 val pp : Format.formatter -> t -> unit
 val pp_frame : Format.formatter -> frame -> unit

@@ -265,7 +265,17 @@ let decode ?(verify_checksums = true) buf =
       payload;
     }
   in
-  Ok { src_mac; dst_mac; vlan; ecn; seg }
+  Ok
+    {
+      src_mac;
+      dst_mac;
+      vlan;
+      ecn;
+      seg;
+      (* Wire checksums were verified (or skipped) above; the decoded
+         frame re-derives the model-level checksum from the segment. *)
+      csum = checksum seg;
+    }
 
 let fixup_tcp_checksum buf =
   let ip_len = get_u16 buf (off_ip + 2) in

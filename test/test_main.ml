@@ -23,4 +23,5 @@ let () =
       ("smoke", Smoke.suite);
       ("integration", Test_integration.suite);
       ("integration-ext", Test_integration.extended_suite);
+      ("faults", Test_faults.suite);
     ]

@@ -100,6 +100,116 @@ let prop_protocol_invariants =
       done;
       !ok)
 
+(* --- Reassembly under reorder / duplication / overlap ------------------- *)
+
+(* Oracle-checked reassembly: cut a known byte stream into segments,
+   deliver them shuffled with duplicates and overlapping extras, and
+   redeliver (the retransmission analogue) until the window closes.
+   Whatever the reassembler accepts is placed exactly as a receiver
+   would place it; the reconstruction must equal the original stream
+   byte for byte, and every placement directive must be in bounds and
+   consistent with the segment it came from. *)
+
+type reasm_step =
+  | R_in_order of int * int * int  (* trim, len, advance *)
+  | R_ooo of int * int * int  (* trim, off, len *)
+  | R_dropped
+
+let single_step isn =
+  let t = Tcp.Reassembly.create ~next:isn in
+  fun ~seq ~len ~window ->
+    match Tcp.Reassembly.process t ~seq ~len ~window with
+    | Tcp.Reassembly.Accept { trim; len; advance; _ } ->
+        R_in_order (trim, len, advance)
+    | Tcp.Reassembly.Ooo_accept { trim; off; len } -> R_ooo (trim, off, len)
+    | Tcp.Reassembly.Duplicate | Tcp.Reassembly.Drop_merge_failed
+    | Tcp.Reassembly.Drop_out_of_window ->
+        R_dropped
+
+let multi_step isn =
+  let t = Tcp.Reassembly_multi.create ~next:isn in
+  fun ~seq ~len ~window ->
+    match Tcp.Reassembly_multi.process t ~seq ~len ~window with
+    | Tcp.Reassembly_multi.Accept { trim; len; advance } ->
+        R_in_order (trim, len, advance)
+    | Tcp.Reassembly_multi.Ooo_accept { trim; off; len } ->
+        R_ooo (trim, off, len)
+    | Tcp.Reassembly_multi.Duplicate | Tcp.Reassembly_multi.Drop_out_of_window
+      ->
+        R_dropped
+
+let reassembly_oracle ~mk_step (seed, n) =
+  let rng = Sim.Rng.create (Int64.of_int (seed + 13)) in
+  let stream = Bytes.init n (fun i -> Char.chr ((i * 31 + (i / 256)) land 0xFF)) in
+  let isn = Tcp.Seq32.of_int 123_456 in
+  let step = mk_step isn in
+  (* Segments partitioning the stream... *)
+  let segs = ref [] in
+  let pos = ref 0 in
+  while !pos < n do
+    let len = min (n - !pos) (40 + Sim.Rng.int rng 500) in
+    segs := (!pos, len) :: !segs;
+    pos := !pos + len
+  done;
+  (* ...plus duplicates and arbitrary overlapping extras. *)
+  let dups =
+    List.filter (fun _ -> Sim.Rng.bool rng 0.3) !segs
+  in
+  let extras =
+    List.init (Sim.Rng.int rng 8) (fun _ ->
+        let s = Sim.Rng.int rng n in
+        (s, min (n - s) (1 + Sim.Rng.int rng 500)))
+  in
+  let arr = Array.of_list (!segs @ dups @ extras) in
+  let out = Bytes.make n '\x00' in
+  let base = ref 0 in
+  let ok = ref true in
+  let max_rounds = Array.length arr + 8 in
+  let rounds = ref 0 in
+  while !base < n && !rounds < max_rounds do
+    incr rounds;
+    Sim.Rng.shuffle rng arr;
+    Array.iter
+      (fun (s, l) ->
+        if !base < n then begin
+          let window = n - !base in
+          match step ~seq:(Tcp.Seq32.add isn s) ~len:l ~window with
+          | R_in_order (trim, len, advance) ->
+              if s + trim <> !base then ok := false;
+              if trim < 0 || len < 0 || trim + len > l then ok := false;
+              if advance < len || !base + advance > n then ok := false;
+              if !ok then Bytes.blit stream (s + trim) out !base len;
+              base := !base + advance
+          | R_ooo (trim, off, len) ->
+              if off <= 0 || len <= 0 then ok := false
+              else if !base + off <> s + trim then ok := false
+              else if trim + len > l || !base + off + len > n then
+                ok := false
+              else Bytes.blit stream (s + trim) out (!base + off) len
+          | R_dropped -> ()
+        end)
+      arr
+  done;
+  !ok && !base = n && Bytes.equal out stream
+
+let prop_reassembly_single_oracle =
+  QCheck.Test.make
+    ~name:
+      "reassembly (single-interval): reorder/dup/overlap reconstructs the \
+       stream"
+    ~count:150
+    QCheck.(pair (int_bound 10_000) (int_range 200 4_000))
+    (reassembly_oracle ~mk_step:single_step)
+
+let prop_reassembly_multi_oracle =
+  QCheck.Test.make
+    ~name:
+      "reassembly (multi-interval): reorder/dup/overlap reconstructs the \
+       stream"
+    ~count:150
+    QCheck.(pair (int_bound 10_000) (int_range 200 4_000))
+    (reassembly_oracle ~mk_step:multi_step)
+
 (* --- eBPF ALU vs Int64 reference --------------------------------------- *)
 
 let reference_alu64 op a b =
@@ -184,6 +294,8 @@ let test_simulation_deterministic () =
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_protocol_invariants;
+    QCheck_alcotest.to_alcotest prop_reassembly_single_oracle;
+    QCheck_alcotest.to_alcotest prop_reassembly_multi_oracle;
     QCheck_alcotest.to_alcotest prop_vm_alu64_matches_reference;
     Alcotest.test_case "simulation determinism" `Quick
       test_simulation_deterministic;
