@@ -1,0 +1,134 @@
+(* flexlint: run the FlexTOE eBPF verifier from the command line.
+
+   Verifies either the shipped built-in extension programs
+   ([--builtin]) or a program decoded from a file in the kernel
+   instruction format, and pretty-prints the per-instruction abstract
+   states on demand ([--dump]). Exit status 1 when any program is
+   rejected, so CI can gate on it. *)
+
+open Cmdliner
+module V = Flextoe.Verifier
+
+let spec k v = { V.key_size = k; value_size = v }
+
+(* Name, instruction array, map shapes the program is verified
+   against — mirrors what each extension's constructor builds.
+   [None] means "no metadata": the verifier falls back to its weaker
+   map-id/buffer checks. *)
+let builtins () =
+  [
+    ( "null",
+      Flextoe.Ebpf.instructions (Flextoe.Xdp.null_program ()),
+      Some [||] );
+    ("ext_firewall", Flextoe.Ext_firewall.program (), Some [| spec 4 4 |]);
+    ( "ext_classifier",
+      Flextoe.Ext_classifier.program (),
+      Some [| spec 2 4; spec 4 8 |] );
+    ("ext_vlan", Flextoe.Ext_vlan.program (), Some [||]);
+    ("ext_splice", Flextoe.Ext_splice.program (), Some [| spec 12 24 |]);
+    ("ext_pcap", Flextoe.Ext_pcap.program (), Some [| spec 4 8 |]);
+    ( "ext_pcap(syn|fin)",
+      Flextoe.Ext_pcap.(
+        program_of_filter (Or (Tcp_flag `Syn, Tcp_flag `Fin))),
+      Some [| spec 4 8 |] );
+  ]
+
+let dump_states insns (a : V.analysis) =
+  Array.iteri
+    (fun i insn ->
+      Format.printf "  %3d: %a@." i Flextoe.Bpf_insn.pp insn;
+      List.iter
+        (fun st -> Format.printf "       in: %a@." V.pp_state st)
+        a.V.trace.(i))
+    insns
+
+let check ~dump (name, insns, maps) =
+  match V.verify ?maps insns with
+  | Ok a ->
+      Format.printf "OK   %-20s %3d insns, %d states, %d back edge%s@." name
+        a.V.insn_count a.V.states_explored
+        (List.length a.V.back_edges)
+        (if List.length a.V.back_edges = 1 then "" else "s");
+      if dump then dump_states insns a;
+      true
+  | Error v ->
+      Format.printf "FAIL %-20s %s@." name (V.violation_to_string v);
+      (match v.V.state with
+      | Some st when dump -> Format.printf "     state: %a@." V.pp_state st
+      | _ -> ());
+      false
+
+let parse_map s =
+  match String.split_on_char 'x' s with
+  | [ k; v ] -> (
+      match (int_of_string_opt k, int_of_string_opt v) with
+      | Some k, Some v when k > 0 && v > 0 -> Ok (spec k v)
+      | _ -> Error (`Msg "expected KEYxVALUE, e.g. 4x8"))
+  | _ -> Error (`Msg "expected KEYxVALUE, e.g. 4x8")
+
+let map_conv =
+  Arg.conv
+    ( parse_map,
+      fun ppf m ->
+        Format.fprintf ppf "%dx%d" m.V.key_size m.V.value_size )
+
+let run builtin dump maps files =
+  let targets =
+    (if builtin then builtins () else [])
+    @ List.map
+        (fun path ->
+          let ic = open_in_bin path in
+          let len = in_channel_length ic in
+          let bytes = Bytes.create len in
+          really_input ic bytes 0 len;
+          close_in ic;
+          match Flextoe.Bpf_insn.decode bytes with
+          | Ok insns ->
+              let specs =
+                if maps = [] then None else Some (Array.of_list maps)
+              in
+              (path, insns, specs)
+          | Error e ->
+              Format.printf "FAIL %-20s undecodable: %s@." path e;
+              exit 1)
+        files
+  in
+  if targets = [] then begin
+    Format.printf "nothing to verify: pass --builtin or a program file@.";
+    exit 2
+  end;
+  let ok = List.fold_left (fun ok t -> check ~dump t && ok) true targets in
+  if not ok then exit 1
+
+let builtin_t =
+  Arg.(
+    value & flag
+    & info [ "builtin" ] ~doc:"Verify the shipped extension programs.")
+
+let dump_t =
+  Arg.(
+    value & flag
+    & info [ "dump" ]
+        ~doc:"Print each instruction with the abstract states reaching it.")
+
+let maps_t =
+  Arg.(
+    value
+    & opt_all map_conv []
+    & info [ "map" ] ~docv:"KEYxVALUE"
+        ~doc:
+          "Declare a map shape for file programs (repeatable; order gives \
+           the map id). Example: --map 4x8.")
+
+let files_t =
+  Arg.(
+    value & pos_all file []
+    & info [] ~docv:"PROGRAM"
+        ~doc:"eBPF program file in the kernel instruction encoding.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "flexlint" ~doc:"Statically verify FlexTOE eBPF programs")
+    Term.(const run $ builtin_t $ dump_t $ maps_t $ files_t)
+
+let () = exit (Cmd.eval cmd)

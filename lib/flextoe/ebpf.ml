@@ -22,7 +22,11 @@ let known_helpers =
     helper_csum_fixup;
   ]
 
-let validate ?(max_insns = 4096) insns =
+(* Syntactic pre-pass: the original per-instruction scan. Cheap, and
+   kept as a fast filter in front of the abstract-interpretation
+   verifier; [load_unverified] uses only this (for tests of the VM's
+   dynamic guards). *)
+let validate_syntactic ?(max_insns = 4096) insns =
   let n = Array.length insns in
   if n = 0 then Error "empty program"
   else if n > max_insns then Error "program too long"
@@ -37,11 +41,15 @@ let validate ?(max_insns = 4096) insns =
         let t = i + 1 + off in
         t >= 0 && t < n
       in
+      (* An instruction that can fall through must have an in-range
+         fallthrough edge. Only Exit and Ja never fall through: a
+         conditional jump's not-taken edge is i+1 like any other. *)
+      let falls_through = function Exit | Ja _ -> false | _ -> true in
       Array.iteri
         (fun i insn ->
           if !err = None then
             let bad msg = err := Some (Printf.sprintf "insn %d: %s" i msg) in
-            match insn with
+            (match insn with
             | Alu64 (_, d, s) | Alu32 (_, d, s) ->
                 if not (reg_ok d && src_ok s) then bad "bad register"
                 else if d = 10 then bad "write to r10"
@@ -65,14 +73,29 @@ let validate ?(max_insns = 4096) insns =
                 else if not (jump_ok i off) then bad "jump out of bounds"
             | Call id ->
                 if not (List.mem id known_helpers) then bad "unknown helper"
-            | Exit -> ())
+            | Exit -> ());
+            if !err = None && i = n - 1 && falls_through insn then
+              bad "control falls through off the end of the program")
         insns;
       match !err with Some e -> Error e | None -> Ok ()
     end
   end
 
+let validate ?max_insns insns =
+  match validate_syntactic ?max_insns insns with
+  | Error e -> Error e
+  | Ok () -> (
+      match Verifier.verify ?max_insns insns with
+      | Ok _ -> Ok ()
+      | Error v -> Error (Verifier.violation_to_string v))
+
 let load ?max_insns insns =
   match validate ?max_insns insns with
+  | Ok () -> Ok { insns = Array.copy insns }
+  | Error e -> Error e
+
+let load_unverified ?max_insns insns =
+  match validate_syntactic ?max_insns insns with
   | Ok () -> Ok { insns = Array.copy insns }
   | Error e -> Error e
 

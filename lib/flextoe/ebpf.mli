@@ -13,11 +13,30 @@
 
 type program
 
+val validate : ?max_insns:int -> Bpf_insn.t array -> (unit, string) result
+[@@deprecated
+  "use Verifier.verify, which returns structured diagnostics. \
+   Ebpf.validate delegates to it (after the legacy syntactic checks as \
+   a fast pre-pass) and keeps only the string-error interface."]
+(** Full static verification: the legacy syntactic scan (register
+    indices, jump targets, fallthrough, known helpers, [Exit]
+    present), then {!Verifier.verify} — abstract interpretation
+    proving initialized reads, in-bounds guarded packet access,
+    helper-argument types, and termination. Errors are
+    {!Verifier.violation_to_string} renderings; callers that want the
+    structured {!Verifier.violation} should call the verifier
+    directly. *)
+
 val load : ?max_insns:int -> Bpf_insn.t array -> (program, string) result
-(** Validate and load: bounded size, jump targets in range, register
-    numbers valid, no writes to r10, known helpers, and an [Exit]
-    present. (A static verifier in the spirit of, but much weaker
-    than, the kernel's.) *)
+(** Verify (as {!validate}) and load. *)
+
+val load_unverified :
+  ?max_insns:int -> Bpf_insn.t array -> (program, string) result
+(** Load after only the weak syntactic pre-pass, skipping the abstract
+    interpreter. Exists so tests and benchmarks can exercise the VM's
+    {e dynamic} defenses (runtime bounds faults, the instruction
+    budget) with programs the static verifier would refuse. Data-path
+    attach points never use this. *)
 
 val instructions : program -> Bpf_insn.t array
 

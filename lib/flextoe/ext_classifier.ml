@@ -51,7 +51,14 @@ let create engine =
     Bpf_map.create Bpf_map.Array_map ~key_size:4 ~value_size:8
       ~max_entries:classes
   in
-  match Ebpf.load (program ()) with
+  let insns = program () in
+  (match
+     Verifier.verify ~maps:(Xdp.map_specs [| port_map; counters |]) insns
+   with
+  | Ok _ -> ()
+  | Error v ->
+      invalid_arg ("Ext_classifier: " ^ Verifier.violation_to_string v));
+  match Ebpf.load_unverified insns with
   | Ok p ->
       { xdp = Xdp.create engine ~program:p ~maps:[| port_map; counters |];
         port_map; counters }

@@ -51,8 +51,13 @@ let create engine =
     Bpf_map.create Bpf_map.Hash_map ~key_size:4 ~value_size:4
       ~max_entries:1024
   in
+  let insns = program () in
+  (match Verifier.verify ~maps:(Xdp.map_specs [| map |]) insns with
+  | Ok _ -> ()
+  | Error v ->
+      invalid_arg ("Ext_firewall: " ^ Verifier.violation_to_string v));
   let prog =
-    match Ebpf.load (program ()) with
+    match Ebpf.load_unverified insns with
     | Ok p -> p
     | Error e -> invalid_arg ("Ext_firewall: " ^ e)
   in

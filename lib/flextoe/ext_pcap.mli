@@ -44,3 +44,27 @@ val to_pcap : t -> Bytes.t
     LINKTYPE_ETHERNET), with virtual-time timestamps. *)
 
 val write_file : t -> string -> unit
+
+(** {1 Data-path filter programs}
+
+    A [filter] can also be compiled into an XDP program that counts
+    matching frames in a BPF array map — the in-line companion of the
+    host tap, and a generated-code workout for {!Verifier.verify}
+    (every emitted program must pass it). *)
+
+val program_of_filter : filter -> Bpf_insn.t array
+(** Compile [filter] to eBPF. The program considers only well-formed
+    IPv4/TCP frames (a 54-byte header guard precedes all accesses),
+    bumps a u64 counter in map 0 (key 0) on match, and always returns
+    XDP_PASS. Constant sub-filters are folded before code generation
+    so no statically unreachable block is emitted. *)
+
+val program : unit -> Bpf_insn.t array
+(** [program_of_filter All] — count every well-formed frame. *)
+
+val counter_map : unit -> Bpf_map.t
+(** A fresh match-counter map of the shape the compiled programs
+    expect: array map, 4-byte key, 8-byte value, one entry. *)
+
+val match_count : Bpf_map.t -> int64
+(** Current value of the u64 match counter (key 0). *)

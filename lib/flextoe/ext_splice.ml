@@ -116,7 +116,11 @@ let create engine =
     Bpf_map.create Bpf_map.Hash_map ~key_size:12 ~value_size
       ~max_entries:4096
   in
-  match Ebpf.load (program ()) with
+  let insns = program () in
+  (match Verifier.verify ~maps:(Xdp.map_specs [| map |]) insns with
+  | Ok _ -> ()
+  | Error v -> invalid_arg ("Ext_splice: " ^ Verifier.violation_to_string v));
+  match Ebpf.load_unverified insns with
   | Ok p -> { xdp = Xdp.create engine ~program:p ~maps:[| map |]; map }
   | Error e -> invalid_arg ("Ext_splice: " ^ e)
 

@@ -35,7 +35,11 @@ let program () =
 type t = { xdp : Xdp.t }
 
 let create engine =
-  match Ebpf.load (program ()) with
+  let insns = program () in
+  (match Verifier.verify insns with
+  | Ok _ -> ()
+  | Error v -> invalid_arg ("Ext_vlan: " ^ Verifier.violation_to_string v));
+  match Ebpf.load_unverified insns with
   | Ok p -> { xdp = Xdp.create engine ~program:p ~maps:[||] }
   | Error e -> invalid_arg ("Ext_vlan: " ^ e)
 

@@ -32,6 +32,7 @@ module Libtoe = Libtoe
 module Bpf_insn = Bpf_insn
 module Bpf_map = Bpf_map
 module Ebpf = Ebpf
+module Verifier = Verifier
 module Xdp = Xdp
 module Ext_firewall = Ext_firewall
 module Ext_vlan = Ext_vlan

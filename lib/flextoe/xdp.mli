@@ -13,6 +13,20 @@ type t
 val create :
   Sim.Engine.t -> program:Ebpf.program -> maps:Bpf_map.t array -> t
 
+val map_specs : Bpf_map.t array -> Verifier.map_spec array
+(** Verifier metadata (key/value sizes) for a concrete map set. *)
+
+val attach :
+  Sim.Engine.t ->
+  insns:Bpf_insn.t array ->
+  maps:Bpf_map.t array ->
+  Datapath.t ->
+  (t, Verifier.violation) result
+(** The safe front door: verify [insns] against the real shapes of
+    [maps] with {!Verifier.verify}, and only if the proof succeeds
+    load the program and install it as the data path's XDP ingress
+    hook. Unverifiable programs never reach the data path. *)
+
 val null_program : unit -> Ebpf.program
 (** [return XDP_PASS] — the paper's null-module overhead probe. *)
 

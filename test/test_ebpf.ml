@@ -13,17 +13,26 @@ let load insns =
   | Ok p -> p
   | Error e -> Alcotest.failf "load failed: %s" e
 
+(* For tests of the VM's *dynamic* guards (runtime bounds faults, the
+   instruction budget) whose programs the static verifier refuses. *)
+let load_unverified insns =
+  match E.load_unverified insns with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "load_unverified failed: %s" e
+
 let run ?(maps = [||]) ?(packet = Bytes.make 64 '\000') insns =
   E.run (load insns) ~maps ~now_ns:0L ~packet
 
 (* --- Assembler ---------------------------------------------------------- *)
 
 let test_assembler_labels () =
+  (* Conditional so both edges stay CFG-reachable (the verifier
+     rejects statically unreachable instructions). *)
   let prog =
     I.assemble
       [
         I.I (I.Alu64 (I.Mov, 0, I.Imm 1));
-        I.Jal "end";
+        I.Jl (I.Jne, 0, I.Imm 99, "end");
         I.I (I.Alu64 (I.Mov, 0, I.Imm 99));
         I.L "end";
         I.I I.Exit;
@@ -120,10 +129,12 @@ let test_stack_store_load () =
   check_int "stack roundtrip" 4242 o.E.ret
 
 let test_packet_access_bounds () =
-  (* Read past data_end faults -> XDP_ABORTED (0). *)
+  (* Read past data_end faults -> XDP_ABORTED (0). The static
+     verifier refuses this program (no bounds guard), which is
+     exactly why the VM's dynamic check exists as a second line. *)
   let o =
     E.run
-      (load
+      (load_unverified
          [|
            I.Ldx (I.W64, 6, 1, 0);
            I.Ldx (I.W32, 0, 6, 100);
@@ -134,20 +145,45 @@ let test_packet_access_bounds () =
   check_int "fault aborts" I.xdp_aborted o.E.ret
 
 let test_packet_store_visible () =
+  (* Store is behind a length guard so the program verifies. *)
   let o =
     run ~packet:(Bytes.make 64 '\000')
       [|
         I.Ldx (I.W64, 6, 1, 0);
-        I.St_imm (I.W8, 6, 5, 0x7F);
+        I.Ldx (I.W64, 7, 1, 8);
+        I.Alu64 (I.Mov, 2, I.Reg 6);
+        I.Alu64 (I.Add, 2, I.Imm 6);
         I.Alu64 (I.Mov, 0, I.Imm 3);
+        I.Jmp (I.Jgt, 2, I.Reg 7, 1);
+        I.St_imm (I.W8, 6, 5, 0x7F);
         I.Exit;
       |]
   in
   check_int "store visible in output packet" 0x7F
     (Char.code (Bytes.get o.E.packet 5))
 
+let test_unguarded_packet_store_rejected () =
+  (* The same store without the guard must be refused statically. *)
+  match
+    E.load
+      [|
+        I.Ldx (I.W64, 6, 1, 0);
+        I.St_imm (I.W8, 6, 5, 0x7F);
+        I.Alu64 (I.Mov, 0, I.Imm 3);
+        I.Exit;
+      |]
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unguarded packet store accepted"
+
 let test_runaway_loop_cut_off () =
-  let o = run [| I.Ja (-1); I.Exit |] in
+  (* The verifier statically rejects this loop; the VM's instruction
+     budget is the belt-and-braces dynamic cut-off. *)
+  let o =
+    E.run
+      (load_unverified [| I.Ja (-1); I.Exit |])
+      ~maps:[||] ~now_ns:0L ~packet:(Bytes.make 64 '\000')
+  in
   check_int "aborted" I.xdp_aborted o.E.ret;
   check_int "budget consumed" 65536 o.E.insns_executed
 
@@ -165,6 +201,35 @@ let test_verifier_rejections () =
   reject [| I.Ja 5; I.Exit |] "oob jump accepted";
   reject [| I.Call 9999; I.Exit |] "unknown helper accepted";
   reject [| I.Ldx (I.W32, 0, 14, 0); I.Exit |] "bad register accepted"
+
+let reject_syntactic insns msg =
+  match E.load_unverified insns with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail msg
+
+let test_validate_edge_regressions () =
+  (* Regressions for the syntactic pass's CFG edge handling: control
+     must never be able to run off the end of the instruction array,
+     even when an [Exit] exists somewhere else in the program. *)
+  reject_syntactic
+    [| I.Ja 1; I.Exit; I.Alu64 (I.Mov, 0, I.Imm 0) |]
+    "fallthrough off end accepted (Exit present elsewhere)";
+  reject_syntactic
+    [| I.Jmp (I.Jeq, 0, I.Imm 0, 0) |]
+    "conditional at last insn can fall through off end";
+  reject_syntactic
+    [| I.Jmp (I.Jeq, 0, I.Imm 0, 1); I.Exit |]
+    "jump target one past the end accepted";
+  reject_syntactic [| I.Ja (-2); I.Exit |] "jump before start accepted";
+  (* A trailing Exit or unconditional jump cannot fall through. *)
+  (match E.load_unverified [| I.Alu64 (I.Mov, 0, I.Imm 0); I.Exit |] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "valid program rejected: %s" e);
+  match
+    E.load_unverified [| I.Jmp (I.Jeq, 0, I.Imm 0, 1); I.Exit; I.Ja (-3) |]
+  with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "trailing Ja rejected: %s" e
 
 (* --- Wire codec -------------------------------------------------------------------- *)
 
@@ -208,10 +273,13 @@ let prop_codec_roundtrip =
       | Error _ -> false)
 
 let test_codec_lddw_jump_translation () =
-  (* A jump across an Ld_imm64 must survive the two-slot encoding. *)
+  (* A jump across an Ld_imm64 must survive the two-slot encoding.
+     The jump is conditional (never taken at run time) so the lddw
+     stays CFG-reachable and the program verifies. *)
   let prog =
     [|
-      I.Ja 1;  (* skip the lddw *)
+      I.Alu64 (I.Mov, 0, I.Imm 0);
+      I.Jmp (I.Jeq, 0, I.Imm 1, 1);  (* jumps across the lddw slot pair *)
       I.Ld_imm64 (3, 0x1122334455667788L);
       I.Alu64 (I.Mov, 0, I.Imm 7);
       I.Exit;
@@ -426,6 +494,10 @@ let suite =
     Alcotest.test_case "runaway loop cut off" `Quick
       test_runaway_loop_cut_off;
     Alcotest.test_case "verifier rejections" `Quick test_verifier_rejections;
+    Alcotest.test_case "validate edge regressions" `Quick
+      test_validate_edge_regressions;
+    Alcotest.test_case "unguarded packet store rejected" `Quick
+      test_unguarded_packet_store_rejected;
     QCheck_alcotest.to_alcotest prop_codec_roundtrip;
     Alcotest.test_case "codec lddw jump translation" `Quick
       test_codec_lddw_jump_translation;

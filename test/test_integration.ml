@@ -416,8 +416,37 @@ let test_gro_handles_pipeline_reordering () =
   check_int "no RTOs" 0
     (Flextoe.Control_plane.retransmit_timeouts (Flextoe.control a))
 
+let test_builtin_extensions_verify () =
+  (* Every extension program we ship must pass the abstract
+     interpreter with the exact map shapes its constructor uses. *)
+  let module V = Flextoe.Verifier in
+  let check name insns maps =
+    match V.verify ~maps insns with
+    | Ok _ -> ()
+    | Error v ->
+        Alcotest.failf "%s does not verify: %s" name
+          (V.violation_to_string v)
+  in
+  check "ext_firewall"
+    (Flextoe.Ext_firewall.program ())
+    [| { V.key_size = 4; value_size = 4 } |];
+  check "ext_classifier"
+    (Flextoe.Ext_classifier.program ())
+    [|
+      { V.key_size = 2; value_size = 4 }; { V.key_size = 4; value_size = 8 };
+    |];
+  check "ext_vlan" (Flextoe.Ext_vlan.program ()) [||];
+  check "ext_splice"
+    (Flextoe.Ext_splice.program ())
+    [| { V.key_size = 12; value_size = 24 } |];
+  check "ext_pcap"
+    (Flextoe.Ext_pcap.program ())
+    [| { V.key_size = 4; value_size = 8 } |]
+
 let suite =
   [
+    Alcotest.test_case "built-in extensions verify" `Quick
+      test_builtin_extensions_verify;
     Alcotest.test_case "1MB stream integrity" `Quick
       test_stream_integrity_clean;
     Alcotest.test_case "stream integrity under 1% loss" `Quick

@@ -10,6 +10,7 @@ let () =
       ("host", Test_host.suite);
       ("flextoe", Test_flextoe.suite);
       ("ebpf", Test_ebpf.suite);
+      ("verifier", Test_verifier.suite);
       ("cc", Test_cc.suite);
       ("classifier", Test_ebpf.classifier_suite);
       ("delayed-acks", Test_flextoe.delayed_ack_suite);
