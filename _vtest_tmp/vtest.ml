@@ -1,0 +1,29 @@
+open Flextoe
+open Bpf_insn
+
+(* r2 = (r2 & 1) - ktime(); verifier should NOT prove r2 constant.
+   Then compare r2 against min_int+1: if the verifier statically
+   decides the branch, the fall edge (with an unguarded packet read)
+   is never checked. *)
+let prog =
+  assemble [
+    I (Alu64 (Mov, 6, Reg 1));          (* save ctx *)
+    I (Call helper_ktime);              (* r0 = unknown *)
+    I (Alu64 (Mov, 2, Reg 0));
+    I (Alu64 (And, 2, Imm 1));          (* r2 in [0,1] *)
+    I (Call helper_ktime);              (* r0 = unknown *)
+    I (Alu64 (Sub, 2, Reg 0));          (* r2 = [0,1] - unknown *)
+    I (Ld_imm64 (4, Int64.add Int64.min_int 1L));
+    Jl (Jeq, 2, Reg 4, "taken");
+    (* fall: unguarded packet read — should be rejected *)
+    I (Ldx (W64, 3, 6, 0));             (* r3 = data *)
+    I (Ldx (W8, 5, 3, 0));              (* read pkt[0] with bound=0: must reject *)
+    L "taken";
+    I (Alu64 (Mov, 0, Imm 2));
+    I Exit;
+  ]
+
+let () =
+  match Verifier.verify prog with
+  | Ok a -> Printf.printf "ACCEPTED (UNSOUND!) states=%d\n" a.Verifier.states_explored
+  | Error v -> Printf.printf "rejected: %s\n" (Verifier.violation_to_string v)
