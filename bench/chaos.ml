@@ -31,6 +31,32 @@ type outcome = {
 
 let flex_node n = Option.get n.flex
 
+(* Gate mode: when the run is sanitized (FLEXSAN=1 in the
+   environment), any FlexSan report under any fault schedule fails
+   the whole harness — chaos doubles as the sanitizer's
+   worst-weather test. *)
+let san_gate ~schedule nodes =
+  let dirty =
+    List.filter_map
+      (fun n ->
+        match Flextoe.Datapath.san (Flextoe.datapath (flex_node n)) with
+        | Some s when Flextoe.San.report_count s > 0 -> Some s
+        | _ -> None)
+      nodes
+  in
+  if dirty <> [] then begin
+    Printf.printf "FLEXSAN: schedule %s produced sanitizer reports:\n"
+      schedule;
+    List.iter
+      (fun s ->
+        List.iter
+          (fun r ->
+            Printf.printf "  %s\n" (Flextoe.San.report_to_string r))
+          (Flextoe.San.reports s))
+      dirty;
+    exit 1
+  end
+
 let run_schedule ?(seed = 7L) name =
   let w = mk_world ~seed () in
   let server = mk_node w FlexTOE ~app_cores:2 ip_server in
@@ -72,6 +98,7 @@ let run_schedule ?(seed = 7L) name =
      outage, so its row shows the stall and the recovery. *)
   measure w ~warmup:(Sim.Time.ms 5) ~window:(Sim.Time.ms 30) [ stats ];
   let nodes = [ server; client ] in
+  san_gate ~schedule:name nodes;
   let sum f = List.fold_left (fun acc n -> acc + f (flex_node n)) 0 nodes in
   let merge_counters =
     List.fold_left

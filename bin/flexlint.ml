@@ -1,13 +1,33 @@
-(* flexlint: run the FlexTOE eBPF verifier from the command line.
+(* flexlint: FlexTOE static checkers from the command line.
 
-   Verifies either the shipped built-in extension programs
-   ([--builtin]) or a program decoded from a file in the kernel
-   instruction format, and pretty-prints the per-instruction abstract
-   states on demand ([--dump]). Exit status 1 when any program is
-   rejected, so CI can gate on it. *)
+   Two subcommands:
+
+   - [flexlint verify] (also the default, so plain
+     [flexlint --builtin] keeps working): run the eBPF verifier over
+     the shipped extension programs and/or programs decoded from
+     files in the kernel instruction format.
+   - [flexlint san]: run the FlexSan layer-1 contract check over the
+     datapath's built-in stage set; with [--builtin] additionally
+     boot a sanitized two-node pipeline under an echo workload and
+     require zero dynamic reports; with [--seeded VARIANT] run a
+     deliberately-broken datapath and require the sanitizer to catch
+     it (CI self-test of the detector).
+
+   Exit status: 0 all checks passed; 1 a verification or sanitizer
+   check failed; 2 usage, file-read or decode errors. *)
 
 open Cmdliner
 module V = Flextoe.Verifier
+
+let exit_info =
+  [
+    Cmd.Exit.info 0 ~doc:"all checks passed.";
+    Cmd.Exit.info 1 ~doc:"a program was rejected or the sanitizer reported.";
+    Cmd.Exit.info 2
+      ~doc:"usage error, unreadable or undecodable input file.";
+  ]
+
+(* --- verify: eBPF programs ------------------------------------------ *)
 
 let spec k v = { V.key_size = k; value_size = v }
 
@@ -72,26 +92,34 @@ let map_conv =
       fun ppf m ->
         Format.fprintf ppf "%dx%d" m.V.key_size m.V.value_size )
 
-let run builtin dump maps files =
-  let targets =
-    (if builtin then builtins () else [])
-    @ List.map
-        (fun path ->
-          let ic = open_in_bin path in
+let run_verify builtin dump maps files =
+  let load path =
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
           let len = in_channel_length ic in
           let bytes = Bytes.create len in
           really_input ic bytes 0 len;
-          close_in ic;
-          match Flextoe.Bpf_insn.decode bytes with
-          | Ok insns ->
-              let specs =
-                if maps = [] then None else Some (Array.of_list maps)
-              in
-              (path, insns, specs)
-          | Error e ->
-              Format.printf "FAIL %-20s undecodable: %s@." path e;
-              exit 1)
-        files
+          bytes)
+    with
+    | bytes -> (
+        match Flextoe.Bpf_insn.decode bytes with
+        | Ok insns ->
+            let specs =
+              if maps = [] then None else Some (Array.of_list maps)
+            in
+            (path, insns, specs)
+        | Error e ->
+            Format.printf "FAIL %-20s undecodable: %s@." path e;
+            exit 2)
+    | exception Sys_error e ->
+        Format.printf "FAIL %-20s unreadable: %s@." path e;
+        exit 2
+  in
+  let targets =
+    (if builtin then builtins () else []) @ List.map load files
   in
   if targets = [] then begin
     Format.printf "nothing to verify: pass --builtin or a program file@.";
@@ -126,9 +154,158 @@ let files_t =
     & info [] ~docv:"PROGRAM"
         ~doc:"eBPF program file in the kernel instruction encoding.")
 
-let cmd =
-  Cmd.v
-    (Cmd.info "flexlint" ~doc:"Statically verify FlexTOE eBPF programs")
-    Term.(const run $ builtin_t $ dump_t $ maps_t $ files_t)
+let verify_term = Term.(const run_verify $ builtin_t $ dump_t $ maps_t $ files_t)
 
-let () = exit (Cmd.eval cmd)
+let verify_cmd =
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Statically verify FlexTOE eBPF programs"
+       ~exits:exit_info)
+    verify_term
+
+(* --- san: stage-effect contracts and the dynamic sanitizer ---------- *)
+
+module D = Flextoe.Datapath
+module E = Flextoe.Effects
+module San = Flextoe.San
+
+let static_check () =
+  let contracts = D.builtin_contracts () in
+  List.iter (Format.printf "     %a@." E.pp_contract) contracts;
+  match E.check contracts with
+  | Ok () ->
+      Format.printf "OK   contracts            %d stages, pairwise compatible@."
+        (List.length contracts);
+      true
+  | Error cs ->
+      List.iter
+        (fun c -> Format.printf "FAIL contract             %s@." (E.conflict_to_string c))
+        cs;
+      false
+
+(* Boot two sanitized nodes, run an echo workload, return the nodes'
+   sanitizers. [sabotage] seeds a defect for --seeded. *)
+let run_pipeline ?sabotage () =
+  let engine = Sim.Engine.create () in
+  let fabric = Netsim.Fabric.create engine () in
+  let config = { Flextoe.Config.default with Flextoe.Config.san = true } in
+  let ip_a = 0x0A000001 and ip_b = 0x0A000002 in
+  let a = Flextoe.create_node engine ~fabric ~config ?sabotage ~ip:ip_a () in
+  let b = Flextoe.create_node engine ~fabric ~config ?sabotage ~ip:ip_b () in
+  let stats = Host.Rpc.Stats.create engine in
+  Host.Rpc.server ~endpoint:(Flextoe.endpoint a) ~port:7 ~app_cycles:100
+    ~handler:Host.Rpc.echo_handler ();
+  Host.Rpc.Stats.start_measuring stats;
+  ignore
+    (Host.Rpc.closed_loop_client ~endpoint:(Flextoe.endpoint b) ~engine
+       ~server_ip:ip_a ~server_port:7 ~conns:2 ~pipeline:8 ~req_bytes:256
+       ~stats ());
+  Sim.Engine.run ~until:(Sim.Time.ms 20) engine;
+  List.filter_map (fun n -> D.san (Flextoe.datapath n)) [ a; b ]
+
+let print_reports s =
+  List.iter
+    (fun r -> Format.printf "     %s@." (San.report_to_string r))
+    (San.reports s)
+
+let run_san builtin seeded =
+  let ok = static_check () in
+  let ok =
+    ok
+    &&
+    if builtin then begin
+      let sans = run_pipeline () in
+      let n = List.fold_left (fun a s -> a + San.report_count s) 0 sans in
+      let accesses = List.fold_left (fun a s -> a + San.accesses s) 0 sans in
+      List.iter print_reports sans;
+      if n = 0 then begin
+        Format.printf "OK   pipeline             %d accesses traced, 0 reports@."
+          accesses;
+        true
+      end
+      else begin
+        Format.printf "FAIL pipeline             %d sanitizer report%s@." n
+          (if n = 1 then "" else "s");
+        false
+      end
+    end
+    else true
+  in
+  let ok =
+    ok
+    &&
+    match seeded with
+    | None -> true
+    | Some variant -> (
+        match List.assoc_opt variant D.sabotage_variants with
+        | None ->
+            Format.printf
+              "FAIL seeded               unknown variant %s (have: %s)@."
+              variant
+              (String.concat ", " (List.map fst D.sabotage_variants));
+            exit 2
+        | Some sabotage -> (
+            match run_pipeline ~sabotage () with
+            | exception E.Contract_violation cs ->
+                (* Static-layer variants are caught at create. *)
+                Format.printf
+                  "OK   seeded:%-13s caught statically: %s@." variant
+                  (E.conflict_to_string (List.hd cs));
+                true
+            | sans ->
+                let n =
+                  List.fold_left (fun a s -> a + San.report_count s) 0 sans
+                in
+                List.iter print_reports sans;
+                if n > 0 then begin
+                  Format.printf "OK   seeded:%-13s %d report%s@." variant n
+                    (if n = 1 then "" else "s");
+                  true
+                end
+                else begin
+                  Format.printf
+                    "FAIL seeded:%-13s defect went undetected@." variant;
+                  false
+                end))
+  in
+  if not ok then exit 1
+
+let san_builtin_t =
+  Arg.(
+    value & flag
+    & info [ "builtin" ]
+        ~doc:
+          "Also run the dynamic sanitizer: boot a sanitized pipeline under \
+           an echo workload and require zero reports.")
+
+let seeded_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "seeded" ] ~docv:"VARIANT"
+        ~doc:
+          "Run a deliberately-broken datapath variant and require the \
+           sanitizer to flag it (detector self-test). Variants: no_lock, \
+           early_release, notify_before_payload, skip_notify_dma, \
+           postproc_writes_conn, preproc_reads_proto, bad_contract.")
+
+let san_cmd =
+  Cmd.v
+    (Cmd.info "san"
+       ~doc:
+         "Check the datapath stage-effect contracts (FlexSan layer 1) and \
+          optionally the dynamic race sanitizer (layer 2)"
+       ~exits:exit_info)
+    Term.(const run_san $ san_builtin_t $ seeded_t)
+
+let group =
+  Cmd.group
+    (Cmd.info "flexlint" ~doc:"FlexTOE static checkers" ~exits:exit_info)
+    ~default:verify_term
+    [ verify_cmd; san_cmd ]
+
+let () =
+  (* Fold cmdliner's parse-error code into the documented usage-error
+     status (2), keeping 0/1 for the checkers' own verdicts. *)
+  match Cmd.eval group with
+  | c when c = Cmd.Exit.cli_error -> exit 2
+  | c -> exit c

@@ -50,6 +50,7 @@ type t = {
   libtoe_poll : Sim.Time.t;
   sockets_api_cycles : int;
   notify_cycles : int;
+  san : bool;  (** Enable the FlexSan dynamic sanitizer (layer 2). *)
 }
 
 let default_costs =
@@ -92,6 +93,14 @@ let t3_threads = { t3_replicated with preproc_replicas = 1;
 let t3_pipelined = { t3_threads with fpc_threads = 1 }
 let t3_baseline = { t3_pipelined with pipelined = false }
 
+(* FLEXSAN=1 in the environment turns the sanitizer on for every
+   default-configured node — how the CI sanitizer job runs the whole
+   test suite instrumented without per-test plumbing. *)
+let san_env =
+  match Sys.getenv_opt "FLEXSAN" with
+  | Some ("1" | "on" | "true" | "yes") -> true
+  | _ -> false
+
 let default =
   {
     params = Nfp.Params.default;
@@ -112,6 +121,7 @@ let default =
     libtoe_poll = Sim.Time.us 1;
     sockets_api_cycles = 310;
     notify_cycles = 60;
+    san = san_env;
   }
 
 let with_parallelism t p = { t with parallelism = p }

@@ -87,9 +87,19 @@ type t = {
       (** Host cycles charged per socket call (Table 1: 0.74 kc per
           request covers send+recv+poll). *)
   notify_cycles : int;  (** Host cycles to consume one ARX entry. *)
+  san : bool;
+      (** Enable the FlexSan dynamic sanitizer (layer 2): instrument
+          every stage's shared-state accesses and check them against
+          happens-before. Simulated timing is unchanged; host-side
+          cost only. Ignored (off) for run-to-completion
+          configurations — single-FPC execution serializes everything
+          by construction. *)
 }
 
 val default : t
+(** [default.san] follows the [FLEXSAN] environment variable
+    ([1]/[on]/[true]/[yes] enable it), so an instrumented run of the
+    whole test suite needs no per-test plumbing. *)
 
 val with_parallelism : t -> parallelism -> t
 

@@ -48,9 +48,104 @@ type post_work =
 
 type conn_lock = { mutable busy : bool; waiters : (unit -> unit) Queue.t }
 
+(* --- Stages as first-class values (FlexSan layer 1) ------------------ *)
+
+(* A pipeline stage: its effect contract (which memory it may touch,
+   under which serialization discipline) plus the tracepoint group its
+   instrumentation hangs off. [create] checks the stage set with
+   [Effects.check] before wiring anything. *)
+type stage = { sg_contract : Effects.contract; sg_trace_group : string }
+
+(* Deliberate synchronization defects, for the sanitizer's regression
+   corpus: each flag removes or reorders exactly one ordering edge (or,
+   for [sb_bad_contract], mis-declares a footprint so the static layer
+   trips). All are behavior-preserving for the simulated TCP state
+   machine — the simulator is single-threaded, so the "races" they
+   open are visible only to FlexSan, exactly like a latent race on
+   real silicon. *)
+type sabotage = {
+  sb_no_lock : bool;  (** Protocol stage runs without the per-conn lock. *)
+  sb_early_release : bool;  (** Lock dropped before the critical section. *)
+  sb_notify_before_payload : bool;
+      (** ARX notification + ACK leave before the payload DMA lands. *)
+  sb_skip_notify_dma : bool;
+      (** Notification delivered without the DMA-completion edge. *)
+  sb_postproc_writes_conn : bool;  (** Post-processor pokes proto state. *)
+  sb_preproc_reads_proto : bool;  (** Pre-processor peeks at proto state. *)
+  sb_bad_contract : bool;  (** Post-processor declares a proto write. *)
+}
+
+let no_sabotage =
+  {
+    sb_no_lock = false;
+    sb_early_release = false;
+    sb_notify_before_payload = false;
+    sb_skip_notify_dma = false;
+    sb_postproc_writes_conn = false;
+    sb_preproc_reads_proto = false;
+    sb_bad_contract = false;
+  }
+
+let sabotage_variants =
+  [
+    ("no_lock", { no_sabotage with sb_no_lock = true });
+    ("early_release", { no_sabotage with sb_early_release = true });
+    ("notify_before_payload",
+     { no_sabotage with sb_notify_before_payload = true });
+    ("skip_notify_dma", { no_sabotage with sb_skip_notify_dma = true });
+    ("postproc_writes_conn",
+     { no_sabotage with sb_postproc_writes_conn = true });
+    ("preproc_reads_proto",
+     { no_sabotage with sb_preproc_reads_proto = true });
+    ("bad_contract", { no_sabotage with sb_bad_contract = true });
+  ]
+
+(* The built-in pipeline's effect contracts (§3.2's disjointness
+   argument, Table 5's memory map). [sb_bad_contract] swaps in a
+   post-processor that claims a protocol-partition write — statically
+   incompatible with the (serialized) protocol stage. *)
+let builtin_stages sb =
+  let open Effects in
+  let stage name group ~reads ~writes domain =
+    {
+      sg_contract =
+        { c_stage = name; c_reads = reads; c_writes = writes;
+          c_domain = domain };
+      sg_trace_group = group;
+    }
+  in
+  [
+    stage "preproc" "preproc" ~reads:[ Conn_db ] ~writes:[ Global_stats ]
+      Serial_none;
+    stage "gro" "gro" ~reads:[] ~writes:[] (Serial_flow_group "rx-gro");
+    stage "protocol" "protocol"
+      ~reads:[ Conn_db; Conn_pre; Conn_proto; Reasm; Conn_post ]
+      ~writes:[ Conn_proto; Reasm ] Serial_conn;
+    stage "postproc" "postproc" ~reads:[ Conn_db ]
+      ~writes:
+        (if sb.sb_bad_contract then [ Conn_proto; Conn_post; Global_stats;
+                                      Sched_state ]
+         else [ Conn_post; Global_stats; Sched_state ])
+      Serial_none;
+    stage "dma" "dma" ~reads:[ Conn_db; Conn_pre; Tx_payload ]
+      ~writes:[ Rx_payload ] (Serial_queue "pcie-dma");
+    stage "ctx" "ctx" ~reads:[ Rx_payload; Desc_ring ]
+      ~writes:[ Desc_ring ] (Serial_queue "ctx");
+    stage "sched" "sch" ~reads:[ Sched_state ] ~writes:[ Sched_state ]
+      Serial_none;
+    stage "nbi" "nbi" ~reads:[ Conn_pre ] ~writes:[]
+      (Serial_flow_group "tx-gro");
+  ]
+
+let builtin_contracts () =
+  List.map (fun s -> s.sg_contract) (builtin_stages no_sabotage)
+
 type t = {
   engine : Sim.Engine.t;
   cfg : Config.t;
+  stages : stage list;
+  sabotage : sabotage;
+  san : San.t option;
   port : Netsim.Fabric.port;
   mac : int;
   ip : int;
@@ -109,7 +204,21 @@ type t = {
 
 let engine t = t.engine
 let config t = t.cfg
+let stages t = t.stages
+let san t = t.san
 let fabric_port t = t.port
+
+(* Sanitizer access shorthands: no-ops (one test of an immutable
+   option) when the sanitizer is off. *)
+let sa t ~stage ~flow obj kind =
+  match t.san with
+  | None -> ()
+  | Some s -> San.access s ~stage ~flow ~obj kind
+
+let sa_range t ~stage ~flow obj ~range kind =
+  match t.san with
+  | None -> ()
+  | Some s -> San.access s ~stage ~flow ~obj ~range kind
 let mac t = t.mac
 let ip t = t.ip
 let num_ctx t = t.n_ctx
@@ -181,18 +290,39 @@ let conn_lock t idx =
       l
 
 let acquire t idx k =
-  let l = conn_lock t idx in
-  if l.busy then Queue.push k l.waiters
-  else begin
-    l.busy <- true;
+  if t.sabotage.sb_no_lock then
+    (* Sabotage: the critical section runs unserialized. No
+       happens-before edge is recorded either — exactly what omitting
+       the lock on hardware would mean. *)
     k ()
+  else begin
+    let k =
+      match t.san with
+      | None -> k
+      | Some s ->
+          fun () ->
+            San.lock_acquire s ~flow:idx;
+            k ()
+    in
+    let l = conn_lock t idx in
+    if l.busy then Queue.push k l.waiters
+    else begin
+      l.busy <- true;
+      k ()
+    end
   end
 
 let release t idx =
-  let l = conn_lock t idx in
-  match Queue.take_opt l.waiters with
-  | Some k -> k ()
-  | None -> l.busy <- false
+  if t.sabotage.sb_no_lock then ()
+  else begin
+    (match t.san with
+    | Some s -> San.lock_release s ~flow:idx
+    | None -> ());
+    let l = conn_lock t idx in
+    match Queue.take_opt l.waiters with
+    | Some k -> k ()
+    | None -> l.busy <- false
+  end
 
 (* --- State-access cost model (§4.1 caching) ----------------------- *)
 
@@ -267,6 +397,11 @@ let install_conn t cs ~k =
       let flow = cs.Conn_state.flow in
       Nfp.Lookup.add t.conn_db ~hash:(Tcp.Flow.hash flow) flow
         cs.Conn_state.idx;
+      (* Fresh connection: drop any shadow state a previous occupant
+         of this index left behind. *)
+      (match t.san with
+      | Some s -> San.flow_init s ~flow:cs.Conn_state.idx
+      | None -> ());
       k ())
 
 let remove_conn t ~conn =
@@ -277,7 +412,10 @@ let remove_conn t ~conn =
       Hashtbl.remove t.conns conn;
       let flow = cs.Conn_state.flow in
       Nfp.Lookup.remove t.conn_db ~hash:(Tcp.Flow.hash flow) flow;
-      Scheduler.forget t.sch ~conn
+      Scheduler.forget t.sch ~conn;
+      (match t.san with
+      | Some s -> San.flow_forget s ~flow:conn
+      | None -> ())
 
 let set_control_rx t f = t.control_rx <- f
 
@@ -288,18 +426,53 @@ let set_arx_handler t ~ctx f = t.arx_handlers.(ctx) <- f
 let dma_engine t = t.dma
 
 (* The context-queue stage DMAs the descriptor into the host ring;
-   libTOE sees it one polling period later. *)
-let notify_libtoe t cs (desc : Meta.arx_desc) =
+   libTOE sees it one polling period later. [range] is the stretch of
+   the RX payload buffer the notification makes readable — the bytes
+   the handler (and the application behind it) will touch, so the
+   sanitizer checks them against the payload DMA's writes. *)
+let notify_libtoe t ?range cs (desc : Meta.arx_desc) =
+  let conn_idx = cs.Conn_state.idx in
   let ctx = cs.Conn_state.post.Conn_state.ctx_id mod t.n_ctx in
   let fpc = t.ctx_fpcs.(ctx mod Array.length t.ctx_fpcs) in
   let c = t.cfg.Config.costs in
-  let extra = trace_cycles t "ctx" ~conn:cs.Conn_state.idx in
+  let extra = trace_cycles t "ctx" ~conn:conn_idx in
+  let deliver ~join () =
+    match t.san with
+    | None -> t.arx_handlers.(ctx) desc
+    | Some s ->
+        San.run_as s ~thread:("hostctx" ^ string_of_int ctx) ?join (fun () ->
+            (match range with
+            | Some (off, len) when len > 0 ->
+                San.access s ~stage:"ctx" ~flow:conn_idx
+                  ~obj:Effects.Rx_payload ~range:(off, len) Effects.Read
+            | _ -> ());
+            t.arx_handlers.(ctx) desc;
+            (* The app can only return RX-buffer credit for bytes it
+               was notified of: publish the delivery so the Rx_credit
+               doorbell (and thus the window reopening that lets the
+               DMA reuse these buffer positions) is ordered after this
+               read. *)
+            San.chan_send s ("arx#" ^ string_of_int conn_idx))
+  in
   Nfp.Fpc.submit fpc
     [ Compute (c.Config.ctx_desc + extra) ]
     (fun () ->
-      Nfp.Dma.issue t.dma ~queue:1 ~bytes:32 (fun () ->
-          Sim.Engine.schedule t.engine t.cfg.Config.libtoe_poll (fun () ->
-              t.arx_handlers.(ctx) desc)))
+      sa t ~stage:"ctx" ~flow:conn_idx Effects.Desc_ring Effects.Write;
+      if t.sabotage.sb_skip_notify_dma then
+        (* Sabotage: hand the descriptor to the host without the DMA
+           completion edge — the poll delay still elapses, but nothing
+           orders the handler after the payload write. *)
+        Sim.Engine.schedule t.engine t.cfg.Config.libtoe_poll (fun () ->
+            deliver ~join:None ())
+      else
+        Nfp.Dma.issue t.dma ~queue:1 ~bytes:32 (fun () ->
+            let join =
+              match t.san with
+              | Some s -> Some (San.token_send s)
+              | None -> None
+            in
+            Sim.Engine.schedule t.engine t.cfg.Config.libtoe_poll (fun () ->
+                deliver ~join ())))
 
 (* --- NBI egress ---------------------------------------------------- *)
 
@@ -326,7 +499,9 @@ let build_data_frame t cs (d : Meta.tx_desc) payload =
 
 let build_ack_frame t cs (a : Meta.ack_info) =
   let pre = cs.Conn_state.pre in
-  let p = cs.Conn_state.proto in
+  (* The frame's sequence number is [a_seq], snapshotted under the
+     protocol lock — not the live [tx_next_pos], which a concurrent TX
+     workflow may have advanced by NBI time (a race FlexSan flags). *)
   let now_us = Protocol.us_of_time (Sim.Engine.now t.engine) in
   let seg =
     S.make
@@ -335,8 +510,7 @@ let build_ack_frame t cs (a : Meta.ack_info) =
       ~options:{ S.mss = None; ts = Some (now_us, a.Meta.a_ts_ecr) }
       ~src_ip:pre.Conn_state.local_ip ~dst_ip:pre.Conn_state.peer_ip
       ~src_port:pre.Conn_state.local_port ~dst_port:pre.Conn_state.remote_port
-      ~seq:(Conn_state.tx_seq_of_pos cs p.Conn_state.tx_next_pos)
-      ~ack_seq:a.Meta.a_ack ()
+      ~seq:a.Meta.a_seq ~ack_seq:a.Meta.a_ack ()
   in
   S.make_frame ~src_mac:t.mac ~dst_mac:pre.Conn_state.peer_mac seg
 
@@ -345,12 +519,18 @@ let nbi_emit t eg =
     match eg with
     | Eg_data (d, payload) -> begin
         match conn t d.Meta.t_conn with
-        | Some cs -> Some (build_data_frame t cs d payload)
+        | Some cs ->
+            sa t ~stage:"nbi" ~flow:d.Meta.t_conn Effects.Conn_pre
+              Effects.Read;
+            Some (build_data_frame t cs d payload)
         | None -> None
       end
     | Eg_ack a -> begin
         match conn t a.Meta.a_conn with
-        | Some cs -> Some (build_ack_frame t cs a)
+        | Some cs ->
+            sa t ~stage:"nbi" ~flow:a.Meta.a_conn Effects.Conn_pre
+              Effects.Read;
+            Some (build_ack_frame t cs a)
         | None -> None
       end
     | Eg_ctl f -> Some f
@@ -374,6 +554,12 @@ let nbi_emit t eg =
 type dma_work = {
   dw_conn : int;
   dw_payload : (int * Bytes.t) option;  (* RX placement *)
+  dw_readable : (int * int) option;
+      (* In-order bytes the notification makes host-visible: (pos,
+         len) from the pre-advance stream position. Distinct from
+         [dw_payload]: an out-of-order placement writes bytes the
+         host cannot read yet, and a hole-filling segment delivers
+         more than it places (the previously-placed OOO tail). *)
   dw_fetch : (Meta.tx_desc * int * int) option;  (* TX fetch (desc,pos,len) *)
   dw_ack : Meta.ack_info option;
   dw_notify : Meta.arx_desc option;
@@ -386,13 +572,14 @@ let dma_stage t (w : dma_work) =
   Nfp.Fpc.submit fpc
     [ Compute (c.Config.dma_desc + extra) ]
     (fun () ->
+      sa t ~stage:"dma" ~flow:w.dw_conn Effects.Conn_db Effects.Read;
       let cs = conn t w.dw_conn in
       let finish () =
         (* Notification and ACK leave only after payload DMA (§3.1.3:
            neither host nor peer may learn of data that has not landed
            in the receive buffer). *)
         (match (w.dw_notify, cs) with
-        | Some d, Some cs -> notify_libtoe t cs d
+        | Some d, Some cs -> notify_libtoe t ?range:w.dw_readable cs d
         | _ -> ());
         match w.dw_ack with
         | Some a ->
@@ -401,16 +588,25 @@ let dma_stage t (w : dma_work) =
       in
       match (w.dw_payload, w.dw_fetch, cs) with
       | Some (pos, bytes), _, Some cs ->
+          (* Sabotage: notification and ACK escape before the payload
+             lands — the host (or the peer, via the ACK) can read
+             bytes the DMA has not written yet. *)
+          if t.sabotage.sb_notify_before_payload then finish ();
           (* RX: payload to host receive buffer. *)
           Nfp.Dma.issue t.dma ~queue:0 ~bytes:(Bytes.length bytes)
             (fun () ->
+              sa_range t ~stage:"dma" ~flow:w.dw_conn Effects.Rx_payload
+                ~range:(pos, Bytes.length bytes) Effects.Write;
               Host.Payload_buf.write
                 cs.Conn_state.post.Conn_state.rx_buf ~off:pos ~src:bytes
                 ~src_off:0 ~len:(Bytes.length bytes);
-              finish ())
+              if not t.sabotage.sb_notify_before_payload then finish ())
       | None, Some (desc, pos, len), Some cs ->
           (* TX: fetch payload from host transmit buffer. *)
           Nfp.Dma.issue t.dma ~queue:0 ~bytes:len (fun () ->
+              (if len > 0 then
+                 sa_range t ~stage:"dma" ~flow:w.dw_conn Effects.Tx_payload
+                   ~range:(pos, len) Effects.Read);
               let payload =
                 if len = 0 then Bytes.empty
                 else
@@ -458,6 +654,22 @@ let postproc_stage t fg (w : post_work) =
   Nfp.Fpc.submit fpc
     [ Nfp.Fpc.Mem Nfp.Memory.Cls; Compute (cost + extra + capture_extra) ]
     (fun () ->
+      sa t ~stage:"postproc" ~flow:conn_idx Effects.Conn_db Effects.Read;
+      (match (t.san, conn t conn_idx) with
+      | Some s, Some cs ->
+          San.access s ~stage:"postproc" ~flow:conn_idx
+            ~obj:Effects.Conn_post Effects.Write;
+          if t.sabotage.sb_postproc_writes_conn then begin
+            (* Sabotage: poke the protocol partition from an
+               unserialized stage. The store is value-preserving (the
+               TCP state machine cannot tell), but on hardware it
+               would race the protocol stage's writes. *)
+            let p = cs.Conn_state.proto in
+            p.Conn_state.last_progress <- p.Conn_state.last_progress;
+            San.access s ~stage:"postproc" ~flow:conn_idx
+              ~obj:Effects.Conn_proto Effects.Write
+          end
+      | _ -> ());
       match (w, conn t conn_idx) with
       | _, None -> begin
           (* Connection vanished mid-pipeline: drop cleanly. *)
@@ -510,10 +722,17 @@ let postproc_stage t fg (w : post_work) =
                 }
             else None
           in
+          let readable =
+            match v.Meta.v_place with
+            | Some (pos, _) when v.Meta.v_rx_advance > 0 ->
+                Some (pos, v.Meta.v_rx_advance)
+            | _ -> None
+          in
           dma_stage t
             {
               dw_conn = conn_idx;
               dw_payload = v.Meta.v_place;
+              dw_readable = readable;
               dw_fetch = None;
               dw_ack = v.Meta.v_ack;
               dw_notify = notify;
@@ -526,6 +745,7 @@ let postproc_stage t fg (w : post_work) =
             {
               dw_conn = conn_idx;
               dw_payload = None;
+              dw_readable = None;
               dw_fetch = Some (d, d.Meta.t_pos, d.Meta.t_len);
               dw_ack = None;
               dw_notify = None;
@@ -538,6 +758,7 @@ let postproc_stage t fg (w : post_work) =
                 {
                   dw_conn = conn_idx;
                   dw_payload = None;
+                  dw_readable = None;
                   dw_fetch = None;
                   dw_ack = Some a;
                   dw_notify = None;
@@ -547,12 +768,46 @@ let postproc_stage t fg (w : post_work) =
 
 (* --- Protocol stage ------------------------------------------------- *)
 
+(* The protocol stage's critical section, as the sanitizer sees it: a
+   span from lock grant (where the state fetch reads the proto
+   partition) to just before lock release (after the state writeback).
+   The span being multi-instant is what lets the atomicity check catch
+   another stage's write landing in the middle. *)
+let proto_span_begin t conn_idx =
+  match t.san with
+  | None -> ()
+  | Some s ->
+      San.span_begin s ~stage:"protocol" ~flow:conn_idx;
+      San.access s ~stage:"protocol" ~flow:conn_idx ~obj:Effects.Conn_pre
+        Effects.Read;
+      San.access s ~stage:"protocol" ~flow:conn_idx ~obj:Effects.Conn_proto
+        Effects.Read
+
+let proto_writeback t conn_idx ~reasm =
+  match t.san with
+  | None -> ()
+  | Some s ->
+      San.access s ~stage:"protocol" ~flow:conn_idx ~obj:Effects.Conn_proto
+        Effects.Write;
+      if reasm then begin
+        San.access s ~stage:"protocol" ~flow:conn_idx ~obj:Effects.Reasm
+          Effects.Read;
+        San.access s ~stage:"protocol" ~flow:conn_idx ~obj:Effects.Reasm
+          Effects.Write
+      end;
+      San.span_end s ~stage:"protocol" ~flow:conn_idx
+
 let protocol_rx t (s : Meta.rx_summary) =
   match conn t s.Meta.conn with
   | None -> ()
   | Some cs ->
       let fg = cs.Conn_state.pre.Conn_state.flow_group in
       acquire t s.Meta.conn (fun () ->
+          proto_span_begin t s.Meta.conn;
+          (* Sabotage: drop the lock before the critical section
+             instead of after — the classic too-early unlock. *)
+          let early = t.sabotage.sb_early_release in
+          if early then release t s.Meta.conn;
           let phases = proto_state_phases t cs in
           let c = t.cfg.Config.costs in
           let extra = trace_cycles t "protocol" ~conn:s.Meta.conn in
@@ -568,7 +823,8 @@ let protocol_rx t (s : Meta.rx_summary) =
                 Protocol.rx t.cfg ~now:(Sim.Engine.now t.engine) cs s
                   ~alloc_gseq:(fun () -> Sequencer.next_seq t.tx_gro)
               in
-              release t s.Meta.conn;
+              proto_writeback t s.Meta.conn ~reasm:true;
+              if not early then release t s.Meta.conn;
               trace_rx_verdict t v;
               postproc_stage t fg (Post_rx v)))
 
@@ -580,6 +836,9 @@ let protocol_tx t ~conn:conn_idx =
   | Some cs ->
       let fg = cs.Conn_state.pre.Conn_state.flow_group in
       acquire t conn_idx (fun () ->
+          proto_span_begin t conn_idx;
+          let early = t.sabotage.sb_early_release in
+          if early then release t conn_idx;
           let phases = proto_state_phases t cs in
           let c = t.cfg.Config.costs in
           let extra = trace_cycles t "protocol" ~conn:conn_idx in
@@ -591,7 +850,8 @@ let protocol_tx t ~conn:conn_idx =
                 Protocol.tx t.cfg ~now:(Sim.Engine.now t.engine) cs
                   ~alloc_gseq:(fun () -> Sequencer.next_seq t.tx_gro)
               in
-              release t conn_idx;
+              proto_writeback t conn_idx ~reasm:false;
+              if not early then release t conn_idx;
               match d with
               | Some d ->
                   trace_event t "protocol" "tx_seg" ~conn:conn_idx;
@@ -605,7 +865,18 @@ let protocol_hc t (d : Meta.hc_desc) =
   | None -> t.hc_descs_free <- t.hc_descs_free + 1
   | Some cs ->
       let fg = cs.Conn_state.pre.Conn_state.flow_group in
+      (* A credit doorbell is the host's "I consumed those bytes"
+         edge: join the deliveries it follows, so the window advance
+         it enables (and any buffer-position reuse behind it) is
+         ordered after the host's reads. *)
+      (match (t.san, d.Meta.h_op) with
+      | Some s, Meta.Rx_credit _ ->
+          San.chan_recv s ("arx#" ^ string_of_int d.Meta.h_conn)
+      | _ -> ());
       acquire t d.Meta.h_conn (fun () ->
+          proto_span_begin t d.Meta.h_conn;
+          let early = t.sabotage.sb_early_release in
+          if early then release t d.Meta.h_conn;
           let phases = proto_state_phases t cs in
           let c = t.cfg.Config.costs in
           let extra = trace_cycles t "protocol" ~conn:d.Meta.h_conn in
@@ -618,7 +889,8 @@ let protocol_hc t (d : Meta.hc_desc) =
                   d.Meta.h_op ~alloc_gseq:(fun () ->
                     Sequencer.next_seq t.tx_gro)
               in
-              release t d.Meta.h_conn;
+              proto_writeback t d.Meta.h_conn ~reasm:false;
+              if not early then release t d.Meta.h_conn;
               postproc_stage t fg (Post_hc (d.Meta.h_conn, r))))
 
 (* --- GRO (RX reorder point) ----------------------------------------- *)
@@ -669,16 +941,25 @@ let preproc_rx t gseq (frame : S.frame) =
     @ lookup_phases
     @ [ Nfp.Fpc.Compute c.Config.preproc_summary ])
     (fun () ->
+      sa t ~stage:"preproc" ~flow:(-1) Effects.Conn_db Effects.Read;
       if not (S.csum_ok frame) then begin
         (* Corrupted in flight: drop at pre-processing so it never
            reaches GRO or the protocol stage. The sender recovers via
            retransmission (dup-ACK or RTO), exactly as for loss. *)
         t.st_drop_csum <- t.st_drop_csum + 1;
+        sa t ~stage:"preproc" ~flow:(-1) Effects.Global_stats Effects.Write;
         trace_event t "preproc" "seg_invalid" ~conn:(-1);
         Sequencer.skip t.rx_gro ~seq:gseq
       end
       else
       let conn_idx = Nfp.Lookup.lookup t.conn_db ~hash flow in
+      (* Sabotage: peek at the protocol partition from the replicated
+         pre-processor — e.g. "optimizing" the in-window test by
+         reading [reasm] state outside the lock. *)
+      (match (conn_idx, t.sabotage.sb_preproc_reads_proto) with
+      | Some idx, true ->
+          sa t ~stage:"preproc" ~flow:idx Effects.Conn_proto Effects.Read
+      | _ -> ());
       let datapath_ok =
         S.data_path_flags seg.S.flags && frame.S.vlan = None
       in
@@ -913,6 +1194,7 @@ let dispatch_tx t ~conn:conn_idx =
     Nfp.Fpc.submit t.sch_fpc
       [ Compute (c.Config.scheduler_pick + extra) ]
       (fun () ->
+        sa t ~stage:"sched" ~flow:conn_idx Effects.Sched_state Effects.Write;
         (* Pre-processing: segment alloc + Ethernet/IP headers. *)
         let fpc = next_preproc t in
         let pre_extra = trace_cycles t "preproc" ~conn:conn_idx in
@@ -923,7 +1205,19 @@ let dispatch_tx t ~conn:conn_idx =
 
 (* --- Host-control path ------------------------------------------------- *)
 
+(* The ATX consumer runs off engine timers (doorbell MMIO latency /
+   flow-control retries), i.e. in no datapath context; give it a
+   thread identity so the ring's push/pop edge (host doorbell →
+   descriptor fetch) is the only thing ordering it after the host's
+   writes. *)
 let rec atx_drain t ctx =
+  match t.san with
+  | Some s ->
+      San.run_as s ~thread:("atxq" ^ string_of_int ctx) (fun () ->
+          atx_drain_body t ctx)
+  | None -> atx_drain_body t ctx
+
+and atx_drain_body t ctx =
   t.atx_scheduled.(ctx) <- false;
   let ring = t.atx.(ctx) in
   let c = t.cfg.Config.costs in
@@ -1131,9 +1425,30 @@ let trace_point_names =
              "stats_read" ]);
   ]
 
-let create engine ~config:cfg ~fabric ~mac ~ip ?(ctx_queues = 4) () =
+let create engine ~config:cfg ~fabric ~mac ~ip ?(ctx_queues = 4)
+    ?(sabotage = no_sabotage) () =
   let p = cfg.Config.params in
   let par = cfg.Config.parallelism in
+  let stages = builtin_stages sabotage in
+  (* Layer 1: the stage graph must be statically sound before any FPC
+     is wired. An unserialized write/write or write/read overlap on a
+     non-atomic, non-partitioned region fails construction with the
+     conflicting (stage, region) pairs. *)
+  (match Effects.check (List.map (fun s -> s.sg_contract) stages) with
+  | Ok () -> ()
+  | Error cs -> raise (Effects.Contract_violation cs));
+  (* Layer 2 only makes sense for the parallel pipeline: the
+     run-to-completion baseline serializes everything on one FPC, so
+     whole-region accesses would be reported against replicas that
+     cannot exist. *)
+  let san =
+    if cfg.Config.san && par.Config.pipelined then
+      Some
+        (San.create ~engine
+           ~contracts:(List.map (fun s -> s.sg_contract) stages)
+           ())
+    else None
+  in
   let groups = max 1 par.Config.flow_groups in
   let threads = max 1 par.Config.fpc_threads in
   let mk ?(threads = threads) name i =
@@ -1155,6 +1470,9 @@ let create engine ~config:cfg ~fabric ~mac ~ip ?(ctx_queues = 4) () =
       {
         engine;
         cfg;
+        stages;
+        sabotage;
+        san;
         port =
           Netsim.Fabric.add_port fabric ~rate_gbps:p.Nfp.Params.wire_gbps
             ~mac ~ip
@@ -1235,4 +1553,31 @@ let create engine ~config:cfg ~fabric ~mac ~ip ?(ctx_queues = 4) () =
         st_fretx = 0;
       }
   in
-  Lazy.force t
+  let t = Lazy.force t in
+  (* Layer 2 wiring: give every execution context an identity and
+     every ordering mechanism a happens-before edge. The RTC baseline
+     FPC is deliberately left untraced (san is None for it anyway). *)
+  (match san with
+  | None -> ()
+  | Some s ->
+      let fpc f =
+        Nfp.Fpc.set_tracer f (Some (San.fpc_tracer s ~name:(Nfp.Fpc.name f)))
+      in
+      Array.iter fpc t.preproc_fpcs;
+      Array.iter (Array.iter fpc) t.proto_fpcs;
+      Array.iter (Array.iter fpc) t.postproc_fpcs;
+      Array.iter fpc t.dma_fpcs;
+      Array.iter fpc t.ctx_fpcs;
+      Array.iter fpc t.xdp_fpcs;
+      fpc t.sch_fpc;
+      fpc t.gro_fpc;
+      Nfp.Dma.set_tracer t.dma (Some (San.dma_tracer s));
+      Sequencer.set_tracer t.rx_gro (Some (San.seq_tracer s ~name:"rx-gro"));
+      Sequencer.set_tracer t.tx_gro (Some (San.seq_tracer s ~name:"tx-gro"));
+      Scheduler.set_tracer t.sch (Some (San.sch_tracer s));
+      Array.iter
+        (fun ring ->
+          Nfp.Ring.set_tracer ring
+            (Some (San.ring_tracer s ~name:(Nfp.Ring.name ring))))
+        t.atx);
+  t

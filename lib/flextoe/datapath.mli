@@ -19,6 +19,47 @@
 
 type t
 
+(** {1 Stage-effect contracts (FlexSan)} *)
+
+(** A pipeline stage as a first-class value: its {!Effects.contract}
+    plus the tracepoint group its instrumentation hangs off. *)
+type stage = { sg_contract : Effects.contract; sg_trace_group : string }
+
+(** Deliberate synchronization defects for the sanitizer's regression
+    corpus. Each flag removes or reorders exactly one ordering edge
+    (or mis-declares a footprint, for [sb_bad_contract]); all are
+    behavior-preserving under the single-threaded simulator, so only
+    FlexSan can tell a sabotaged node from a healthy one — exactly
+    like a latent race on real silicon. *)
+type sabotage = {
+  sb_no_lock : bool;  (** Protocol stage runs without the per-conn lock. *)
+  sb_early_release : bool;  (** Lock dropped before the critical section. *)
+  sb_notify_before_payload : bool;
+      (** ARX notification + ACK leave before the payload DMA lands. *)
+  sb_skip_notify_dma : bool;
+      (** Notification delivered without the DMA-completion edge. *)
+  sb_postproc_writes_conn : bool;  (** Post-processor pokes proto state. *)
+  sb_preproc_reads_proto : bool;  (** Pre-processor peeks at proto state. *)
+  sb_bad_contract : bool;
+      (** Post-processor declares a protocol-partition write: the
+          static layer rejects the stage graph at {!create}. *)
+}
+
+val no_sabotage : sabotage
+
+val sabotage_variants : (string * sabotage) list
+(** The seeded-race corpus, one variant per defect. *)
+
+val builtin_contracts : unit -> Effects.contract list
+(** The healthy pipeline's effect contracts (what [flexlint san]
+    checks statically without building a node). *)
+
+val stages : t -> stage list
+
+val san : t -> San.t option
+(** The dynamic sanitizer, when enabled ([config.san] set and the
+    pipeline parallelism active). *)
+
 val create :
   Sim.Engine.t ->
   config:Config.t ->
@@ -26,8 +67,12 @@ val create :
   mac:int ->
   ip:int ->
   ?ctx_queues:int ->
+  ?sabotage:sabotage ->
   unit ->
   t
+(** Raises {!Effects.Contract_violation} if the stage set's contracts
+    are statically incompatible (layer 1 fails fast, before any FPC
+    is wired). *)
 
 val engine : t -> Sim.Engine.t
 val config : t -> Config.t

@@ -4,6 +4,8 @@ module Meta = Meta
 module Protocol = Protocol
 module Sequencer = Sequencer
 module Scheduler = Scheduler
+module Effects = Effects
+module San = San
 module Datapath = Datapath
 module Cc = Cc
 module Control_plane = Control_plane
@@ -31,7 +33,7 @@ type t = {
 let mac_of_ip = Control_plane.mac_of_ip
 
 let create_node engine ~fabric ?(config = Config.default) ?(app_cores = 1)
-    ~ip () =
+    ?(sabotage = Datapath.no_sabotage) ~ip () =
   let cpu = Host.Host_cpu.create engine ~cores:(app_cores + 1) () in
   (* Host jitter: small — libTOE busy-polls in user space and the TCP
      stack is on the NIC, but the application core still takes
@@ -40,7 +42,7 @@ let create_node engine ~fabric ?(config = Config.default) ?(app_cores = 1)
     ~mean_cycles:30_000;
   let dp =
     Datapath.create engine ~config ~fabric ~mac:(mac_of_ip ip) ~ip
-      ~ctx_queues:app_cores ()
+      ~ctx_queues:app_cores ~sabotage ()
   in
   let cp_core = Host.Host_cpu.core cpu app_cores in
   let cp = Control_plane.create engine ~config ~datapath:dp ~core:cp_core () in

@@ -25,6 +25,8 @@ module Meta = Meta
 module Protocol = Protocol
 module Sequencer = Sequencer
 module Scheduler = Scheduler
+module Effects = Effects
+module San = San
 module Datapath = Datapath
 module Cc = Cc
 module Control_plane = Control_plane
@@ -49,12 +51,15 @@ val create_node :
   fabric:Netsim.Fabric.t ->
   ?config:Config.t ->
   ?app_cores:int ->
+  ?sabotage:Datapath.sabotage ->
   ip:int ->
   unit ->
   t
 (** Build a node: host CPU with [app_cores] application cores (default
     1) plus one control-plane core, NIC data path with one context
-    queue per application core, control plane, and libTOE. *)
+    queue per application core, control plane, and libTOE.
+    [sabotage] (default {!Datapath.no_sabotage}) seeds a deliberate
+    synchronization defect for sanitizer regression tests. *)
 
 val endpoint : t -> Host.Api.endpoint
 val datapath : t -> Datapath.t

@@ -29,6 +29,11 @@ type rx_summary = {
 type ack_info = {
   a_conn : int;
   a_gseq : int;  (** Egress reorder sequence, assigned at protocol. *)
+  a_seq : Tcp.Seq32.t;
+      (** Sequence number for the ACK frame, snapshotted under the
+          protocol lock. Emitting stages must not read the live
+          connection state: by NBI time a later TX may have advanced
+          it (forward-state-as-metadata, §3.3). *)
   a_ack : Tcp.Seq32.t;
   a_wnd : int;
   a_ts_ecr : int;  (** Peer TSval to echo (Stamp step). *)

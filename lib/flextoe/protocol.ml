@@ -11,6 +11,7 @@ let make_ack cfg conn ~gseq =
   {
     Meta.a_conn = conn.idx;
     a_gseq = gseq;
+    a_seq = tx_seq_of_pos conn p.tx_next_pos;
     a_ack = ack;
     a_wnd = scaled_window cfg p.rx_avail;
     a_ts_ecr = p.next_ts;

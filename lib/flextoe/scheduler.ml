@@ -8,6 +8,16 @@ type flow = {
   mutable wake_pending : bool;
 }
 
+(* Observation hooks for the FlexSan sanitizer. [sc_signal] publishes
+   the context that made a flow eligible (wakeup / on_sent requeue /
+   credit return; [conn] is -1 for the global credit doorbell);
+   [sc_dispatch] wraps each dispatch, joining the published clocks —
+   the scheduler's doorbell as a happens-before edge. *)
+type tracer = {
+  sc_signal : conn:int -> unit;
+  sc_dispatch : conn:int -> (unit -> unit) -> unit;
+}
+
 type t = {
   engine : Sim.Engine.t;
   slot : Sim.Time.t;
@@ -18,6 +28,7 @@ type t = {
   rr : flow Queue.t;  (* uncongested + due flows *)
   mutable in_wheel : int;
   mutable dispatched_total : int;
+  mutable tracer : tracer option;
 }
 
 let create engine ~slot ~slots ~credits ~dispatch =
@@ -33,7 +44,10 @@ let create engine ~slot ~slots ~credits ~dispatch =
     rr = Queue.create ();
     in_wheel = 0;
     dispatched_total = 0;
+    tracer = None;
   }
+
+let set_tracer t tr = t.tracer <- tr
 
 let flow t conn =
   match Hashtbl.find_opt t.flows conn with
@@ -58,7 +72,10 @@ let rec pump t =
       f.status <- Dispatched;
       t.credits <- t.credits - 1;
       t.dispatched_total <- t.dispatched_total + 1;
-      t.dispatch ~conn:f.conn;
+      (match t.tracer with
+      | None -> t.dispatch ~conn:f.conn
+      | Some tr ->
+          tr.sc_dispatch ~conn:f.conn (fun () -> t.dispatch ~conn:f.conn));
       pump t
     end
     else pump t
@@ -88,6 +105,7 @@ let park t f =
   end
 
 let wakeup t ~conn =
+  (match t.tracer with Some tr -> tr.sc_signal ~conn | None -> ());
   let f = flow t conn in
   match f.status with
   | Idle ->
@@ -97,6 +115,7 @@ let wakeup t ~conn =
   | Dispatched -> f.wake_pending <- true
 
 let on_sent t ~conn ~bytes ~more =
+  (match t.tracer with Some tr -> tr.sc_signal ~conn | None -> ());
   let f = flow t conn in
   if f.status = Dispatched then begin
     if bytes > 0 && f.ps_per_byte > 0 then begin
@@ -113,6 +132,7 @@ let on_sent t ~conn ~bytes ~more =
   end
 
 let credit_return t =
+  (match t.tracer with Some tr -> tr.sc_signal ~conn:(-1) | None -> ());
   t.credits <- t.credits + 1;
   pump t
 

@@ -18,6 +18,18 @@
 
 type t
 
+(** Observation hooks (used by the FlexSan sanitizer). [sc_signal]
+    runs in the context that made a flow eligible ([conn] is [-1] for
+    the global credit doorbell); [sc_dispatch] wraps each dispatch —
+    the scheduler's doorbell as a happens-before edge. *)
+type tracer = {
+  sc_signal : conn:int -> unit;
+  sc_dispatch : conn:int -> (unit -> unit) -> unit;
+}
+
+val set_tracer : t -> tracer option -> unit
+(** Install (or clear) the tracer. Zero cost when unset. *)
+
 val create :
   Sim.Engine.t ->
   slot:Sim.Time.t ->

@@ -1,5 +1,14 @@
 type 'a slot = Item of 'a | Skipped
 
+(* Observation hooks for the FlexSan sanitizer. Every submit/skip
+   publishes the submitting context ([sq_submit]); a release joins the
+   accumulated channel ([sq_release] wraps the release callback) —
+   the sequencer's ordering guarantee as a happens-before edge. *)
+type tracer = {
+  sq_submit : unit -> unit;
+  sq_release : (unit -> unit) -> unit;
+}
+
 type 'a t = {
   name : string;
   release : 'a -> unit;
@@ -8,6 +17,7 @@ type 'a t = {
   waiting : (int, 'a slot) Hashtbl.t;
   mutable released : int;
   mutable reordered : int;
+  mutable tracer : tracer option;
 }
 
 let create ~name ~release =
@@ -19,7 +29,10 @@ let create ~name ~release =
     waiting = Hashtbl.create 64;
     released = 0;
     reordered = 0;
+    tracer = None;
   }
+
+let set_tracer t tr = t.tracer <- tr
 
 let next_seq t =
   let s = t.next_alloc in
@@ -35,7 +48,9 @@ let rec drain t =
       (match slot with
       | Item v ->
           t.released <- t.released + 1;
-          t.release v
+          (match t.tracer with
+          | None -> t.release v
+          | Some tr -> tr.sq_release (fun () -> t.release v))
       | Skipped -> ());
       drain t
 
@@ -48,11 +63,13 @@ let check_valid t seq =
 let submit t ~seq v =
   check_valid t seq;
   if seq <> t.next_release then t.reordered <- t.reordered + 1;
+  (match t.tracer with Some tr -> tr.sq_submit () | None -> ());
   Hashtbl.replace t.waiting seq (Item v);
   drain t
 
 let skip t ~seq =
   check_valid t seq;
+  (match t.tracer with Some tr -> tr.sq_submit () | None -> ());
   Hashtbl.replace t.waiting seq Skipped;
   drain t
 

@@ -10,8 +10,20 @@
 
 type 'a t
 
+(** Observation hooks (used by the FlexSan sanitizer). [sq_submit]
+    runs in the submitting context on every {!submit} and {!skip};
+    [sq_release] wraps each in-order release — together they expose
+    the sequencer's ordering guarantee as a happens-before edge. *)
+type tracer = {
+  sq_submit : unit -> unit;
+  sq_release : (unit -> unit) -> unit;
+}
+
 val create : name:string -> release:('a -> unit) -> 'a t
 (** [release] is called, in sequence order, for every submitted item. *)
+
+val set_tracer : 'a t -> tracer option -> unit
+(** Install (or clear) the tracer. Zero cost when unset. *)
 
 val next_seq : 'a t -> int
 (** Allocate the next pipeline sequence number (at pipeline entry). *)

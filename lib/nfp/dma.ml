@@ -9,8 +9,18 @@
 type ticket = {
   tk_bytes : int;
   tk_k : unit -> unit;
+  tk_token : int;
   mutable tk_attempt : int;
   mutable tk_done : bool;
+}
+
+(* Observation hooks for the FlexSan sanitizer: [dt_issue] runs in the
+   issuing context and returns a token; [dt_complete] wraps the
+   continuation at delivery time. Completion delivery is the
+   happens-before edge PCIe gives software (FIFO per queue). *)
+type tracer = {
+  dt_issue : queue:int -> int;
+  dt_complete : queue:int -> token:int -> (unit -> unit) -> unit;
 }
 
 type queue_state = {
@@ -32,6 +42,7 @@ type t = {
   mutable faults_injected : int;
   mutable retries : int;
   mutable retries_exhausted : int;
+  mutable tracer : tracer option;
 }
 
 let create engine ~params =
@@ -52,7 +63,10 @@ let create engine ~params =
     faults_injected = 0;
     retries = 0;
     retries_exhausted = 0;
+    tracer = None;
   }
+
+let set_tracer t tr = t.tracer <- tr
 
 let set_fault t ?(seed = 0xD0AL) ~rate ?(max_retries = 8) () =
   t.fault <-
@@ -70,12 +84,15 @@ let serialization_time t bytes =
 (* Release finished tickets from the head of the queue's issue order:
    a still-retrying transfer ahead in the order holds everything
    behind it. *)
-let drain_order q =
+let drain_order t qi q =
   while (not (Queue.is_empty q.order)) && (Queue.peek q.order).tk_done do
-    (Queue.pop q.order).tk_k ()
+    let tk = Queue.pop q.order in
+    match t.tracer with
+    | None -> tk.tk_k ()
+    | Some tr -> tr.dt_complete ~queue:qi ~token:tk.tk_token tk.tk_k
   done
 
-let rec start t q tk =
+let rec start t qi q tk =
   q.inflight <- q.inflight + 1;
   let now = Sim.Engine.now t.engine in
   let ser = serialization_time t tk.tk_bytes in
@@ -87,7 +104,8 @@ let rec start t q tk =
   Sim.Engine.schedule t.engine completion (fun () ->
       q.inflight <- q.inflight - 1;
       (* Free slot: admit a waiter, if any. *)
-      if not (Queue.is_empty q.waiting) then start t q (Queue.pop q.waiting);
+      if not (Queue.is_empty q.waiting) then
+        start t qi q (Queue.pop q.waiting);
       (* The transfer occupied the link either way; an injected fault
          (flaky link: CRC error, completion timeout) means the payload
          must be re-sent, paying serialisation and latency again. *)
@@ -102,23 +120,30 @@ let rec start t q tk =
       | Some f when failed && tk.tk_attempt < f.f_max_retries ->
           t.retries <- t.retries + 1;
           tk.tk_attempt <- tk.tk_attempt + 1;
-          admit t q tk
+          admit t qi q tk
       | _ ->
           if failed then t.retries_exhausted <- t.retries_exhausted + 1;
           t.completed <- t.completed + 1;
           t.bytes <- t.bytes + tk.tk_bytes;
           tk.tk_done <- true;
-          drain_order q)
+          drain_order t qi q)
 
-and admit t q tk =
-  if q.inflight < t.params.Params.dma_inflight then start t q tk
+and admit t qi q tk =
+  if q.inflight < t.params.Params.dma_inflight then start t qi q tk
   else Queue.push tk q.waiting
 
 let issue t ~queue ~bytes k =
-  let q = t.queues.(queue mod Array.length t.queues) in
-  let tk = { tk_bytes = bytes; tk_k = k; tk_attempt = 0; tk_done = false } in
+  let qi = queue mod Array.length t.queues in
+  let q = t.queues.(qi) in
+  let token =
+    match t.tracer with Some tr -> tr.dt_issue ~queue:qi | None -> 0
+  in
+  let tk =
+    { tk_bytes = bytes; tk_k = k; tk_token = token; tk_attempt = 0;
+      tk_done = false }
+  in
   Queue.push tk q.order;
-  admit t q tk
+  admit t qi q tk
 
 let in_flight t = Array.fold_left (fun n q -> n + q.inflight) 0 t.queues
 

@@ -12,7 +12,19 @@
 
 type t
 
+(** Observation hooks (used by the FlexSan sanitizer). [dt_issue]
+    runs in the issuing context and returns an opaque token;
+    [dt_complete] wraps the continuation at delivery time — the
+    happens-before edge PCIe gives software (FIFO per queue). *)
+type tracer = {
+  dt_issue : queue:int -> int;
+  dt_complete : queue:int -> token:int -> (unit -> unit) -> unit;
+}
+
 val create : Sim.Engine.t -> params:Params.t -> t
+
+val set_tracer : t -> tracer option -> unit
+(** Install (or clear) the completion tracer. Zero cost when unset. *)
 
 val issue : t -> queue:int -> bytes:int -> (unit -> unit) -> unit
 (** [issue t ~queue ~bytes k] starts a DMA of [bytes]; [k] runs at

@@ -1,6 +1,17 @@
 type phase = Compute of int | Mem of Memory.level | Sleep of Sim.Time.t
 
-type work = { phases : phase list; k : unit -> unit }
+(* Observation hooks for the FlexSan sanitizer: [tr_submit] runs in
+   the submitting context and returns a token; [tr_run] wraps the
+   work's completion continuation and learns which hardware-thread
+   slot executed it. Cross-thread ordering inside an FPC exists only
+   through these edges — two work items on different slots are
+   concurrent. *)
+type tracer = {
+  tr_submit : unit -> int;
+  tr_run : slot:int -> token:int -> (unit -> unit) -> unit;
+}
+
+type work = { phases : phase list; k : unit -> unit; token : int }
 
 type t = {
   engine : Sim.Engine.t;
@@ -8,12 +19,14 @@ type t = {
   name : string;
   threads : int;
   mutable idle_threads : int;
+  mutable free_slots : int list;  (* idle hardware-thread ids *)
   pending : work Queue.t;
   (* Issue unit: serves one compute burst at a time. *)
   mutable core_busy : bool;
   core_waiters : (int * (unit -> unit)) Queue.t;
   mutable busy : Sim.Time.t;
   mutable completed : int;
+  mutable tracer : tracer option;
 }
 
 let create engine ~params ?threads ~name () =
@@ -27,12 +40,16 @@ let create engine ~params ?threads ~name () =
     name;
     threads;
     idle_threads = threads;
+    free_slots = List.init threads Fun.id;
     pending = Queue.create ();
     core_busy = false;
     core_waiters = Queue.create ();
     busy = 0;
     completed = 0;
+    tracer = None;
   }
+
+let set_tracer t tr = t.tracer <- tr
 
 let name t = t.name
 
@@ -61,35 +78,55 @@ let request_core t cycles k =
   if t.core_busy then Queue.push (cycles, k) t.core_waiters
   else grant_core t cycles k
 
-let rec run_phases t phases k =
+let run_k t ~slot w =
+  match t.tracer with
+  | None -> w.k ()
+  | Some tr -> tr.tr_run ~slot ~token:w.token w.k
+
+let rec run_phases t ~slot w phases =
   match phases with
   | [] ->
       t.completed <- t.completed + 1;
-      k ();
-      thread_done t
-  | Compute 0 :: rest -> run_phases t rest k
+      run_k t ~slot w;
+      thread_done t ~slot
+  | Compute 0 :: rest -> run_phases t ~slot w rest
   | Compute cycles :: rest ->
-      request_core t cycles (fun () -> run_phases t rest k)
+      request_core t cycles (fun () -> run_phases t ~slot w rest)
   | Mem level :: rest ->
       Sim.Engine.schedule t.engine (mem_latency t level) (fun () ->
-          run_phases t rest k)
+          run_phases t ~slot w rest)
   | Sleep d :: rest ->
-      Sim.Engine.schedule t.engine d (fun () -> run_phases t rest k)
+      Sim.Engine.schedule t.engine d (fun () -> run_phases t ~slot w rest)
 
-and thread_done t =
-  if Queue.is_empty t.pending then t.idle_threads <- t.idle_threads + 1
+and thread_done t ~slot =
+  if Queue.is_empty t.pending then begin
+    t.idle_threads <- t.idle_threads + 1;
+    t.free_slots <- slot :: t.free_slots
+  end
   else begin
+    (* The same hardware thread picks up the next queued item. *)
     let w = Queue.pop t.pending in
-    run_phases t w.phases w.k
+    run_phases t ~slot w w.phases
   end
 
 let submit t phases k =
+  let token =
+    match t.tracer with Some tr -> tr.tr_submit () | None -> 0
+  in
+  let w = { phases; k; token } in
   if t.idle_threads > 0 then begin
     t.idle_threads <- t.idle_threads - 1;
+    let slot =
+      match t.free_slots with
+      | s :: rest ->
+          t.free_slots <- rest;
+          s
+      | [] -> 0
+    in
     (* Start on the next engine tick to keep submit non-reentrant. *)
-    Sim.Engine.schedule t.engine 0 (fun () -> run_phases t phases k)
+    Sim.Engine.schedule t.engine 0 (fun () -> run_phases t ~slot w w.phases)
   end
-  else Queue.push { phases; k } t.pending
+  else Queue.push w t.pending
 
 let queue_length t = Queue.length t.pending
 let in_flight t = t.threads - t.idle_threads

@@ -18,9 +18,22 @@ type phase =
 
 type t
 
+(** Observation hooks (used by the FlexSan sanitizer). [tr_submit]
+    runs in the submitting context and returns an opaque token;
+    [tr_run] wraps the work item's completion continuation, carrying
+    that token plus the hardware-thread slot that executed the item.
+    Distinct slots model genuinely concurrent hardware threads. *)
+type tracer = {
+  tr_submit : unit -> int;
+  tr_run : slot:int -> token:int -> (unit -> unit) -> unit;
+}
+
 val create :
   Sim.Engine.t -> params:Params.t -> ?threads:int -> name:string -> unit -> t
 (** [threads] defaults to [params.fpc_threads]. *)
+
+val set_tracer : t -> tracer option -> unit
+(** Install (or clear) the work-item tracer. Zero cost when unset. *)
 
 val name : t -> string
 

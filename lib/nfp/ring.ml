@@ -1,3 +1,9 @@
+(* Observation hooks for the FlexSan sanitizer: [rg_push] runs in the
+   producer's context on every successful push, [rg_pop] in the
+   consumer's on every successful pop — the ring's FIFO hand-off as a
+   happens-before edge. *)
+type tracer = { rg_push : unit -> unit; rg_pop : unit -> unit }
+
 type 'a t = {
   name : string;
   q : 'a Queue.t;
@@ -6,6 +12,7 @@ type 'a t = {
   mutable max_occ : int;
   mutable pushes : int;
   mutable drops : int;
+  mutable tracer : tracer option;
 }
 
 let create ?capacity ~name () =
@@ -17,9 +24,11 @@ let create ?capacity ~name () =
     max_occ = 0;
     pushes = 0;
     drops = 0;
+    tracer = None;
   }
 
 let name t = t.name
+let set_tracer t tr = t.tracer <- tr
 
 let push t v =
   let full =
@@ -33,11 +42,17 @@ let push t v =
     Queue.push v t.q;
     t.pushes <- t.pushes + 1;
     if Queue.length t.q > t.max_occ then t.max_occ <- Queue.length t.q;
+    (match t.tracer with Some tr -> tr.rg_push () | None -> ());
     (match t.notify with Some f -> f () | None -> ());
     true
   end
 
-let pop t = Queue.take_opt t.q
+let pop t =
+  match Queue.take_opt t.q with
+  | Some _ as r ->
+      (match t.tracer with Some tr -> tr.rg_pop () | None -> ());
+      r
+  | None -> None
 let is_empty t = Queue.is_empty t.q
 let length t = Queue.length t.q
 let capacity t = t.capacity

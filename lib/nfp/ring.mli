@@ -11,10 +11,19 @@
 
 type 'a t
 
+(** Observation hooks (used by the FlexSan sanitizer). [rg_push] runs
+    in the producer's context on every successful push, [rg_pop] in
+    the consumer's on every successful pop — the ring's FIFO hand-off
+    as a happens-before edge. *)
+type tracer = { rg_push : unit -> unit; rg_pop : unit -> unit }
+
 val create : ?capacity:int -> name:string -> unit -> 'a t
 (** [capacity] defaults to unbounded. *)
 
 val name : 'a t -> string
+
+val set_tracer : 'a t -> tracer option -> unit
+(** Install (or clear) the tracer. Zero cost when unset. *)
 
 val push : 'a t -> 'a -> bool
 (** [false] if the ring is full (caller must retry/backpressure). *)

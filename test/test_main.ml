@@ -16,6 +16,7 @@ let () =
       ("delayed-acks", Test_flextoe.delayed_ack_suite);
       ("policies", Test_policies.suite);
       ("properties", Test_properties.suite);
+      ("san", Test_san.suite);
       ("wraparound", Test_flextoe.wraparound_suite);
       ("datapath", Test_datapath.suite);
       ("coverage", Test_coverage.suite);

@@ -291,12 +291,168 @@ let test_simulation_deterministic () =
   let r3 = run_sim 78L in
   check_bool "different seed perturbs the run" true (r1 <> r3)
 
+(* --- Ordering structures (FlexSan's happens-before sources) --------- *)
+
+(* The sequencer must release items in sequence order for ANY
+   interleaving of submits and skips — the property FlexSan leans on
+   when it treats sequencer release as an ordering edge. The generator
+   draws a random permutation of [0..n) and a random skip set. *)
+let prop_sequencer_releases_in_order =
+  QCheck.Test.make ~name:"sequencer: in-order release for any interleaving"
+    ~count:300
+    QCheck.(pair (int_range 1 60) (int_range 0 1_000_000))
+    (fun (n, salt) ->
+      let rng = Random.State.make [| n; salt |] in
+      let released = ref [] in
+      let s =
+        Flextoe.Sequencer.create ~name:"prop" ~release:(fun v ->
+            released := v :: !released)
+      in
+      let seqs = Array.init n (fun _ -> Flextoe.Sequencer.next_seq s) in
+      (* Shuffle the submission order. *)
+      for i = n - 1 downto 1 do
+        let j = Random.State.int rng (i + 1) in
+        let t = seqs.(i) in
+        seqs.(i) <- seqs.(j);
+        seqs.(j) <- t
+      done;
+      let skipped = Array.map (fun _ -> Random.State.bool rng) seqs in
+      Array.iteri
+        (fun i seq ->
+          if skipped.(i) then Flextoe.Sequencer.skip s ~seq
+          else Flextoe.Sequencer.submit s ~seq seq)
+        seqs;
+      let out = List.rev !released in
+      (* Everything submitted (not skipped) came out, in ascending
+         sequence order. *)
+      let expect =
+        List.filter_map
+          (fun i -> if skipped.(i) then None else Some seqs.(i))
+          (List.init n Fun.id)
+        |> List.sort compare
+      in
+      Flextoe.Sequencer.pending s = 0 && out = List.sort compare out
+      && List.sort compare out = expect)
+
+(* A bounded ring never reorders, never drops silently, and never
+   exceeds capacity — including across many wraparounds of its
+   internal storage. *)
+let prop_ring_fifo_wraparound =
+  QCheck.Test.make ~name:"ring: FIFO, bounded, no reorder across wraparound"
+    ~count:200
+    QCheck.(triple (int_range 1 8) (int_range 50 400) (int_range 0 1_000_000))
+    (fun (cap, ops, salt) ->
+      let rng = Random.State.make [| cap; ops; salt |] in
+      let r = Nfp.Ring.create ~capacity:cap ~name:"prop" () in
+      let next = ref 0 in
+      let expected = ref 0 in
+      let ok = ref true in
+      for _ = 1 to ops do
+        if Random.State.bool rng then begin
+          let accepted = Nfp.Ring.push r !next in
+          let was_full = Nfp.Ring.length r > cap in
+          if was_full then ok := false;
+          (* push must succeed iff the ring had room. *)
+          if accepted then incr next
+          else if Nfp.Ring.length r < cap then ok := false
+        end
+        else
+          match Nfp.Ring.pop r with
+          | Some v ->
+              if v <> !expected then ok := false;
+              incr expected
+          | None -> if Nfp.Ring.length r <> 0 then ok := false
+      done;
+      (* Drain: the tail must come out in order too. *)
+      let rec drain () =
+        match Nfp.Ring.pop r with
+        | Some v ->
+            if v <> !expected then ok := false;
+            incr expected;
+            drain ()
+        | None -> ()
+      in
+      drain ();
+      !ok && !expected = !next && Nfp.Ring.length r = 0)
+
+(* §3.2's serialization claim, observed end to end: on a healthy
+   pipelined run with the sanitizer recording spans, no two
+   protocol-stage critical sections for the same connection ever
+   overlap in time — for any workload interleaving the simulator
+   produces from the seed. *)
+let test_protocol_spans_never_overlap () =
+  let engine = Sim.Engine.create ~seed:11L () in
+  let fabric = Netsim.Fabric.create engine () in
+  let config = { Flextoe.Config.default with Flextoe.Config.san = true } in
+  let a = Flextoe.create_node engine ~fabric ~config ~ip:0x0A000001 () in
+  let b = Flextoe.create_node engine ~fabric ~config ~ip:0x0A000002 () in
+  List.iter
+    (fun n ->
+      match Flextoe.Datapath.san (Flextoe.datapath n) with
+      | Some s -> Flextoe.San.set_record_spans s true
+      | None -> Alcotest.fail "sanitizer not enabled")
+    [ a; b ];
+  let stats = Host.Rpc.Stats.create engine in
+  Host.Rpc.server ~endpoint:(Flextoe.endpoint a) ~port:7 ~app_cycles:100
+    ~handler:Host.Rpc.echo_handler ();
+  Host.Rpc.Stats.start_measuring stats;
+  ignore
+    (Host.Rpc.closed_loop_client ~endpoint:(Flextoe.endpoint b) ~engine
+       ~server_ip:0x0A000001 ~server_port:7 ~conns:6 ~pipeline:6
+       ~req_bytes:512 ~stats ());
+  Sim.Engine.run ~until:(Sim.Time.ms 25) engine;
+  check_bool "workload ran" true (Host.Rpc.Stats.ops stats > 100);
+  List.iter
+    (fun n ->
+      let s = Option.get (Flextoe.Datapath.san (Flextoe.datapath n)) in
+      let spans = Flextoe.San.closed_spans s in
+      check_bool "protocol executions observed" true
+        (List.length spans > 1000);
+      (* Live check: the sanitizer counts same-flow same-stage nesting
+         as it happens (catches overlaps even for spans still open at
+         the horizon). *)
+      Alcotest.(check int)
+        "no same-flow protocol spans overlap (live)" 0
+        (Flextoe.San.span_overlaps s);
+      (* Offline check over the recorded intervals: sort per flow by
+         start time and require end(i) <= begin(i+1). *)
+      let by_flow = Hashtbl.create 64 in
+      List.iter
+        (fun (flow, stage, b, e) ->
+          if stage = "protocol" then
+            Hashtbl.replace by_flow flow
+              ((b, e)
+              :: (match Hashtbl.find_opt by_flow flow with
+                 | Some l -> l
+                 | None -> [])))
+        spans;
+      Hashtbl.iter
+        (fun flow ivals ->
+          let sorted =
+            List.sort (fun ((b1 : Sim.Time.t), _) (b2, _) -> compare b1 b2)
+              ivals
+          in
+          let rec scan = function
+            | (_, e1) :: ((b2, _) :: _ as rest) ->
+                if e1 > b2 then
+                  Alcotest.failf "flow %d: protocol spans overlap" flow;
+                scan rest
+            | _ -> ()
+          in
+          scan sorted)
+        by_flow)
+    [ a; b ]
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_protocol_invariants;
     QCheck_alcotest.to_alcotest prop_reassembly_single_oracle;
     QCheck_alcotest.to_alcotest prop_reassembly_multi_oracle;
     QCheck_alcotest.to_alcotest prop_vm_alu64_matches_reference;
+    QCheck_alcotest.to_alcotest prop_sequencer_releases_in_order;
+    QCheck_alcotest.to_alcotest prop_ring_fifo_wraparound;
     Alcotest.test_case "simulation determinism" `Quick
       test_simulation_deterministic;
+    Alcotest.test_case "protocol spans never overlap" `Quick
+      test_protocol_spans_never_overlap;
   ]

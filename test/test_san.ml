@@ -1,0 +1,418 @@
+(* FlexSan tests: the static contract checker (layer 1), the dynamic
+   happens-before sanitizer's core machinery (layer 2, synthetic
+   histories), a clean-pipeline gate, and the seeded-race corpus —
+   every deliberately-broken datapath variant must be flagged with a
+   diagnostic naming the conflicting accesses. *)
+
+module E = Flextoe.Effects
+module San = Flextoe.San
+module D = Flextoe.Datapath
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let ip_a = 0x0A000001
+let ip_b = 0x0A000002
+
+let san_config =
+  { Flextoe.Config.default with Flextoe.Config.san = true }
+
+(* --- Layer 1: static contract checking ------------------------------ *)
+
+let test_builtin_contracts_sound () =
+  match E.check (D.builtin_contracts ()) with
+  | Ok () -> ()
+  | Error cs ->
+      Alcotest.failf "builtin stage set rejected: %s"
+        (String.concat "; " (List.map E.conflict_to_string cs))
+
+let mk_contract stage ?(reads = []) ?(writes = []) domain =
+  { E.c_stage = stage; c_reads = reads; c_writes = writes;
+    c_domain = domain }
+
+let test_static_conflicts () =
+  (* Two unserialized stages writing the protocol partition. *)
+  let bad =
+    [
+      mk_contract "a" ~writes:[ E.Conn_proto ] E.Serial_none;
+      mk_contract "b" ~writes:[ E.Conn_proto ] E.Serial_none;
+    ]
+  in
+  (match E.check bad with
+  | Ok () -> Alcotest.fail "W/W overlap not detected"
+  | Error cs ->
+      check_bool "conflict names both stages and the region" true
+        (List.exists
+           (fun c ->
+             c.E.k_obj = E.Conn_proto
+             && ((c.E.k_stage1 = "a" && c.E.k_stage2 = "b")
+                || (c.E.k_stage1 = "b" && c.E.k_stage2 = "a")))
+           cs));
+  (* Write/read overlap. *)
+  let wr =
+    [
+      mk_contract "w" ~writes:[ E.Reasm ] E.Serial_none;
+      mk_contract "r" ~reads:[ E.Reasm ] E.Serial_none;
+    ]
+  in
+  (match E.check wr with
+  | Ok () -> Alcotest.fail "W/R overlap not detected"
+  | Error _ -> ());
+  (* A replicated (Serial_none) stage races its own replicas. *)
+  (match E.check [ mk_contract "solo" ~writes:[ E.Conn_proto ] E.Serial_none ]
+   with
+  | Ok () -> Alcotest.fail "self-race of a replicated stage not detected"
+  | Error _ -> ())
+
+let test_static_serialization_admits () =
+  (* The same overlaps are fine under a shared serialization domain. *)
+  let ok_sets =
+    [
+      [
+        mk_contract "a" ~writes:[ E.Conn_proto ] E.Serial_conn;
+        mk_contract "b" ~reads:[ E.Conn_proto ] ~writes:[ E.Conn_proto ]
+          E.Serial_conn;
+      ];
+      [
+        mk_contract "a" ~writes:[ E.Reasm ] (E.Serial_queue "q");
+        mk_contract "b" ~writes:[ E.Reasm ] (E.Serial_queue "q");
+      ];
+      (* Atomic regions never conflict statically. *)
+      [
+        mk_contract "a" ~writes:[ E.Global_stats ] E.Serial_none;
+        mk_contract "b" ~writes:[ E.Global_stats ] E.Serial_none;
+      ];
+      (* Address-partitioned regions are deferred to layer 2. *)
+      [
+        mk_contract "a" ~writes:[ E.Rx_payload ] E.Serial_none;
+        mk_contract "b" ~writes:[ E.Rx_payload ] E.Serial_none;
+      ];
+    ]
+  in
+  List.iter
+    (fun set ->
+      match E.check set with
+      | Ok () -> ()
+      | Error cs ->
+          Alcotest.failf "spurious static conflict: %s"
+            (E.conflict_to_string (List.hd cs)))
+    ok_sets
+
+let test_bad_contract_fails_fast () =
+  let engine = Sim.Engine.create () in
+  let fabric = Netsim.Fabric.create engine () in
+  let sab = List.assoc "bad_contract" D.sabotage_variants in
+  match
+    Flextoe.create_node engine ~fabric ~config:san_config ~sabotage:sab
+      ~ip:ip_a ()
+  with
+  | _ -> Alcotest.fail "bad contract accepted at create"
+  | exception E.Contract_violation cs ->
+      check_bool "diagnostic names postproc x protocol on conn.proto" true
+        (List.exists
+           (fun c ->
+             c.E.k_obj = E.Conn_proto
+             && List.mem c.E.k_stage1 [ "postproc"; "protocol" ]
+             && List.mem c.E.k_stage2 [ "postproc"; "protocol" ])
+           cs)
+
+(* --- Layer 2: synthetic histories ----------------------------------- *)
+
+let mk_san ?(contracts = []) () =
+  let engine = Sim.Engine.create () in
+  let contracts =
+    if contracts = [] then
+      [
+        mk_contract "s1" ~reads:[ E.Conn_proto; E.Reasm ]
+          ~writes:[ E.Conn_proto; E.Reasm ] E.Serial_none;
+        mk_contract "s2" ~reads:[ E.Conn_proto; E.Rx_payload ]
+          ~writes:[ E.Conn_proto; E.Rx_payload ] E.Serial_none;
+      ]
+    else contracts
+  in
+  San.create ~engine ~contracts ()
+
+let has_race s =
+  List.exists (function San.Race _ -> true | _ -> false) (San.reports s)
+
+let has_atomicity s =
+  List.exists (function San.Atomicity _ -> true | _ -> false)
+    (San.reports s)
+
+let has_breach s =
+  List.exists (function San.Contract_breach _ -> true | _ -> false)
+    (San.reports s)
+
+let test_unordered_writes_race () =
+  let s = mk_san () in
+  San.run_as s ~thread:"t1" (fun () ->
+      San.access s ~stage:"s1" ~flow:0 ~obj:E.Conn_proto San.Write);
+  San.run_as s ~thread:"t2" (fun () ->
+      San.access s ~stage:"s2" ~flow:0 ~obj:E.Conn_proto San.Write);
+  check_bool "unordered W/W flagged" true (has_race s);
+  (* The diagnostic names both (stage, region) accesses. *)
+  match San.reports s with
+  | San.Race (a1, a2) :: _ ->
+      check_bool "both stages named" true
+        (a1.San.a_stage = "s1" && a2.San.a_stage = "s2");
+      check_bool "region named" true
+        (a1.San.a_obj = E.Conn_proto && a2.San.a_obj = E.Conn_proto)
+  | _ -> Alcotest.fail "expected a race report first"
+
+let test_channel_edge_orders () =
+  let s = mk_san () in
+  San.run_as s ~thread:"t1" (fun () ->
+      San.access s ~stage:"s1" ~flow:0 ~obj:E.Conn_proto San.Write;
+      San.chan_send s "ch");
+  San.run_as s ~thread:"t2" (fun () ->
+      San.chan_recv s "ch";
+      San.access s ~stage:"s2" ~flow:0 ~obj:E.Conn_proto San.Write);
+  check_int "channel-ordered writes are clean" 0 (San.report_count s)
+
+let test_token_edge_orders () =
+  let s = mk_san () in
+  let tok = ref 0 in
+  San.run_as s ~thread:"t1" (fun () ->
+      San.access s ~stage:"s1" ~flow:3 ~obj:E.Conn_proto San.Write;
+      tok := San.token_send s);
+  San.run_as s ~thread:"t2" ~join:!tok (fun () ->
+      San.access s ~stage:"s2" ~flow:3 ~obj:E.Conn_proto San.Write);
+  check_int "token-ordered writes are clean" 0 (San.report_count s)
+
+let test_same_thread_ordered () =
+  let s = mk_san () in
+  San.run_as s ~thread:"t1" (fun () ->
+      San.access s ~stage:"s1" ~flow:0 ~obj:E.Conn_proto San.Write;
+      San.access s ~stage:"s2" ~flow:0 ~obj:E.Conn_proto San.Write);
+  check_int "program order is happens-before" 0 (San.report_count s)
+
+let test_reads_dont_race () =
+  let s = mk_san () in
+  San.run_as s ~thread:"t1" (fun () ->
+      San.access s ~stage:"s1" ~flow:0 ~obj:E.Conn_proto San.Read);
+  San.run_as s ~thread:"t2" (fun () ->
+      San.access s ~stage:"s2" ~flow:0 ~obj:E.Conn_proto San.Read);
+  check_int "R/R is not a conflict" 0 (San.report_count s)
+
+let test_flows_isolated () =
+  let s = mk_san () in
+  San.run_as s ~thread:"t1" (fun () ->
+      San.access s ~stage:"s1" ~flow:1 ~obj:E.Conn_proto San.Write);
+  San.run_as s ~thread:"t2" (fun () ->
+      San.access s ~stage:"s2" ~flow:2 ~obj:E.Conn_proto San.Write);
+  check_int "different flows never conflict" 0 (San.report_count s)
+
+let test_payload_intervals () =
+  let s = mk_san () in
+  (* Disjoint byte ranges: clean even across threads. *)
+  San.run_as s ~thread:"t1" (fun () ->
+      San.access s ~stage:"s2" ~flow:0 ~obj:E.Rx_payload ~range:(0, 100)
+        San.Write);
+  San.run_as s ~thread:"t2" (fun () ->
+      San.access s ~stage:"s2" ~flow:0 ~obj:E.Rx_payload ~range:(100, 100)
+        San.Write);
+  check_int "disjoint ranges are clean" 0 (San.report_count s);
+  (* Overlapping ranges race. *)
+  San.run_as s ~thread:"t3" (fun () ->
+      San.access s ~stage:"s2" ~flow:0 ~obj:E.Rx_payload ~range:(50, 100)
+        San.Read);
+  check_bool "overlapping range flagged" true (has_race s)
+
+let test_atomicity_violation () =
+  let s = mk_san () in
+  San.run_as s ~thread:"t1" (fun () ->
+      San.span_begin s ~stage:"s1" ~flow:0;
+      San.access s ~stage:"s1" ~flow:0 ~obj:E.Conn_proto San.Read);
+  San.run_as s ~thread:"t2" (fun () ->
+      San.access s ~stage:"s2" ~flow:0 ~obj:E.Conn_proto San.Write);
+  San.run_as s ~thread:"t1" (fun () ->
+      San.access s ~stage:"s1" ~flow:0 ~obj:E.Conn_proto San.Write;
+      San.span_end s ~stage:"s1" ~flow:0);
+  check_bool "mid-span intruding write flagged" true (has_atomicity s)
+
+let test_span_clean_when_serialized () =
+  let s = mk_san () in
+  (* Two spans on the same flow, properly ordered by a channel: the
+     second sees the first's writes but no mid-span intrusion. *)
+  San.run_as s ~thread:"t1" (fun () ->
+      San.span_begin s ~stage:"s1" ~flow:0;
+      San.access s ~stage:"s1" ~flow:0 ~obj:E.Conn_proto San.Read;
+      San.access s ~stage:"s1" ~flow:0 ~obj:E.Conn_proto San.Write;
+      San.span_end s ~stage:"s1" ~flow:0;
+      San.chan_send s "lock");
+  San.run_as s ~thread:"t2" (fun () ->
+      San.chan_recv s "lock";
+      San.span_begin s ~stage:"s1" ~flow:0;
+      San.access s ~stage:"s1" ~flow:0 ~obj:E.Conn_proto San.Read;
+      San.access s ~stage:"s1" ~flow:0 ~obj:E.Conn_proto San.Write;
+      San.span_end s ~stage:"s1" ~flow:0);
+  check_int "serialized spans are clean" 0 (San.report_count s)
+
+let test_conformance_breach () =
+  let s = mk_san () in
+  San.run_as s ~thread:"t1" (fun () ->
+      (* s1 never declared Rx_payload. *)
+      San.access s ~stage:"s1" ~flow:0 ~obj:E.Rx_payload ~range:(0, 10)
+        San.Write);
+  check_bool "undeclared access flagged" true (has_breach s)
+
+(* --- Healthy pipeline: zero reports --------------------------------- *)
+
+let echo_pair ?(config = san_config) ?sabotage ~conns ~pipeline ~ms () =
+  let engine = Sim.Engine.create () in
+  let fabric = Netsim.Fabric.create engine () in
+  let a = Flextoe.create_node engine ~fabric ~config ?sabotage ~ip:ip_a () in
+  let b = Flextoe.create_node engine ~fabric ~config ?sabotage ~ip:ip_b () in
+  let stats = Host.Rpc.Stats.create engine in
+  Host.Rpc.server ~endpoint:(Flextoe.endpoint a) ~port:7 ~app_cycles:100
+    ~handler:Host.Rpc.echo_handler ();
+  Host.Rpc.Stats.start_measuring stats;
+  ignore
+    (Host.Rpc.closed_loop_client ~endpoint:(Flextoe.endpoint b) ~engine
+       ~server_ip:ip_a ~server_port:7 ~conns ~pipeline ~req_bytes:256
+       ~stats ());
+  Sim.Engine.run ~until:(Sim.Time.ms ms) engine;
+  (stats, a, b)
+
+let node_san n = D.san (Flextoe.datapath n)
+
+let all_reports nodes =
+  List.concat_map
+    (fun n ->
+      match node_san n with Some s -> San.reports s | None -> [])
+    nodes
+
+let total_report_count nodes =
+  List.fold_left
+    (fun acc n ->
+      match node_san n with
+      | Some s -> acc + San.report_count s
+      | None -> acc)
+    0 nodes
+
+let test_healthy_pipeline_clean () =
+  let stats, a, b = echo_pair ~conns:4 ~pipeline:4 ~ms:20 () in
+  check_bool "workload ran" true (Host.Rpc.Stats.ops stats > 100);
+  let sa = Option.get (node_san a) and sb = Option.get (node_san b) in
+  check_bool "sanitizer saw traffic" true (San.accesses sa > 1000);
+  check_bool "many distinct threads" true (San.threads sa > 8);
+  (match all_reports [ a; b ] with
+  | [] -> ()
+  | r :: _ ->
+      Alcotest.failf "healthy pipeline reported: %s"
+        (San.report_to_string r));
+  check_int "no reports on either node" 0
+    (San.report_count sa + San.report_count sb)
+
+let test_rtc_mode_no_san () =
+  let config =
+    Flextoe.Config.with_parallelism san_config Flextoe.Config.t3_baseline
+  in
+  let _, a, _ = echo_pair ~config ~conns:1 ~pipeline:2 ~ms:5 () in
+  check_bool "run-to-completion mode leaves the sanitizer off" true
+    (node_san a = None)
+
+let test_san_off_by_default () =
+  let engine = Sim.Engine.create () in
+  let fabric = Netsim.Fabric.create engine () in
+  let a =
+    Flextoe.create_node engine ~fabric
+      ~config:{ san_config with Flextoe.Config.san = false }
+      ~ip:ip_a ()
+  in
+  check_bool "san=false means no sanitizer" true (node_san a = None)
+
+(* --- Seeded-race corpus --------------------------------------------- *)
+
+(* Objects a variant's diagnostics must mention, so reports point at
+   the defect and not just "something raced". *)
+let expected_objs = function
+  | "no_lock" | "early_release" -> [ E.Conn_proto; E.Reasm ]
+  | "notify_before_payload" | "skip_notify_dma" -> [ E.Rx_payload ]
+  | "postproc_writes_conn" | "preproc_reads_proto" -> [ E.Conn_proto ]
+  | v -> Alcotest.failf "unknown variant %s" v
+
+let report_objs r =
+  match r with
+  | San.Race (a1, a2) -> [ a1.San.a_obj; a2.San.a_obj ]
+  | San.Atomicity { at_first; at_intruder; _ } ->
+      [ at_first.San.a_obj; at_intruder.San.a_obj ]
+  | San.Contract_breach a -> [ a.San.a_obj ]
+
+let test_variant name () =
+  let sabotage = List.assoc name D.sabotage_variants in
+  (* Deep pipelining on a single connection keeps several segments of
+     one flow in flight at once — the overlap the lock variants need
+     before their defect is observable. *)
+  let stats, a, b = echo_pair ~sabotage ~conns:1 ~pipeline:8 ~ms:20 () in
+  check_bool "workload ran" true (Host.Rpc.Stats.ops stats > 50);
+  let reports = all_reports [ a; b ] in
+  check_bool
+    (Printf.sprintf "%s detected (%d reports)" name
+       (total_report_count [ a; b ]))
+    true
+    (reports <> []);
+  let objs = List.concat_map report_objs reports in
+  check_bool
+    (Printf.sprintf "%s diagnostics name the defect's region" name)
+    true
+    (List.exists (fun o -> List.mem o objs) (expected_objs name))
+
+(* The sabotaged pipelines must still be functionally correct (the
+   defects are latent races, invisible to the single-threaded
+   simulator) — otherwise the corpus would be testing breakage, not
+   detection. *)
+let test_variants_behavior_preserved () =
+  List.iter
+    (fun (name, sabotage) ->
+      if name <> "bad_contract" then begin
+        let stats, _, _ = echo_pair ~sabotage ~conns:1 ~pipeline:4 ~ms:10 () in
+        check_bool (name ^ " still serves traffic") true
+          (Host.Rpc.Stats.ops stats > 50)
+      end)
+    D.sabotage_variants
+
+let dynamic_variants =
+  List.filter (fun (n, _) -> n <> "bad_contract") D.sabotage_variants
+
+let suite =
+  [
+    Alcotest.test_case "static: builtin contracts sound" `Quick
+      test_builtin_contracts_sound;
+    Alcotest.test_case "static: conflicts detected" `Quick
+      test_static_conflicts;
+    Alcotest.test_case "static: serialization admits overlap" `Quick
+      test_static_serialization_admits;
+    Alcotest.test_case "static: bad contract fails at create" `Quick
+      test_bad_contract_fails_fast;
+    Alcotest.test_case "dynamic: unordered writes race" `Quick
+      test_unordered_writes_race;
+    Alcotest.test_case "dynamic: channel edge orders" `Quick
+      test_channel_edge_orders;
+    Alcotest.test_case "dynamic: token edge orders" `Quick
+      test_token_edge_orders;
+    Alcotest.test_case "dynamic: program order" `Quick
+      test_same_thread_ordered;
+    Alcotest.test_case "dynamic: reads don't race" `Quick
+      test_reads_dont_race;
+    Alcotest.test_case "dynamic: flows isolated" `Quick test_flows_isolated;
+    Alcotest.test_case "dynamic: payload intervals" `Quick
+      test_payload_intervals;
+    Alcotest.test_case "dynamic: atomicity violation" `Quick
+      test_atomicity_violation;
+    Alcotest.test_case "dynamic: serialized spans clean" `Quick
+      test_span_clean_when_serialized;
+    Alcotest.test_case "dynamic: conformance breach" `Quick
+      test_conformance_breach;
+    Alcotest.test_case "pipeline: healthy run is clean" `Quick
+      test_healthy_pipeline_clean;
+    Alcotest.test_case "pipeline: rtc mode exempt" `Quick test_rtc_mode_no_san;
+    Alcotest.test_case "pipeline: off by default" `Quick
+      test_san_off_by_default;
+    Alcotest.test_case "corpus: variants behavior-preserving" `Quick
+      test_variants_behavior_preserved;
+  ]
+  @ List.map
+      (fun (name, _) ->
+        Alcotest.test_case ("corpus: " ^ name) `Quick (test_variant name))
+      dynamic_variants
