@@ -74,7 +74,14 @@ let subheader s = Printf.printf "--- %s ---\n" s
 
 let row_of_floats name vals =
   Printf.printf "%-14s" name;
-  List.iter (fun v -> Printf.printf " %10.2f" v) vals;
+  List.iter
+    (fun v ->
+      (* An empty measurement window reads as absent, not as 0.00
+         (Rpc.Stats percentiles return NaN when nothing was
+         recorded). *)
+      if Float.is_nan v then Printf.printf " %10s" "n/a"
+      else Printf.printf " %10.2f" v)
+    vals;
   print_newline ()
 
 let row_of_strings name vals =

@@ -297,11 +297,213 @@ let san_cmd =
        ~exits:exit_info)
     Term.(const run_san $ san_builtin_t $ seeded_t)
 
+(* --- top: FlexScope metrics-snapshot report -------------------------- *)
+
+module J = Sim.Json
+
+let read_json path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | s -> (
+      match J.of_string s with
+      | Ok j -> j
+      | Error e ->
+          Format.printf "FAIL %-20s unparsable: %s@." path e;
+          exit 2)
+  | exception Sys_error e ->
+      Format.printf "FAIL %-20s unreadable: %s@." path e;
+      exit 2
+
+let obj_members j =
+  match J.to_obj_opt j with Some kvs -> kvs | None -> []
+
+let jnum k j = Option.bind (J.member k j) J.to_float_opt
+let jint k j = Option.bind (J.member k j) J.to_int_opt
+
+let run_top path limit =
+  let m = read_json path in
+  (match (jint "events" m, jint "dropped_events" m, jint "flight_dumps" m) with
+  | Some ev, Some dr, Some fd ->
+      Printf.printf "events: %d recorded, %d dropped, %d flight dump(s)\n"
+        ev dr fd
+  | _ -> ());
+  let hists =
+    obj_members (Option.value ~default:J.Null (J.member "histograms" m))
+  in
+  (* Stage histograms ranked by total attributed cycles — the
+     where-does-the-time-go table. *)
+  let stages =
+    List.filter_map
+      (fun (name, h) ->
+        if String.length name > 6 && String.sub name 0 6 = "stage/" then
+          match (jint "count" h, jnum "mean" h) with
+          | Some n, Some mean ->
+              Some
+                ( String.sub name 6 (String.length name - 6),
+                  n,
+                  mean,
+                  float_of_int n *. mean,
+                  h )
+          | _ -> None
+        else None)
+      hists
+    |> List.sort (fun (_, _, _, a, _) (_, _, _, b, _) -> compare b a)
+  in
+  let pct h q =
+    match jint q h with Some v -> string_of_int v | None -> "n/a"
+  in
+  Printf.printf "%-14s %10s %10s %12s %8s %8s %8s\n" "stage" "count"
+    "mean cyc" "total Mcyc" "p50" "p99" "p999";
+  List.iteri
+    (fun i (name, n, mean, total, h) ->
+      if i < limit then
+        Printf.printf "%-14s %10d %10.1f %12.2f %8s %8s %8s\n" name n mean
+          (total /. 1e6) (pct h "p50") (pct h "p99") (pct h "p999"))
+    stages;
+  let lifecycle =
+    List.filter
+      (fun (name, _) ->
+        String.length name > 13 && String.sub name 0 13 = "lifecycle_ns/")
+      hists
+  in
+  if lifecycle <> [] then begin
+    Printf.printf "%-14s %10s %10s %12s %8s %8s %8s\n" "lifecycle"
+      "count" "mean ns" "" "p50" "p99" "p999";
+    List.iter
+      (fun (name, h) ->
+        match (jint "count" h, jnum "mean" h) with
+        | Some n, Some mean ->
+            Printf.printf "%-14s %10d %10.1f %12s %8s %8s %8s\n"
+              (String.sub name 13 (String.length name - 13))
+              n mean "" (pct h "p50") (pct h "p99") (pct h "p999")
+        | _ -> ())
+      lifecycle
+  end;
+  let counters =
+    obj_members (Option.value ~default:J.Null (J.member "counters" m))
+  in
+  if counters <> [] then begin
+    Printf.printf "counters:\n";
+    List.iter
+      (fun (k, v) ->
+        match J.to_int_opt v with
+        | Some v -> Printf.printf "  %-24s %d\n" k v
+        | None -> ())
+      counters
+  end;
+  let series =
+    obj_members (Option.value ~default:J.Null (J.member "series" m))
+  in
+  let utils =
+    List.filter_map
+      (fun (k, s) ->
+        if String.length k > 5 && String.sub k 0 5 = "util/" then
+          Option.map
+            (fun mean -> (String.sub k 5 (String.length k - 5), mean, s))
+            (jnum "mean" s)
+        else None)
+      series
+    |> List.sort (fun (_, a, _) (_, b, _) -> compare b a)
+  in
+  if utils <> [] then begin
+    Printf.printf "utilization (busy fraction, mean over run):\n";
+    List.iteri
+      (fun i (k, mean, s) ->
+        if i < limit then
+          Printf.printf "  %-24s %5.1f%%  (max %5.1f%%)\n" k (100. *. mean)
+            (100. *. Option.value ~default:0. (jnum "max" s)))
+      utils
+  end
+
+let metrics_file_t =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"METRICS.json"
+        ~doc:"Metrics snapshot written by flextoe-sim --profile.")
+
+let limit_t =
+  Arg.(
+    value & opt int 20
+    & info [ "limit" ] ~doc:"Rows per ranked table (default 20).")
+
+let top_cmd =
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Rank a FlexScope metrics snapshot: stages by total attributed \
+          cycles, segment-lifecycle latencies, counters, pool utilization"
+       ~exits:exit_info)
+    Term.(const run_top $ metrics_file_t $ limit_t)
+
+(* --- trace-check: Chrome trace_event JSONL schema validation --------- *)
+
+let run_trace_check path =
+  let ic =
+    try open_in path
+    with Sys_error e ->
+      Format.printf "FAIL %-20s unreadable: %s@." path e;
+      exit 2
+  in
+  let total = ref 0 and bad = ref 0 in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      try
+        while true do
+          let line = input_line ic in
+          if String.trim line <> "" then begin
+            incr total;
+            match J.of_string line with
+            | Error e ->
+                incr bad;
+                if !bad <= 10 then
+                  Format.printf "FAIL line %-12d unparsable: %s@." !total e
+            | Ok j -> (
+                match Sim.Scope.validate_trace_line j with
+                | Ok () -> ()
+                | Error e ->
+                    incr bad;
+                    if !bad <= 10 then
+                      Format.printf "FAIL line %-12d %s@." !total e)
+          end
+        done
+      with End_of_file -> ());
+  if !total = 0 then begin
+    Format.printf "FAIL %-20s empty trace@." path;
+    exit 1
+  end;
+  if !bad > 0 then begin
+    Format.printf "FAIL %-20s %d of %d line(s) invalid@." path !bad !total;
+    exit 1
+  end;
+  Format.printf "OK   %-20s %d trace_event line(s) valid@." path !total
+
+let trace_file_t =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"TRACE.jsonl"
+        ~doc:"Chrome trace_event JSONL written by flextoe-sim --profile full.")
+
+let trace_check_cmd =
+  Cmd.v
+    (Cmd.info "trace-check"
+       ~doc:
+         "Validate a FlexScope Chrome trace_event JSONL export against the \
+          emitter's schema"
+       ~exits:exit_info)
+    Term.(const run_trace_check $ trace_file_t)
+
 let group =
   Cmd.group
     (Cmd.info "flexlint" ~doc:"FlexTOE static checkers" ~exits:exit_info)
     ~default:verify_term
-    [ verify_cmd; san_cmd ]
+    [ verify_cmd; san_cmd; top_cmd; trace_check_cmd ]
 
 let () =
   (* Fold cmdliner's parse-error code into the documented usage-error

@@ -48,6 +48,38 @@ let mk_node engine fabric stack ~cores ip =
       in
       (Baselines.Stack.endpoint b, None)
 
+(* FlexScope profile summary + export, for FlexTOE server nodes run
+   with --profile. *)
+let report_profile ~trace_out ~metrics_out n =
+  match Flextoe.scope n with
+  | None -> ()
+  | Some sc ->
+      Flextoe.Flexscope.write_profile ~trace:trace_out ~metrics:metrics_out
+        (Flextoe.datapath n);
+      Printf.printf "flexscope  : %d events recorded, %d dropped, %d flight dump(s)\n"
+        (Sim.Scope.events_recorded sc)
+        (Sim.Scope.dropped_events sc)
+        (Sim.Scope.flight_dumps sc);
+      if Sim.Scope.mode sc = Sim.Scope.Full then
+        Printf.printf "trace      : %s\n" trace_out;
+      Printf.printf "metrics    : %s\n" metrics_out;
+      List.iter
+        (fun (name, h) ->
+          if String.length name > 6 && String.sub name 0 6 = "stage/" then begin
+            let p q =
+              match Sim.Stats.Histogram.percentile_opt h q with
+              | Some v -> string_of_int v
+              | None -> "n/a"
+            in
+            Printf.printf
+              "  %-16s n=%8d  mean=%8.1f cyc  p50=%s p99=%s p999=%s\n"
+              (String.sub name 6 (String.length name - 6))
+              (Sim.Stats.Histogram.count h)
+              (Sim.Stats.Histogram.mean h)
+              (p 50.) (p 99.) (p 99.9)
+          end)
+        (Sim.Scope.histograms sc)
+
 let report stats ~duration_ms ~bulk_bytes =
   Printf.printf "ops        : %d\n" (Host.Rpc.Stats.ops stats);
   Printf.printf "throughput : %.3f mOps, %.2f Gbps goodput\n"
@@ -66,12 +98,14 @@ let report stats ~duration_ms ~bulk_bytes =
       (Host.Rpc.Stats.rtt_percentile_us stats 99.99)
   end
 
-let run_echo stack conns pipeline size loss duration_ms cores delayed_acks =
+let run_echo stack conns pipeline size loss duration_ms cores delayed_acks
+    profile trace_out metrics_out =
   let engine = Sim.Engine.create () in
   let fabric = Netsim.Fabric.create engine () in
   Netsim.Fabric.set_loss fabric loss;
   let config =
-    { Flextoe.Config.default with Flextoe.Config.delayed_acks }
+    { Flextoe.Config.default with Flextoe.Config.delayed_acks;
+      scope = profile }
   in
   let mk_node engine fabric stack ~cores ip =
     match stack with
@@ -117,7 +151,8 @@ let run_echo stack conns pipeline size loss duration_ms cores delayed_acks =
                   Some
                     (Printf.sprintf "%s %.0f%%" name
                        (100. *. float_of_int h /. float_of_int (h + m))))
-              (Flextoe.Datapath.cache_stats (Flextoe.datapath n))))
+              (Flextoe.Datapath.cache_stats (Flextoe.datapath n))));
+      report_profile ~trace_out ~metrics_out n
   | None -> ()
 
 let run_stream stack conns loss duration_ms cores =
@@ -148,10 +183,25 @@ let run_stream stack conns loss duration_ms cores =
   Printf.printf "throughput : %.2f Gbps\n"
     (float_of_int (8 * !received) /. (float_of_int duration_ms /. 1000.) /. 1e9)
 
-let run_kv stack conns cores duration_ms =
+let run_kv stack conns cores duration_ms profile trace_out metrics_out =
   let engine = Sim.Engine.create () in
   let fabric = Netsim.Fabric.create engine () in
-  let server_ep, _ = mk_node engine fabric stack ~cores 0x0A000001 in
+  let config = { Flextoe.Config.default with Flextoe.Config.scope = profile } in
+  let server_ep, flex =
+    match stack with
+    | S_flextoe ->
+        let n =
+          Flextoe.create_node engine ~fabric ~config ~app_cores:cores
+            ~ip:0x0A000001 ()
+        in
+        (Flextoe.endpoint n, Some n)
+    | s ->
+        let b =
+          Baselines.Stack.create engine ~fabric ~profile:(profile_of s)
+            ~ip:0x0A000001 ~app_cores:cores ()
+        in
+        (Baselines.Stack.endpoint b, None)
+  in
   let client_ep, _ = mk_node engine fabric S_flextoe ~cores:8 0x0A000002 in
   let stats = Host.Rpc.Stats.create engine in
   ignore (Host.App_kv.server ~endpoint:server_ep ~port:11211 ~app_cycles:890 ());
@@ -161,7 +211,10 @@ let run_kv stack conns cores duration_ms =
   Sim.Engine.run ~until:(Sim.Time.ms 10) engine;
   Host.Rpc.Stats.start_measuring stats;
   Sim.Engine.run ~until:(Sim.Time.ms (10 + duration_ms)) engine;
-  report stats ~duration_ms ~bulk_bytes:0
+  report stats ~duration_ms ~bulk_bytes:0;
+  match flex with
+  | Some n -> report_profile ~trace_out ~metrics_out n
+  | None -> ()
 
 let run_ablation () =
   let rows =
@@ -218,10 +271,52 @@ let delack_t =
        & info [ "delayed-acks" ]
            ~doc:"Enable FlexTOE's delayed-ACK mode (ablation feature).")
 
+let profile_conv =
+  let parse = function
+    | "off" -> Ok Flextoe.Config.Scope_off
+    | "metrics" -> Ok Flextoe.Config.Scope_metrics
+    | "full" -> Ok Flextoe.Config.Scope_full
+    | s -> Error (`Msg ("unknown profile level: " ^ s))
+  in
+  let print fmt m =
+    Format.pp_print_string fmt
+      (match m with
+      | Flextoe.Config.Scope_off -> "off"
+      | Flextoe.Config.Scope_metrics -> "metrics"
+      | Flextoe.Config.Scope_full -> "full")
+  in
+  Arg.conv (parse, print)
+
+let profile_t =
+  Arg.(
+    value
+    & opt profile_conv Flextoe.Config.Scope_off
+    & info [ "profile" ]
+        ~doc:
+          "FlexScope profiling for the FlexTOE server node: off|metrics|full. \
+           $(b,metrics) records per-stage cycle histograms, counters and \
+           utilization series; $(b,full) also buffers Chrome trace_event \
+           records (load the JSONL in Perfetto / chrome://tracing).")
+
+let trace_out_t =
+  Arg.(
+    value
+    & opt string "flextoe_trace.jsonl"
+    & info [ "trace-out" ] ~docv:"PATH"
+        ~doc:"Chrome trace_event JSONL output (written with --profile full).")
+
+let metrics_out_t =
+  Arg.(
+    value
+    & opt string "flextoe_metrics.json"
+    & info [ "metrics-out" ] ~docv:"PATH"
+        ~doc:"Metrics snapshot output (written with --profile on).")
+
 let echo_cmd =
   Cmd.v (Cmd.info "echo" ~doc:"Closed-loop echo RPC benchmark")
     Term.(const run_echo $ stack_t $ conns_t $ pipeline_t $ size_t $ loss_t
-          $ duration_t $ cores_t $ delack_t)
+          $ duration_t $ cores_t $ delack_t $ profile_t $ trace_out_t
+          $ metrics_out_t)
 
 let stream_cmd =
   Cmd.v (Cmd.info "stream" ~doc:"Bulk unidirectional streaming")
@@ -230,7 +325,8 @@ let stream_cmd =
 
 let kv_cmd =
   Cmd.v (Cmd.info "kv" ~doc:"memcached-style key-value workload")
-    Term.(const run_kv $ stack_t $ conns_t $ cores_t $ duration_t)
+    Term.(const run_kv $ stack_t $ conns_t $ cores_t $ duration_t
+          $ profile_t $ trace_out_t $ metrics_out_t)
 
 let ablation_cmd =
   Cmd.v (Cmd.info "ablation" ~doc:"Data-path parallelism ablation (Table 3)")

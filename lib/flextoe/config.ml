@@ -31,6 +31,8 @@ type stage_costs = {
 
 type congestion_control = Dctcp | Timely | Cc_none
 
+type scope_mode = Scope_off | Scope_metrics | Scope_full
+
 type t = {
   params : Nfp.Params.t;
   parallelism : parallelism;
@@ -51,6 +53,7 @@ type t = {
   sockets_api_cycles : int;
   notify_cycles : int;
   san : bool;  (** Enable the FlexSan dynamic sanitizer (layer 2). *)
+  scope : scope_mode;  (** FlexScope profiling (off / metrics / full). *)
 }
 
 let default_costs =
@@ -101,6 +104,15 @@ let san_env =
   | Some ("1" | "on" | "true" | "yes") -> true
   | _ -> false
 
+(* FLEXSCOPE=1 (or =full / =metrics) turns the profiler on for every
+   default-configured node, mirroring FLEXSAN: an instrumented run of
+   any bench or test needs no per-callsite plumbing. *)
+let scope_env =
+  match Sys.getenv_opt "FLEXSCOPE" with
+  | Some ("1" | "on" | "true" | "yes" | "full") -> Scope_full
+  | Some ("metrics" | "metrics-only") -> Scope_metrics
+  | _ -> Scope_off
+
 let default =
   {
     params = Nfp.Params.default;
@@ -122,6 +134,7 @@ let default =
     sockets_api_cycles = 310;
     notify_cycles = 60;
     san = san_env;
+    scope = scope_env;
   }
 
 let with_parallelism t p = { t with parallelism = p }

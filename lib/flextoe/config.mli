@@ -51,6 +51,13 @@ type stage_costs = {
 
 type congestion_control = Dctcp | Timely | Cc_none
 
+(** FlexScope profiling level. [Scope_off] leaves every data-path
+    hook as a single branch on an immutable option; [Scope_metrics]
+    records per-stage cycle histograms, counters, series aggregates
+    and the flight recorder; [Scope_full] additionally buffers Chrome
+    [trace_event] records for export. *)
+type scope_mode = Scope_off | Scope_metrics | Scope_full
+
 type t = {
   params : Nfp.Params.t;
   parallelism : parallelism;
@@ -94,12 +101,22 @@ type t = {
           cost only. Ignored (off) for run-to-completion
           configurations — single-FPC execution serializes everything
           by construction. *)
+  scope : scope_mode;
+      (** Enable the FlexScope segment-lifecycle profiler: typed
+          spans with per-stage cycle attribution, the per-FPC
+          utilization sampler, and the per-connection flight
+          recorder. Simulated timing is unchanged (profiling is
+          host-side observation, like FlexSan); the modelled cost of
+          {e tracepoints} remains a separate, per-point opt-in via
+          {!Sim.Trace}. *)
 }
 
 val default : t
 (** [default.san] follows the [FLEXSAN] environment variable
     ([1]/[on]/[true]/[yes] enable it), so an instrumented run of the
-    whole test suite needs no per-test plumbing. *)
+    whole test suite needs no per-test plumbing. [default.scope]
+    likewise follows [FLEXSCOPE] ([1]/[on]/[true]/[yes]/[full] for
+    {!Scope_full}, [metrics] for {!Scope_metrics}). *)
 
 val with_parallelism : t -> parallelism -> t
 

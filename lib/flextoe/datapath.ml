@@ -146,6 +146,7 @@ type t = {
   stages : stage list;
   sabotage : sabotage;
   san : San.t option;
+  scope : Sim.Scope.t option;
   port : Netsim.Fabric.port;
   mac : int;
   ip : int;
@@ -206,6 +207,7 @@ let engine t = t.engine
 let config t = t.cfg
 let stages t = t.stages
 let san t = t.san
+let scope t = t.scope
 let fabric_port t = t.port
 
 (* Sanitizer access shorthands: no-ops (one test of an immutable
@@ -219,6 +221,45 @@ let sa_range t ~stage ~flow obj ~range kind =
   match t.san with
   | None -> ()
   | Some s -> San.access s ~stage ~flow ~obj ~range kind
+
+(* FlexScope shorthands: like the sanitizer's, each is one test of an
+   immutable option when profiling is off.
+
+   [sc_span] wraps a stage's completion continuation in a span whose
+   wall clock runs from work submission (queueing and memory stalls
+   included) and whose [cycles] are exactly the compute cycles the
+   pipeline model charges — so the per-stage histograms are directly
+   comparable to the configured stage costs. RX-chain spans carry the
+   segment's RX sequencer slot as [id] (lifecycle attribution); spans
+   with no owning RX segment use [id = -1]. *)
+let sc_span t ~stage ~conn ~id ~cycles k =
+  match t.scope with
+  | None -> k
+  | Some sc ->
+      let sp = Sim.Scope.span_begin sc ~stage ~conn ~id in
+      fun () ->
+        Sim.Scope.span_end sc sp ~cycles;
+        k ()
+
+let sc_seg_begin t ~track ~conn ~id =
+  match t.scope with
+  | None -> ()
+  | Some sc -> Sim.Scope.seg_begin sc ~track ~conn ~id
+
+let sc_seg_end t ~track ~id =
+  match t.scope with
+  | None -> ()
+  | Some sc -> Sim.Scope.seg_end sc ~track ~id
+
+let sc_instant t ~track ~name ~conn ~arg =
+  match t.scope with
+  | None -> ()
+  | Some sc -> Sim.Scope.instant sc ~track ~name ~conn ~arg
+
+let sc_count t name =
+  match t.scope with
+  | None -> ()
+  | Some sc -> Sim.Scope.count sc ~name ()
 let mac t = t.mac
 let ip t = t.ip
 let num_ctx t = t.n_ctx
@@ -430,13 +471,15 @@ let dma_engine t = t.dma
    the RX payload buffer the notification makes readable — the bytes
    the handler (and the application behind it) will touch, so the
    sanitizer checks them against the payload DMA's writes. *)
-let notify_libtoe t ?range cs (desc : Meta.arx_desc) =
+let notify_libtoe t ?range ?(gseq = -1) cs (desc : Meta.arx_desc) =
   let conn_idx = cs.Conn_state.idx in
   let ctx = cs.Conn_state.post.Conn_state.ctx_id mod t.n_ctx in
   let fpc = t.ctx_fpcs.(ctx mod Array.length t.ctx_fpcs) in
   let c = t.cfg.Config.costs in
   let extra = trace_cycles t "ctx" ~conn:conn_idx in
   let deliver ~join () =
+    sc_instant t ~track:"ctx" ~name:"arx_delivery" ~conn:conn_idx ~arg:gseq;
+    if gseq >= 0 then sc_seg_end t ~track:"seg_rx" ~id:gseq;
     match t.san with
     | None -> t.arx_handlers.(ctx) desc
     | Some s ->
@@ -456,7 +499,8 @@ let notify_libtoe t ?range cs (desc : Meta.arx_desc) =
   in
   Nfp.Fpc.submit fpc
     [ Compute (c.Config.ctx_desc + extra) ]
-    (fun () ->
+    (sc_span t ~stage:"ctx" ~conn:conn_idx ~id:gseq
+       ~cycles:(c.Config.ctx_desc + extra) (fun () ->
       sa t ~stage:"ctx" ~flow:conn_idx Effects.Desc_ring Effects.Write;
       if t.sabotage.sb_skip_notify_dma then
         (* Sabotage: hand the descriptor to the host without the DMA
@@ -472,7 +516,7 @@ let notify_libtoe t ?range cs (desc : Meta.arx_desc) =
               | None -> None
             in
             Sim.Engine.schedule t.engine t.cfg.Config.libtoe_poll (fun () ->
-                deliver ~join ())))
+                deliver ~join ()))))
 
 (* --- NBI egress ---------------------------------------------------- *)
 
@@ -542,8 +586,18 @@ let nbi_emit t eg =
       | Eg_data _ -> t.st_tx <- t.st_tx + 1
       | Eg_ack _ -> t.st_tx_acks <- t.st_tx_acks + 1
       | Eg_ctl _ -> ());
+      (match eg with
+      | Eg_data (d, _) -> sc_count t "nbi/tx_frames";
+          sc_seg_end t ~track:"seg_tx" ~id:d.Meta.t_gseq
+      | Eg_ack _ -> sc_count t "nbi/tx_acks"
+      | Eg_ctl _ -> sc_count t "nbi/tx_ctl");
       Netsim.Fabric.transmit t.port f
-  | None -> ());
+  | None -> (
+      (* Connection torn down before NBI: close the TX lifecycle or
+         the open-span table leaks. *)
+      match eg with
+      | Eg_data (d, _) -> sc_seg_end t ~track:"seg_tx" ~id:d.Meta.t_gseq
+      | _ -> ()));
   (* A data segment's buffer (credit) frees on transmission. *)
   match eg with
   | Eg_data _ -> Scheduler.credit_return t.sch
@@ -553,6 +607,9 @@ let nbi_emit t eg =
 
 type dma_work = {
   dw_conn : int;
+  dw_gseq : int;
+      (* RX sequencer slot of the segment this work answers (-1 for
+         TX/HC-originated work): FlexScope lifecycle attribution. *)
   dw_payload : (int * Bytes.t) option;  (* RX placement *)
   dw_readable : (int * int) option;
       (* In-order bytes the notification makes host-visible: (pos,
@@ -571,7 +628,8 @@ let dma_stage t (w : dma_work) =
   let extra = trace_cycles t "dma" ~conn:w.dw_conn in
   Nfp.Fpc.submit fpc
     [ Compute (c.Config.dma_desc + extra) ]
-    (fun () ->
+    (sc_span t ~stage:"dma" ~conn:w.dw_conn ~id:w.dw_gseq
+       ~cycles:(c.Config.dma_desc + extra) (fun () ->
       sa t ~stage:"dma" ~flow:w.dw_conn Effects.Conn_db Effects.Read;
       let cs = conn t w.dw_conn in
       let finish () =
@@ -579,8 +637,12 @@ let dma_stage t (w : dma_work) =
            neither host nor peer may learn of data that has not landed
            in the receive buffer). *)
         (match (w.dw_notify, cs) with
-        | Some d, Some cs -> notify_libtoe t ?range:w.dw_readable cs d
-        | _ -> ());
+        | Some d, Some cs ->
+            notify_libtoe t ?range:w.dw_readable ~gseq:w.dw_gseq cs d
+        | _ ->
+            (* No notification will fire: the RX lifecycle ends here,
+               with the segment fully processed by the data path. *)
+            if w.dw_gseq >= 0 then sc_seg_end t ~track:"seg_rx" ~id:w.dw_gseq);
         match w.dw_ack with
         | Some a ->
             Sequencer.submit t.tx_gro ~seq:a.Meta.a_gseq (Eg_ack a)
@@ -593,8 +655,12 @@ let dma_stage t (w : dma_work) =
              bytes the DMA has not written yet. *)
           if t.sabotage.sb_notify_before_payload then finish ();
           (* RX: payload to host receive buffer. *)
+          sc_instant t ~track:"dma" ~name:"payload_rx_issue" ~conn:w.dw_conn
+            ~arg:(Bytes.length bytes);
           Nfp.Dma.issue t.dma ~queue:0 ~bytes:(Bytes.length bytes)
             (fun () ->
+              sc_instant t ~track:"dma" ~name:"payload_rx_complete"
+                ~conn:w.dw_conn ~arg:(Bytes.length bytes);
               sa_range t ~stage:"dma" ~flow:w.dw_conn Effects.Rx_payload
                 ~range:(pos, Bytes.length bytes) Effects.Write;
               Host.Payload_buf.write
@@ -604,6 +670,8 @@ let dma_stage t (w : dma_work) =
       | None, Some (desc, pos, len), Some cs ->
           (* TX: fetch payload from host transmit buffer. *)
           Nfp.Dma.issue t.dma ~queue:0 ~bytes:len (fun () ->
+              sc_instant t ~track:"dma" ~name:"payload_tx_fetched"
+                ~conn:w.dw_conn ~arg:len;
               (if len > 0 then
                  sa_range t ~stage:"dma" ~flow:w.dw_conn Effects.Tx_payload
                    ~range:(pos, len) Effects.Read);
@@ -622,9 +690,10 @@ let dma_stage t (w : dma_work) =
              reorder stream stalls, and the buffer credit must come
              back. *)
           Sequencer.skip t.tx_gro ~seq:desc.Meta.t_gseq;
+          sc_seg_end t ~track:"seg_tx" ~id:desc.Meta.t_gseq;
           Scheduler.credit_return t.sch;
           finish ()
-      | _ -> finish ())
+      | _ -> finish ()))
 
 (* --- Post-processing stage ----------------------------------------- *)
 
@@ -651,9 +720,11 @@ let postproc_stage t fg (w : post_work) =
     | _ -> 0
   in
   let extra = trace_cycles t "postproc" ~conn:conn_idx in
+  let gseq = match w with Post_rx v -> v.Meta.v_gseq | _ -> -1 in
   Nfp.Fpc.submit fpc
     [ Nfp.Fpc.Mem Nfp.Memory.Cls; Compute (cost + extra + capture_extra) ]
-    (fun () ->
+    (sc_span t ~stage:"postproc" ~conn:conn_idx ~id:gseq
+       ~cycles:(cost + extra + capture_extra) (fun () ->
       sa t ~stage:"postproc" ~flow:conn_idx Effects.Conn_db Effects.Read;
       (match (t.san, conn t conn_idx) with
       | Some s, Some cs ->
@@ -676,9 +747,11 @@ let postproc_stage t fg (w : post_work) =
           match w with
           | Post_tx d ->
               Sequencer.skip t.tx_gro ~seq:d.Meta.t_gseq;
+              sc_seg_end t ~track:"seg_tx" ~id:d.Meta.t_gseq;
               Scheduler.on_sent t.sch ~conn:conn_idx ~bytes:0 ~more:false;
               Scheduler.credit_return t.sch
           | Post_rx v -> begin
+              sc_seg_end t ~track:"seg_rx" ~id:v.Meta.v_gseq;
               match v.Meta.v_ack with
               | Some a -> Sequencer.skip t.tx_gro ~seq:a.Meta.a_gseq
               | None -> ()
@@ -731,6 +804,7 @@ let postproc_stage t fg (w : post_work) =
           dma_stage t
             {
               dw_conn = conn_idx;
+              dw_gseq = v.Meta.v_gseq;
               dw_payload = v.Meta.v_place;
               dw_readable = readable;
               dw_fetch = None;
@@ -744,6 +818,7 @@ let postproc_stage t fg (w : post_work) =
           dma_stage t
             {
               dw_conn = conn_idx;
+              dw_gseq = -1;
               dw_payload = None;
               dw_readable = None;
               dw_fetch = Some (d, d.Meta.t_pos, d.Meta.t_len);
@@ -757,6 +832,7 @@ let postproc_stage t fg (w : post_work) =
               dma_stage t
                 {
                   dw_conn = conn_idx;
+                  dw_gseq = -1;
                   dw_payload = None;
                   dw_readable = None;
                   dw_fetch = None;
@@ -764,7 +840,7 @@ let postproc_stage t fg (w : post_work) =
                   dw_notify = None;
                 }
           | None -> ());
-          t.hc_descs_free <- t.hc_descs_free + 1)
+          t.hc_descs_free <- t.hc_descs_free + 1))
 
 (* --- Protocol stage ------------------------------------------------- *)
 
@@ -818,15 +894,16 @@ let protocol_rx t (s : Meta.rx_summary) =
           in
           Nfp.Fpc.submit (proto_fpc_for t cs)
             (phases @ [ Compute (cost + extra) ])
-            (fun () ->
-              let v =
-                Protocol.rx t.cfg ~now:(Sim.Engine.now t.engine) cs s
-                  ~alloc_gseq:(fun () -> Sequencer.next_seq t.tx_gro)
-              in
-              proto_writeback t s.Meta.conn ~reasm:true;
-              if not early then release t s.Meta.conn;
-              trace_rx_verdict t v;
-              postproc_stage t fg (Post_rx v)))
+            (sc_span t ~stage:"protocol" ~conn:s.Meta.conn ~id:s.Meta.rx_gseq
+               ~cycles:(cost + extra) (fun () ->
+                 let v =
+                   Protocol.rx t.cfg ~now:(Sim.Engine.now t.engine) cs s
+                     ~alloc_gseq:(fun () -> Sequencer.next_seq t.tx_gro)
+                 in
+                 proto_writeback t s.Meta.conn ~reasm:true;
+                 if not early then release t s.Meta.conn;
+                 trace_rx_verdict t v;
+                 postproc_stage t fg (Post_rx v))))
 
 let protocol_tx t ~conn:conn_idx =
   match conn t conn_idx with
@@ -845,20 +922,24 @@ let protocol_tx t ~conn:conn_idx =
           ignore fg;
           Nfp.Fpc.submit (proto_fpc_for t cs)
             (phases @ [ Compute (c.Config.protocol_tx + extra) ])
-            (fun () ->
-              let d =
-                Protocol.tx t.cfg ~now:(Sim.Engine.now t.engine) cs
-                  ~alloc_gseq:(fun () -> Sequencer.next_seq t.tx_gro)
-              in
-              proto_writeback t conn_idx ~reasm:false;
-              if not early then release t conn_idx;
-              match d with
-              | Some d ->
-                  trace_event t "protocol" "tx_seg" ~conn:conn_idx;
-                  postproc_stage t fg (Post_tx d)
-              | None ->
-                  Scheduler.on_sent t.sch ~conn:conn_idx ~bytes:0 ~more:false;
-                  Scheduler.credit_return t.sch))
+            (sc_span t ~stage:"protocol" ~conn:conn_idx ~id:(-1)
+               ~cycles:(c.Config.protocol_tx + extra) (fun () ->
+                 let d =
+                   Protocol.tx t.cfg ~now:(Sim.Engine.now t.engine) cs
+                     ~alloc_gseq:(fun () -> Sequencer.next_seq t.tx_gro)
+                 in
+                 proto_writeback t conn_idx ~reasm:false;
+                 if not early then release t conn_idx;
+                 match d with
+                 | Some d ->
+                     trace_event t "protocol" "tx_seg" ~conn:conn_idx;
+                     sc_seg_begin t ~track:"seg_tx" ~conn:conn_idx
+                       ~id:d.Meta.t_gseq;
+                     postproc_stage t fg (Post_tx d)
+                 | None ->
+                     Scheduler.on_sent t.sch ~conn:conn_idx ~bytes:0
+                       ~more:false;
+                     Scheduler.credit_return t.sch)))
 
 let protocol_hc t (d : Meta.hc_desc) =
   match conn t d.Meta.h_conn with
@@ -883,15 +964,16 @@ let protocol_hc t (d : Meta.hc_desc) =
           ignore fg;
           Nfp.Fpc.submit (proto_fpc_for t cs)
             (phases @ [ Compute (c.Config.protocol_hc + extra) ])
-            (fun () ->
-              let r =
-                Protocol.hc t.cfg ~now:(Sim.Engine.now t.engine) cs
-                  d.Meta.h_op ~alloc_gseq:(fun () ->
-                    Sequencer.next_seq t.tx_gro)
-              in
-              proto_writeback t d.Meta.h_conn ~reasm:false;
-              if not early then release t d.Meta.h_conn;
-              postproc_stage t fg (Post_hc (d.Meta.h_conn, r))))
+            (sc_span t ~stage:"protocol" ~conn:d.Meta.h_conn ~id:(-1)
+               ~cycles:(c.Config.protocol_hc + extra) (fun () ->
+                 let r =
+                   Protocol.hc t.cfg ~now:(Sim.Engine.now t.engine) cs
+                     d.Meta.h_op ~alloc_gseq:(fun () ->
+                       Sequencer.next_seq t.tx_gro)
+                 in
+                 proto_writeback t d.Meta.h_conn ~reasm:false;
+                 if not early then release t d.Meta.h_conn;
+                 postproc_stage t fg (Post_hc (d.Meta.h_conn, r)))))
 
 (* --- GRO (RX reorder point) ----------------------------------------- *)
 
@@ -900,7 +982,8 @@ let gro_release t (s : Meta.rx_summary) =
   let extra = trace_cycles t "gro" ~conn:s.Meta.conn in
   Nfp.Fpc.submit t.gro_fpc
     [ Compute (c.Config.sequencer + extra) ]
-    (fun () -> protocol_rx t s)
+    (sc_span t ~stage:"gro" ~conn:s.Meta.conn ~id:s.Meta.rx_gseq
+       ~cycles:(c.Config.sequencer + extra) (fun () -> protocol_rx t s))
 
 (* --- Pre-processing (RX) -------------------------------------------- *)
 
@@ -931,6 +1014,10 @@ let preproc_rx t gseq (frame : S.frame) =
     match t.capture with Some _ -> c.Config.pcap_capture | None -> 0
   in
   let extra = trace_cycles t "preproc" ~conn:(-1) in
+  let span_cycles =
+    c.Config.preproc_validate + csum_cycles t frame + capture_extra + extra
+    + c.Config.preproc_lookup_hit + c.Config.preproc_summary
+  in
   let fpc = next_preproc t in
   Nfp.Fpc.submit fpc
     ([
@@ -940,7 +1027,8 @@ let preproc_rx t gseq (frame : S.frame) =
      ]
     @ lookup_phases
     @ [ Nfp.Fpc.Compute c.Config.preproc_summary ])
-    (fun () ->
+    (sc_span t ~stage:"preproc" ~conn:(-1) ~id:gseq ~cycles:span_cycles
+       (fun () ->
       sa t ~stage:"preproc" ~flow:(-1) Effects.Conn_db Effects.Read;
       if not (S.csum_ok frame) then begin
         (* Corrupted in flight: drop at pre-processing so it never
@@ -949,6 +1037,8 @@ let preproc_rx t gseq (frame : S.frame) =
         t.st_drop_csum <- t.st_drop_csum + 1;
         sa t ~stage:"preproc" ~flow:(-1) Effects.Global_stats Effects.Write;
         trace_event t "preproc" "seg_invalid" ~conn:(-1);
+        sc_count t "preproc/drop_csum";
+        sc_seg_end t ~track:"seg_rx" ~id:gseq;
         Sequencer.skip t.rx_gro ~seq:gseq
       end
       else
@@ -986,8 +1076,10 @@ let preproc_rx t gseq (frame : S.frame) =
           Sequencer.submit t.rx_gro ~seq:gseq summary
       | _ ->
           (* Control segment, VLAN-tagged, or unknown connection. *)
+          sc_count t "preproc/to_control";
+          sc_seg_end t ~track:"seg_rx" ~id:gseq;
           Sequencer.skip t.rx_gro ~seq:gseq;
-          forward_to_control t frame)
+          forward_to_control t frame))
 
 (* --- Run-to-completion baseline (Table 3, row 1) --------------------- *)
 
@@ -1155,8 +1247,10 @@ let rtc_hc t (d : Meta.hc_desc) =
 
 let rx_datapath t frame =
   t.st_rx <- t.st_rx + 1;
+  sc_count t "nbi/rx_frames";
   if pipelined t then begin
     let gseq = Sequencer.next_seq t.rx_gro in
+    sc_seg_begin t ~track:"seg_rx" ~conn:(-1) ~id:gseq;
     preproc_rx t gseq frame
   end
   else rtc_rx t frame
@@ -1193,14 +1287,16 @@ let dispatch_tx t ~conn:conn_idx =
     let extra = trace_cycles t "sch" ~conn:conn_idx in
     Nfp.Fpc.submit t.sch_fpc
       [ Compute (c.Config.scheduler_pick + extra) ]
-      (fun () ->
-        sa t ~stage:"sched" ~flow:conn_idx Effects.Sched_state Effects.Write;
-        (* Pre-processing: segment alloc + Ethernet/IP headers. *)
-        let fpc = next_preproc t in
-        let pre_extra = trace_cycles t "preproc" ~conn:conn_idx in
-        Nfp.Fpc.submit fpc
-          [ Compute (c.Config.preproc_summary + pre_extra) ]
-          (fun () -> protocol_tx t ~conn:conn_idx))
+      (sc_span t ~stage:"sched" ~conn:conn_idx ~id:(-1)
+         ~cycles:(c.Config.scheduler_pick + extra) (fun () ->
+           sa t ~stage:"sched" ~flow:conn_idx Effects.Sched_state
+             Effects.Write;
+           (* Pre-processing: segment alloc + Ethernet/IP headers. *)
+           let fpc = next_preproc t in
+           let pre_extra = trace_cycles t "preproc" ~conn:conn_idx in
+           Nfp.Fpc.submit fpc
+             [ Compute (c.Config.preproc_summary + pre_extra) ]
+             (fun () -> protocol_tx t ~conn:conn_idx)))
   end
 
 (* --- Host-control path ------------------------------------------------- *)
@@ -1277,6 +1373,13 @@ let notify_abort t ~conn:conn_idx =
   match conn t conn_idx with
   | None -> ()
   | Some cs ->
+      (* Abort paths dump the connection's flight recorder: the last N
+         lifecycle events before the control plane gave up. *)
+      (match t.scope with
+      | Some sc ->
+          Sim.Scope.dump_flight sc ~conn:conn_idx ~reason:"abort"
+            Format.err_formatter
+      | None -> ());
       notify_libtoe t cs
         {
           Meta.x_opaque = cs.Conn_state.post.Conn_state.opaque;
@@ -1404,6 +1507,31 @@ let fpc_busy t =
   Array.to_list (all_fpcs t)
   |> List.map (fun f -> (Nfp.Fpc.name f, Nfp.Fpc.busy_time f))
 
+(* Pools with their island assignment, for the FlexScope utilization
+   sampler: per-flow-group pools carry their island index, service
+   island pools (DMA, context queues, scheduler, GRO) carry -1. *)
+let fpc_pools t =
+  let groups = Array.length t.proto_fpcs in
+  let split name arr =
+    let n = Array.length arr in
+    if groups > 0 && n > 0 && n mod groups = 0 then
+      List.init groups (fun g ->
+          (name, g, Array.sub arr (g * (n / groups)) (n / groups)))
+    else [ (name, 0, arr) ]
+  in
+  split "preproc" t.preproc_fpcs
+  @ List.init groups (fun g -> ("protocol", g, t.proto_fpcs.(g)))
+  @ List.init groups (fun g -> ("postproc", g, t.postproc_fpcs.(g)))
+  @ split "xdp" t.xdp_fpcs
+  @ [
+      ("dma", -1, t.dma_fpcs);
+      ("ctx", -1, t.ctx_fpcs);
+      ("sch", -1, [| t.sch_fpc |]);
+      ("gro", -1, [| t.gro_fpc |]);
+    ]
+
+let atx_rings t = t.atx
+
 (* --- Construction ----------------------------------------------------------- *)
 
 let trace_point_names =
@@ -1465,6 +1593,17 @@ let create engine ~config:cfg ~fabric ~mac ~ip ?(ctx_queues = 4)
       in
       Hashtbl.replace trace_groups group (Array.of_list pts))
     trace_point_names;
+  (* FlexScope (host-side observation, like FlexSan): constructed once
+     here so every data-path hook is a single branch on an immutable
+     option when profiling is off. *)
+  let scope =
+    match cfg.Config.scope with
+    | Config.Scope_off -> None
+    | Config.Scope_metrics ->
+        Some (Sim.Scope.create ~mode:Sim.Scope.Metrics_only engine)
+    | Config.Scope_full ->
+        Some (Sim.Scope.create ~mode:Sim.Scope.Full engine)
+  in
   let rec t =
     lazy
       {
@@ -1473,6 +1612,7 @@ let create engine ~config:cfg ~fabric ~mac ~ip ?(ctx_queues = 4)
         stages;
         sabotage;
         san;
+        scope;
         port =
           Netsim.Fabric.add_port fabric ~rate_gbps:p.Nfp.Params.wire_gbps
             ~mac ~ip
@@ -1580,4 +1720,15 @@ let create engine ~config:cfg ~fabric ~mac ~ip ?(ctx_queues = 4)
           Nfp.Ring.set_tracer ring
             (Some (San.ring_tracer s ~name:(Nfp.Ring.name ring))))
         t.atx);
+  (* When both layers are on, a sanitizer report dumps the offending
+     connection's flight-recorder ring: the last N lifecycle events
+     leading up to the race, alongside FlexSan's own access trace. *)
+  (match (san, scope) with
+  | Some s, Some sc ->
+      San.set_on_report s
+        (Some
+           (fun r ->
+             Sim.Scope.dump_flight sc ~conn:(San.report_flow r)
+               ~reason:"flexsan" Format.err_formatter))
+  | _ -> ());
   t

@@ -60,6 +60,11 @@ val san : t -> San.t option
 (** The dynamic sanitizer, when enabled ([config.san] set and the
     pipeline parallelism active). *)
 
+val scope : t -> Sim.Scope.t option
+(** The FlexScope recorder, when enabled ([config.scope] not
+    {!Config.Scope_off}). Every data-path hook costs one branch on
+    this option when profiling is off. *)
+
 val create :
   Sim.Engine.t ->
   config:Config.t ->
@@ -211,6 +216,16 @@ val stats : t -> stats
 
 val fpc_busy : t -> (string * Sim.Time.t) list
 (** Busy time per FPC, for utilisation reporting. *)
+
+val fpc_pools : t -> (string * int * Nfp.Fpc.t array) list
+(** FPC pools as [(pool, island, fpcs)]: per-flow-group pools
+    (preproc, protocol, postproc, xdp) carry their island index;
+    service-island pools (dma, ctx, sch, gro) carry [-1]. Drives the
+    {!Flexscope} utilization sampler. *)
+
+val atx_rings : t -> Meta.hc_desc Nfp.Ring.t array
+(** The per-context-queue ATX descriptor rings (queue-depth series in
+    the profiler). *)
 
 val cache_stats : t -> (string * int * int) list
 (** (cache, hits, misses) for the connection-state hierarchy: the

@@ -81,7 +81,7 @@ let validate_syntactic ?(max_insns = 4096) insns =
     end
   end
 
-let validate ?max_insns insns =
+let verify_full ?max_insns insns =
   match validate_syntactic ?max_insns insns with
   | Error e -> Error e
   | Ok () -> (
@@ -90,7 +90,7 @@ let validate ?max_insns insns =
       | Error v -> Error (Verifier.violation_to_string v))
 
 let load ?max_insns insns =
-  match validate ?max_insns insns with
+  match verify_full ?max_insns insns with
   | Ok () -> Ok { insns = Array.copy insns }
   | Error e -> Error e
 

@@ -13,22 +13,16 @@
 
 type program
 
-val validate : ?max_insns:int -> Bpf_insn.t array -> (unit, string) result
-[@@deprecated
-  "use Verifier.verify, which returns structured diagnostics. \
-   Ebpf.validate delegates to it (after the legacy syntactic checks as \
-   a fast pre-pass) and keeps only the string-error interface."]
-(** Full static verification: the legacy syntactic scan (register
-    indices, jump targets, fallthrough, known helpers, [Exit]
-    present), then {!Verifier.verify} — abstract interpretation
-    proving initialized reads, in-bounds guarded packet access,
-    helper-argument types, and termination. Errors are
-    {!Verifier.violation_to_string} renderings; callers that want the
-    structured {!Verifier.violation} should call the verifier
-    directly. *)
-
 val load : ?max_insns:int -> Bpf_insn.t array -> (program, string) result
-(** Verify (as {!validate}) and load. *)
+(** Verify and load: the legacy syntactic scan (register indices,
+    jump targets, fallthrough, known helpers, [Exit] present), then
+    {!Verifier.verify} — abstract interpretation proving initialized
+    reads, in-bounds guarded packet access, helper-argument types,
+    and termination. Errors are {!Verifier.violation_to_string}
+    renderings; callers that want the structured
+    {!Verifier.violation} (re-exported as
+    {!Flextoe.verifier_violation}) should call the verifier
+    directly. *)
 
 val load_unverified :
   ?max_insns:int -> Bpf_insn.t array -> (program, string) result

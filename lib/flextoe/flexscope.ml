@@ -1,0 +1,115 @@
+(* FlexScope datapath wiring: the periodic utilization / queue-depth
+   sampler on top of the generic Sim.Scope recorder.
+
+   Every tick it reads the cumulative busy and memory-stall time of
+   each FPC pool (Datapath.fpc_pools groups them by island), diffs
+   against the previous tick, and records the busy and stall
+   fractions of the pool's capacity as Scope series. DMA queue
+   occupancy and ATX descriptor-ring depths are sampled directly.
+   In Full mode each sample is also a Chrome "C" counter event, so
+   the utilization timelines render under the stage tracks. *)
+
+type t = {
+  engine : Sim.Engine.t;
+  dp : Datapath.t;
+  sc : Sim.Scope.t;
+  interval : Sim.Time.t;
+  (* series key -> (busy_ns, stall_ns) cumulative at the last tick *)
+  prev : (string, float * float) Hashtbl.t;
+  mutable running : bool;
+  mutable ticks : int;
+}
+
+let scope t = t.sc
+let ticks t = t.ticks
+
+let pool_key name island =
+  if island < 0 then name else Printf.sprintf "%s/fg%d" name island
+
+let sample_tick t =
+  let iv_ns = Sim.Time.to_ns t.interval in
+  List.iter
+    (fun (name, island, fpcs) ->
+      if Array.length fpcs > 0 then begin
+        let busy =
+          Array.fold_left
+            (fun a f -> a +. Sim.Time.to_ns (Nfp.Fpc.busy_time f))
+            0. fpcs
+        in
+        let stall =
+          Array.fold_left
+            (fun a f -> a +. Sim.Time.to_ns (Nfp.Fpc.stall_time f))
+            0. fpcs
+        in
+        let key = pool_key name island in
+        let pb, ps =
+          Option.value ~default:(0., 0.) (Hashtbl.find_opt t.prev key)
+        in
+        Hashtbl.replace t.prev key (busy, stall);
+        let cap = float_of_int (Array.length fpcs) *. iv_ns in
+        Sim.Scope.sample t.sc
+          ~series:("util/" ^ key)
+          ~value:((busy -. pb) /. cap);
+        Sim.Scope.sample t.sc
+          ~series:("stall/" ^ key)
+          ~value:((stall -. ps) /. cap)
+      end)
+    (Datapath.fpc_pools t.dp);
+  Array.iteri
+    (fun i (inflight, waiting) ->
+      Sim.Scope.sample t.sc
+        ~series:(Printf.sprintf "dmaq%d/inflight" i)
+        ~value:(float_of_int inflight);
+      Sim.Scope.sample t.sc
+        ~series:(Printf.sprintf "dmaq%d/waiting" i)
+        ~value:(float_of_int waiting))
+    (Nfp.Dma.queue_stats (Datapath.dma_engine t.dp));
+  Array.iteri
+    (fun i ring ->
+      Sim.Scope.sample t.sc
+        ~series:(Printf.sprintf "atx%d/depth" i)
+        ~value:(float_of_int (Nfp.Ring.length ring)))
+    (Datapath.atx_rings t.dp);
+  t.ticks <- t.ticks + 1
+
+let rec loop t =
+  if t.running then begin
+    sample_tick t;
+    Sim.Engine.schedule t.engine t.interval (fun () -> loop t)
+  end
+
+let start ?(interval = Sim.Time.us 25) dp =
+  match Datapath.scope dp with
+  | None -> None
+  | Some sc ->
+      let t =
+        {
+          engine = Datapath.engine dp;
+          dp;
+          sc;
+          interval;
+          prev = Hashtbl.create 32;
+          running = true;
+          ticks = 0;
+        }
+      in
+      Sim.Engine.schedule t.engine interval (fun () -> loop t);
+      Some t
+
+let stop t = t.running <- false
+
+let write_profile ?trace ?metrics dp =
+  match Datapath.scope dp with
+  | None -> ()
+  | Some sc ->
+      let with_file path f =
+        let oc = open_out path in
+        Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+      in
+      (match trace with
+      | Some path when Sim.Scope.mode sc = Sim.Scope.Full ->
+          with_file path (fun oc -> Sim.Scope.write_trace sc oc)
+      | _ -> ());
+      match metrics with
+      | Some path -> with_file path (fun oc -> Sim.Scope.write_metrics sc oc)
+      | None -> ()

@@ -1,0 +1,31 @@
+(** FlexScope: the datapath-facing half of the profiler.
+
+    {!Sim.Scope} is the generic recorder (spans, histograms, series,
+    flight recorder, Chrome [trace_event] export); this module wires
+    it to a {!Datapath}: a periodic sampler turning cumulative per-FPC
+    busy / memory-stall time into per-pool, per-island utilization
+    series, plus DMA queue occupancy and ATX descriptor-ring depths.
+
+    The sampler reschedules itself for as long as it runs, so a
+    simulation with profiling enabled must either bound
+    {!Sim.Engine.run} with [~until] or {!stop} the sampler before
+    draining the queue. *)
+
+type t
+
+val start : ?interval:Sim.Time.t -> Datapath.t -> t option
+(** Start sampling the datapath's pools every [interval] (default
+    25us). [None] when the datapath has no scope attached
+    ([config.scope = Scope_off]) — profiling fully disabled costs no
+    timer traffic at all. *)
+
+val stop : t -> unit
+(** Stop rescheduling (takes effect at the next tick). *)
+
+val scope : t -> Sim.Scope.t
+val ticks : t -> int
+
+val write_profile : ?trace:string -> ?metrics:string -> Datapath.t -> unit
+(** Export the datapath's recorder to files: [?trace] gets Chrome
+    [trace_event] JSONL (written only in [Full] mode), [?metrics] the
+    JSON metrics snapshot. No-op when profiling is off. *)

@@ -14,6 +14,7 @@ module Bpf_insn = Bpf_insn
 module Bpf_map = Bpf_map
 module Ebpf = Ebpf
 module Verifier = Verifier
+module Flexscope = Flexscope
 module Xdp = Xdp
 module Ext_firewall = Ext_firewall
 module Ext_vlan = Ext_vlan
@@ -28,7 +29,21 @@ type t = {
   cpu : Host.Host_cpu.t;
   n_app_cores : int;
   cfg : Config.t;
+  sampler : Flexscope.t option;
 }
+
+(* Re-export the verifier's error surface so callers embedding the
+   eBPF toolchain only need the umbrella module: a rejection is a
+   [verifier_violation] and renders with {!verifier_violation_to_string}. *)
+type verifier_reason = Verifier.reason
+
+type verifier_violation = Verifier.violation = {
+  pc : int;
+  reason : verifier_reason;
+  state : Verifier.state option;
+}
+
+let verifier_violation_to_string = Verifier.violation_to_string
 
 let mac_of_ip = Control_plane.mac_of_ip
 
@@ -50,7 +65,10 @@ let create_node engine ~fabric ?(config = Config.default) ?(app_cores = 1)
   let lib =
     Libtoe.create engine ~config ~datapath:dp ~control:cp ~cores ()
   in
-  { dp; cp; lib; cpu; n_app_cores = app_cores; cfg = config }
+  (* Profiling opt-in: the sampler only exists when the datapath was
+     built with a scope, so a default node schedules nothing. *)
+  let sampler = Flexscope.start dp in
+  { dp; cp; lib; cpu; n_app_cores = app_cores; cfg = config; sampler }
 
 let endpoint t = Libtoe.endpoint t.lib
 let datapath t = t.dp
@@ -59,3 +77,5 @@ let libtoe t = t.lib
 let cpu t = t.cpu
 let app_cores t = List.init t.n_app_cores (Host.Host_cpu.core t.cpu)
 let config t = t.cfg
+let flexscope t = t.sampler
+let scope t = Datapath.scope t.dp

@@ -35,12 +35,29 @@ module Bpf_insn = Bpf_insn
 module Bpf_map = Bpf_map
 module Ebpf = Ebpf
 module Verifier = Verifier
+module Flexscope = Flexscope
 module Xdp = Xdp
 module Ext_firewall = Ext_firewall
 module Ext_vlan = Ext_vlan
 module Ext_splice = Ext_splice
 module Ext_pcap = Ext_pcap
 module Ext_classifier = Ext_classifier
+
+(** {1 Verifier error surface}
+
+    Re-exported so embedders of the eBPF toolchain ([Ebpf.load] and
+    friends) can pattern-match rejections against the umbrella module
+    alone. *)
+
+type verifier_reason = Verifier.reason
+
+type verifier_violation = Verifier.violation = {
+  pc : int;
+  reason : verifier_reason;
+  state : Verifier.state option;
+}
+
+val verifier_violation_to_string : verifier_violation -> string
 
 (** {1 Assembled node} *)
 
@@ -68,6 +85,14 @@ val libtoe : t -> Libtoe.t
 val cpu : t -> Host.Host_cpu.t
 val app_cores : t -> Host.Host_cpu.core list
 val config : t -> Config.t
+
+val flexscope : t -> Flexscope.t option
+(** The node's utilization sampler, running iff [config.scope] is not
+    {!Config.Scope_off} (it keeps the event queue non-empty — bound
+    runs with [~until] or {!Flexscope.stop} it). *)
+
+val scope : t -> Sim.Scope.t option
+(** Shorthand for [Datapath.scope (datapath t)]. *)
 
 val mac_of_ip : int -> int
 (** Fabric-wide IP-to-MAC convention (shared with the baselines). *)

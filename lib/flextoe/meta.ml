@@ -43,6 +43,10 @@ type ack_info = {
 (** Protocol-stage output for a received segment. *)
 type rx_verdict = {
   v_conn : int;
+  v_gseq : int;
+      (** The RX sequencer slot of the segment this verdict answers —
+          carried through post-processing and DMA so profilers can
+          attribute downstream work to the segment. *)
   v_place : (int * Bytes.t) option;
       (** Payload to DMA into the RX buffer at this stream position. *)
   v_rx_advance : int;  (** Newly in-order bytes (incl. filled holes). *)

@@ -165,6 +165,7 @@ let rx cfg ~now conn (s : Meta.rx_summary) ~alloc_gseq =
   in
   {
     Meta.v_conn = conn.idx;
+    v_gseq = s.Meta.rx_gseq;
     v_place = !place;
     v_rx_advance = !advance;
     v_tx_freed = freed;

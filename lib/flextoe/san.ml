@@ -155,6 +155,8 @@ type t = {
   mutable n_reports : int;
   seen : (string, unit) Hashtbl.t;  (* report dedup *)
   mutable n_accesses : int;
+  mutable on_report : (report -> unit) option;
+      (* fresh-report hook (FlexScope flight-recorder dump) *)
 }
 
 let max_kept_reports = 64
@@ -191,6 +193,7 @@ let create ~engine ~contracts ?(record_spans = false) () =
       n_reports = 0;
       seen = Hashtbl.create 64;
       n_accesses = 0;
+      on_report = None;
     }
   in
   t
@@ -305,8 +308,17 @@ let add_report t key r =
   if not (Hashtbl.mem t.seen key) then begin
     Hashtbl.replace t.seen key ();
     if List.length t.reports < max_kept_reports then
-      t.reports <- r :: t.reports
+      t.reports <- r :: t.reports;
+    match t.on_report with Some f -> f r | None -> ()
   end
+
+let set_on_report t f = t.on_report <- f
+
+(* The flow a report is about (first access's flow; -1 = global). *)
+let report_flow = function
+  | Race (a, _) -> a.a_flow
+  | Atomicity { at_first; _ } -> at_first.a_flow
+  | Contract_breach a -> a.a_flow
 
 let race_key a1 a2 =
   let part a =

@@ -27,7 +27,14 @@ module Stats : sig
   val gbps : t -> float
   (** Application-payload goodput. *)
 
+  val rtt_percentile_us_opt : t -> float -> float option
+  (** [None] when no RTT was recorded in the window — a run that
+      measured nothing reads as absent, not as a 0 us latency. *)
+
   val rtt_percentile_us : t -> float -> float
+  (** Like {!rtt_percentile_us_opt} but [Float.nan] on an empty
+      window (renders as [n/a] in the bench tables). *)
+
   val rtt_mean_us : t -> float
   val conn_throughputs : t -> float array
   (** Per-connection ops counts over the window (only connections

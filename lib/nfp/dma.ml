@@ -150,6 +150,9 @@ let in_flight t = Array.fold_left (fun n q -> n + q.inflight) 0 t.queues
 let queued t =
   Array.fold_left (fun n q -> n + Queue.length q.waiting) 0 t.queues
 
+let queue_stats t =
+  Array.map (fun q -> (q.inflight, Queue.length q.waiting)) t.queues
+
 let transfers_completed t = t.completed
 let bytes_transferred t = t.bytes
 let busy_until t = t.link_free

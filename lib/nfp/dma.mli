@@ -45,6 +45,10 @@ val in_flight : t -> int
 val queued : t -> int
 (** Issues waiting for an in-flight slot. *)
 
+val queue_stats : t -> (int * int) array
+(** Per-queue [(in_flight, waiting)] snapshot, indexed by queue id
+    (used by the FlexScope utilization sampler). *)
+
 val transfers_completed : t -> int
 val bytes_transferred : t -> int
 

@@ -25,6 +25,7 @@ type t = {
   mutable core_busy : bool;
   core_waiters : (int * (unit -> unit)) Queue.t;
   mutable busy : Sim.Time.t;
+  mutable stall : Sim.Time.t;  (* cumulative thread-time in Mem phases *)
   mutable completed : int;
   mutable tracer : tracer option;
 }
@@ -45,6 +46,7 @@ let create engine ~params ?threads ~name () =
     core_busy = false;
     core_waiters = Queue.create ();
     busy = 0;
+    stall = 0;
     completed = 0;
     tracer = None;
   }
@@ -93,8 +95,9 @@ let rec run_phases t ~slot w phases =
   | Compute cycles :: rest ->
       request_core t cycles (fun () -> run_phases t ~slot w rest)
   | Mem level :: rest ->
-      Sim.Engine.schedule t.engine (mem_latency t level) (fun () ->
-          run_phases t ~slot w rest)
+      let lat = mem_latency t level in
+      t.stall <- t.stall + lat;
+      Sim.Engine.schedule t.engine lat (fun () -> run_phases t ~slot w rest)
   | Sleep d :: rest ->
       Sim.Engine.schedule t.engine d (fun () -> run_phases t ~slot w rest)
 
@@ -131,6 +134,8 @@ let submit t phases k =
 let queue_length t = Queue.length t.pending
 let in_flight t = t.threads - t.idle_threads
 let busy_time t = t.busy
+let stall_time t = t.stall
+let threads t = t.threads
 
 let utilization t ~total =
   if total <= 0 then 0. else Sim.Time.to_sec t.busy /. Sim.Time.to_sec total

@@ -50,6 +50,14 @@ val in_flight : t -> int
 val busy_time : t -> Sim.Time.t
 (** Cumulative time the core (issue unit) was executing compute. *)
 
+val stall_time : t -> Sim.Time.t
+(** Cumulative {i thread}-time spent stalled in [Mem] phases. With
+    multiple hardware threads this can exceed wall time (stalls on
+    different threads overlap); FlexScope reports it per thread. *)
+
+val threads : t -> int
+(** Number of hardware threads. *)
+
 val utilization : t -> total:Sim.Time.t -> float
 (** [busy_time / total]. *)
 

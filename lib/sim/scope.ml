@@ -1,0 +1,443 @@
+type mode = Metrics_only | Full
+
+type span = {
+  sp_stage : string;
+  sp_conn : int;
+  sp_id : int;
+  sp_t0 : Time.t;
+}
+
+type flight_entry = {
+  fl_time : Time.t;
+  fl_kind : string;
+  fl_name : string;
+  fl_arg : int;
+}
+
+(* A per-connection bounded ring of recent lifecycle events. *)
+type flight_ring = {
+  ring : flight_entry option array;
+  mutable next : int;
+  mutable total : int;
+}
+
+(* Chrome trace_event records, accumulated in memory and rendered as
+   JSONL at export time. *)
+type ev =
+  | Ev_complete of {
+      track : string;
+      name : string;
+      conn : int;
+      id : int;
+      t0 : Time.t;
+      dur : Time.t;
+      cycles : int;
+    }
+  | Ev_async of {
+      track : string;
+      first : bool;  (* true = "b", false = "e" *)
+      id : int;
+      ts : Time.t;
+      conn : int;
+    }
+  | Ev_instant of { track : string; name : string; ts : Time.t; conn : int;
+                    arg : int }
+  | Ev_counter of { series : string; ts : Time.t; value : float }
+
+type series_state = {
+  mutable s_last : float;
+  mutable s_min : float;
+  mutable s_max : float;
+  mutable s_sum : float;
+  mutable s_n : int;
+}
+
+type t = {
+  engine : Engine.t;
+  mode : mode;
+  hists : (string, Stats.Histogram.t) Hashtbl.t;
+  mutable hist_order : string list;  (* reverse creation order *)
+  counters : (string, int ref) Hashtbl.t;
+  mutable events : ev list;  (* newest first *)
+  mutable n_events : int;
+  max_events : int;
+  mutable dropped_events : int;
+  series : (string, series_state) Hashtbl.t;
+  (* Open lifecycle spans: (track, id) -> (start, conn). *)
+  open_segs : (string * int, Time.t * int) Hashtbl.t;
+  flight_capacity : int;
+  flight : (int, flight_ring) Hashtbl.t;
+  max_flight_conns : int;
+  mutable flight_dumps : int;
+}
+
+let create ?(mode = Full) ?(max_events = 200_000) ?(flight_capacity = 32)
+    engine =
+  {
+    engine;
+    mode;
+    hists = Hashtbl.create 32;
+    hist_order = [];
+    counters = Hashtbl.create 32;
+    events = [];
+    n_events = 0;
+    max_events;
+    dropped_events = 0;
+    series = Hashtbl.create 32;
+    open_segs = Hashtbl.create 1024;
+    flight_capacity;
+    flight = Hashtbl.create 256;
+    max_flight_conns = 4096;
+    flight_dumps = 0;
+  }
+
+let mode t = t.mode
+let now t = Engine.now t.engine
+
+let hist t name =
+  match Hashtbl.find_opt t.hists name with
+  | Some h -> h
+  | None ->
+      let h = Stats.Histogram.create () in
+      Hashtbl.replace t.hists name h;
+      t.hist_order <- name :: t.hist_order;
+      h
+
+let record t name v = Stats.Histogram.add (hist t name) v
+
+let count t ~name ?(n = 1) () =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.replace t.counters name (ref n)
+
+let counter_value t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let push_event t ev =
+  if t.n_events < t.max_events then begin
+    t.events <- ev :: t.events;
+    t.n_events <- t.n_events + 1
+  end
+  else t.dropped_events <- t.dropped_events + 1
+
+(* --- Flight recorder -------------------------------------------------- *)
+
+let flight_push t ~conn entry =
+  if conn >= 0 then begin
+    match Hashtbl.find_opt t.flight conn with
+    | Some fr ->
+        fr.ring.(fr.next) <- Some entry;
+        fr.next <- (fr.next + 1) mod t.flight_capacity;
+        fr.total <- fr.total + 1
+    | None ->
+        if Hashtbl.length t.flight < t.max_flight_conns then begin
+          let fr =
+            { ring = Array.make t.flight_capacity None; next = 0; total = 0 }
+          in
+          fr.ring.(0) <- Some entry;
+          fr.next <- 1 mod t.flight_capacity;
+          fr.total <- 1;
+          Hashtbl.replace t.flight conn fr
+        end
+  end
+
+let flight t ~conn =
+  match Hashtbl.find_opt t.flight conn with
+  | None -> []
+  | Some fr ->
+      (* Oldest first: entries from [next] wrapping around. *)
+      let out = ref [] in
+      for i = t.flight_capacity - 1 downto 0 do
+        match fr.ring.((fr.next + i) mod t.flight_capacity) with
+        | Some e -> out := e :: !out
+        | None -> ()
+      done;
+      !out
+
+let flight_total t ~conn =
+  match Hashtbl.find_opt t.flight conn with Some fr -> fr.total | None -> 0
+
+let dump_flight t ~conn ~reason ppf =
+  t.flight_dumps <- t.flight_dumps + 1;
+  let entries = flight t ~conn in
+  Format.fprintf ppf
+    "@[<v>flexscope flight recorder: conn %d (%s), last %d of %d events@,"
+    conn reason (List.length entries) (flight_total t ~conn);
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "  t=%11.1fns %-8s %-24s %d@," (Time.to_ns e.fl_time)
+        e.fl_kind e.fl_name e.fl_arg)
+    entries;
+  Format.fprintf ppf "@]"
+
+let flight_dumps t = t.flight_dumps
+
+(* --- Spans ------------------------------------------------------------ *)
+
+let span_begin t ~stage ~conn ~id =
+  { sp_stage = stage; sp_conn = conn; sp_id = id; sp_t0 = now t }
+
+let span_end t sp ~cycles =
+  record t ("stage/" ^ sp.sp_stage) cycles;
+  let t1 = now t in
+  flight_push t ~conn:sp.sp_conn
+    {
+      fl_time = t1;
+      fl_kind = "span";
+      fl_name = sp.sp_stage;
+      fl_arg = cycles;
+    };
+  if t.mode = Full then
+    push_event t
+      (Ev_complete
+         {
+           track = sp.sp_stage;
+           name = sp.sp_stage;
+           conn = sp.sp_conn;
+           id = sp.sp_id;
+           t0 = sp.sp_t0;
+           dur = t1 - sp.sp_t0;
+           cycles;
+         })
+
+let max_open_segs = 65536
+
+let seg_begin t ~track ~conn ~id =
+  let ts = now t in
+  if Hashtbl.length t.open_segs < max_open_segs then
+    Hashtbl.replace t.open_segs (track, id) (ts, conn);
+  flight_push t ~conn
+    { fl_time = ts; fl_kind = "begin"; fl_name = track; fl_arg = id };
+  if t.mode = Full then
+    push_event t (Ev_async { track; first = true; id; ts; conn })
+
+let seg_end t ~track ~id =
+  let ts = now t in
+  match Hashtbl.find_opt t.open_segs (track, id) with
+  | None -> ()
+  | Some (t0, conn) ->
+      Hashtbl.remove t.open_segs (track, id);
+      record t ("lifecycle_ns/" ^ track)
+        (int_of_float (Time.to_ns (ts - t0)));
+      flight_push t ~conn
+        { fl_time = ts; fl_kind = "end"; fl_name = track; fl_arg = id };
+      if t.mode = Full then
+        push_event t (Ev_async { track; first = false; id; ts; conn })
+
+let instant t ~track ~name ~conn ~arg =
+  let ts = now t in
+  flight_push t ~conn
+    { fl_time = ts; fl_kind = "instant"; fl_name = name; fl_arg = arg };
+  if t.mode = Full then push_event t (Ev_instant { track; name; ts; conn; arg })
+
+let sample t ~series ~value =
+  (match Hashtbl.find_opt t.series series with
+  | Some s ->
+      s.s_last <- value;
+      if value < s.s_min then s.s_min <- value;
+      if value > s.s_max then s.s_max <- value;
+      s.s_sum <- s.s_sum +. value;
+      s.s_n <- s.s_n + 1
+  | None ->
+      Hashtbl.replace t.series series
+        { s_last = value; s_min = value; s_max = value; s_sum = value;
+          s_n = 1 });
+  if t.mode = Full then
+    push_event t (Ev_counter { series; ts = now t; value })
+
+(* --- Chrome trace_event export ---------------------------------------- *)
+
+(* Track (pipeline stage / sampler) names are mapped to small integer
+   thread ids, with "M"-phase thread_name metadata records so the
+   Chrome/Perfetto UI shows the stage names. *)
+let trace_json_lines t =
+  let tids = Hashtbl.create 16 in
+  let next_tid = ref 1 in
+  let tid track =
+    match Hashtbl.find_opt tids track with
+    | Some i -> i
+    | None ->
+        let i = !next_tid in
+        incr next_tid;
+        Hashtbl.replace tids track i;
+        i
+  in
+  let us ts = Time.to_us ts in
+  let base name ph track ts rest =
+    Json.Obj
+      ([
+         ("name", Json.String name);
+         ("ph", Json.String ph);
+         ("pid", Json.Int 0);
+         ("tid", Json.Int (tid track));
+         ("ts", Json.Float (us ts));
+       ]
+      @ rest)
+  in
+  let line = function
+    | Ev_complete { track; name; conn; id; t0; dur; cycles } ->
+        base name "X" track t0
+          [
+            ("dur", Json.Float (us dur));
+            ( "args",
+              Json.Obj
+                [
+                  ("conn", Json.Int conn);
+                  ("id", Json.Int id);
+                  ("cycles", Json.Int cycles);
+                ] );
+          ]
+    | Ev_async { track; first; id; ts; conn } ->
+        base track (if first then "b" else "e") track ts
+          [
+            ("cat", Json.String track);
+            ("id", Json.String (Printf.sprintf "0x%x" id));
+            ("args", Json.Obj [ ("conn", Json.Int conn) ]);
+          ]
+    | Ev_instant { track; name; ts; conn; arg } ->
+        base name "i" track ts
+          [
+            ("s", Json.String "t");
+            ( "args",
+              Json.Obj [ ("conn", Json.Int conn); ("arg", Json.Int arg) ] );
+          ]
+    | Ev_counter { series; ts; value } ->
+        base series "C" series ts
+          [ ("args", Json.Obj [ ("value", Json.Float value) ]) ]
+  in
+  let events = List.rev_map line t.events in
+  (* Metadata lines first, then events (oldest first). *)
+  let meta =
+    Hashtbl.fold
+      (fun track i acc ->
+        Json.Obj
+          [
+            ("name", Json.String "thread_name");
+            ("ph", Json.String "M");
+            ("pid", Json.Int 0);
+            ("tid", Json.Int i);
+            ("args", Json.Obj [ ("name", Json.String track) ]);
+          ]
+        :: acc)
+      tids []
+  in
+  meta @ events
+
+(* Schema check for one exported line, shared by [flexlint
+   trace-check] and the tests: every record needs name/ph/pid/tid,
+   every non-metadata record a numeric ts, "X" a duration, async
+   begin/end a cat and an id. *)
+let validate_trace_line j =
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+  let str k =
+    match Option.bind (Json.member k j) Json.to_string_opt with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "missing or non-string %S" k)
+  in
+  let num k =
+    match Option.bind (Json.member k j) Json.to_float_opt with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing or non-numeric %S" k)
+  in
+  match j with
+  | Json.Obj _ ->
+      let* _name = str "name" in
+      let* ph = str "ph" in
+      let* _pid = num "pid" in
+      let* _tid = num "tid" in
+      (match ph with
+      | "M" -> Ok ()
+      | "X" ->
+          let* _ts = num "ts" in
+          let* dur = num "dur" in
+          if dur < 0. then Error "negative \"dur\"" else Ok ()
+      | "b" | "e" ->
+          let* _ts = num "ts" in
+          let* _cat = str "cat" in
+          let* _id = str "id" in
+          Ok ()
+      | "i" | "C" ->
+          let* _ts = num "ts" in
+          Ok ()
+      | ph -> Error (Printf.sprintf "unknown phase %S" ph))
+  | _ -> Error "not a JSON object"
+
+let write_trace t oc =
+  List.iter
+    (fun j ->
+      output_string oc (Json.to_string j);
+      output_char oc '\n')
+    (trace_json_lines t)
+
+(* --- Metrics snapshot -------------------------------------------------- *)
+
+let hist_json h =
+  let open Stats.Histogram in
+  let p q =
+    match percentile_opt h q with Some v -> Json.Int v | None -> Json.Null
+  in
+  Json.Obj
+    [
+      ("count", Json.Int (count h));
+      ("mean", Json.Float (mean h));
+      ("min", (match min_opt h with Some v -> Json.Int v | None -> Json.Null));
+      ("max", (match max_opt h with Some v -> Json.Int v | None -> Json.Null));
+      ("p50", p 50.);
+      ("p90", p 90.);
+      ("p99", p 99.);
+      ("p999", p 99.9);
+    ]
+
+let metrics t =
+  let hists =
+    List.rev_map
+      (fun name -> (name, hist_json (Hashtbl.find t.hists name)))
+      t.hist_order
+  in
+  let counters =
+    Hashtbl.fold (fun k r acc -> (k, Json.Int !r) :: acc) t.counters []
+    |> List.sort compare
+  in
+  let series =
+    Hashtbl.fold
+      (fun k s acc ->
+        ( k,
+          Json.Obj
+            [
+              ("last", Json.Float s.s_last);
+              ("min", Json.Float s.s_min);
+              ("max", Json.Float s.s_max);
+              ( "mean",
+                Json.Float
+                  (if s.s_n = 0 then 0. else s.s_sum /. float_of_int s.s_n)
+              );
+              ("samples", Json.Int s.s_n);
+            ] )
+        :: acc)
+      t.series []
+    |> List.sort compare
+  in
+  Json.Obj
+    [
+      ("version", Json.Int 1);
+      ( "mode",
+        Json.String
+          (match t.mode with Full -> "full" | Metrics_only -> "metrics") );
+      ("now_ns", Json.Float (Time.to_ns (now t)));
+      ("events", Json.Int t.n_events);
+      ("dropped_events", Json.Int t.dropped_events);
+      ("flight_dumps", Json.Int t.flight_dumps);
+      ("counters", Json.Obj counters);
+      ("histograms", Json.Obj hists);
+      ("series", Json.Obj series);
+    ]
+
+let write_metrics t oc =
+  output_string oc (Json.to_string (metrics t));
+  output_char oc '\n'
+
+let events_recorded t = t.n_events
+let dropped_events t = t.dropped_events
+
+let histograms t =
+  List.rev_map (fun n -> (n, Hashtbl.find t.hists n)) t.hist_order

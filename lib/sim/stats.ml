@@ -68,12 +68,14 @@ module Histogram = struct
     if v > t.max_v then t.max_v <- v
 
   let count t = t.count
-  let min t = if t.count = 0 then 0 else t.min_v
-  let max t = t.max_v
+  let min_opt t = if t.count = 0 then None else Some t.min_v
+  let max_opt t = if t.count = 0 then None else Some t.max_v
+  let min t = match min_opt t with Some v -> v | None -> 0
+  let max t = match max_opt t with Some v -> v | None -> 0
   let mean t = if t.count = 0 then 0. else t.total /. float_of_int t.count
 
-  let percentile t p =
-    if t.count = 0 then 0
+  let percentile_opt t p =
+    if t.count = 0 then None
     else begin
       let rank =
         let r =
@@ -81,22 +83,33 @@ module Histogram = struct
         in
         if r < 1 then 1 else if r > t.count then t.count else r
       in
-      let acc = ref 0 in
-      let result = ref t.max_v in
-      (try
-         for i = 0 to Array.length t.buckets - 1 do
-           acc := !acc + t.buckets.(i);
-           if !acc >= rank then begin
-             result := value_of i;
-             raise Exit
-           end
-         done
-       with Exit -> ());
-      (* Clamp to observed range: bucket midpoints can exceed max. *)
-      if !result > t.max_v then t.max_v
-      else if !result < t.min_v then t.min_v
-      else !result
+      (* Rank 1 is exactly the smallest sample and rank [count] the
+         largest; answering from the tracked extremes keeps p0/p100
+         exact rather than bucket-resolution approximate. *)
+      if rank = 1 then Some t.min_v
+      else if rank = t.count then Some t.max_v
+      else begin
+        let acc = ref 0 in
+        let result = ref t.max_v in
+        (try
+           for i = 0 to Array.length t.buckets - 1 do
+             acc := !acc + t.buckets.(i);
+             if !acc >= rank then begin
+               result := value_of i;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        (* Clamp to observed range: bucket midpoints can exceed max. *)
+        Some
+          (if !result > t.max_v then t.max_v
+           else if !result < t.min_v then t.min_v
+           else !result)
+      end
     end
+
+  let percentile t p =
+    match percentile_opt t p with Some v -> v | None -> 0
 
   let merge dst src =
     Array.iteri (fun i n -> dst.buckets.(i) <- dst.buckets.(i) + n) src.buckets;

@@ -7,15 +7,31 @@ type point = {
 
 type event = { time : Time.t; point_name : string; conn : int; arg : int }
 
+type subscription = {
+  s_id : int;
+  s_group : string option;
+  s_fn : event -> unit;
+  mutable s_active : bool;
+}
+
 type t = {
   tbl : (string * string, point) Hashtbl.t;
   mutable order : point list;  (* reverse registration order *)
-  mutable sink : (event -> unit) option;
+  mutable subs : subscription list;  (* subscription order *)
+  mutable next_sub_id : int;
+  mutable sink_sub : subscription option;  (* the set_sink shim's handle *)
   mutable n_enabled : int;
 }
 
 let create () =
-  { tbl = Hashtbl.create 64; order = []; sink = None; n_enabled = 0 }
+  {
+    tbl = Hashtbl.create 64;
+    order = [];
+    subs = [];
+    next_sub_id = 0;
+    sink_sub = None;
+    n_enabled = 0;
+  }
 
 let register t ~group name =
   match Hashtbl.find_opt t.tbl (group, name) with
@@ -47,14 +63,46 @@ let disable t ?group ?name () = set_state t ?group ?name false
 let enabled_count t = t.n_enabled
 let enabled p = p.on
 
-let set_sink t f = t.sink <- Some f
+(* --- Subscriptions ---------------------------------------------------- *)
+
+let subscribe t ?group f =
+  let s =
+    { s_id = t.next_sub_id; s_group = group; s_fn = f; s_active = true }
+  in
+  t.next_sub_id <- t.next_sub_id + 1;
+  (* Keep subscription order: deliveries happen oldest-first. *)
+  t.subs <- t.subs @ [ s ];
+  s
+
+let unsubscribe t s =
+  if s.s_active then begin
+    s.s_active <- false;
+    t.subs <- List.filter (fun s' -> s'.s_id <> s.s_id) t.subs
+  end
+
+let subscriber_count t = List.length t.subs
+
+let set_sink t f =
+  (* Deprecated shim: behaves like the old single global sink by
+     replacing the shim's previous subscription (explicit [subscribe]
+     handles are untouched). *)
+  (match t.sink_sub with Some s -> unsubscribe t s | None -> ());
+  t.sink_sub <- Some (subscribe t f)
+
+let deliver t p ev =
+  List.iter
+    (fun s ->
+      match s.s_group with
+      | Some g -> if g = p.group then s.s_fn ev
+      | None -> s.s_fn ev)
+    t.subs
 
 let hit t p ~now ~conn ~arg =
   if p.on then begin
     p.count <- p.count + 1;
-    match t.sink with
-    | Some f -> f { time = now; point_name = point_name p; conn; arg }
-    | None -> ()
+    match t.subs with
+    | [] -> ()
+    | _ -> deliver t p { time = now; point_name = point_name p; conn; arg }
   end
 
 let hits p = p.count

@@ -3,10 +3,11 @@
     FlexTOE's flexibility story (§5.1 of the paper) includes 48
     data-path tracepoints that can be toggled at run time. This module
     provides the registry: named tracepoints grouped by subsystem,
-    each with a hit counter and an optional sink. Disabled tracepoints
-    cost one branch. The data-path charges extra FPC cycles per
-    enabled tracepoint; that cost lives in the pipeline code, not
-    here. *)
+    each with a hit counter and any number of event subscribers.
+    Disabled tracepoints cost one branch; enabled tracepoints with no
+    subscriber cost one branch plus a counter bump. The data-path
+    charges extra FPC cycles per enabled tracepoint; that cost lives
+    in the pipeline code, not here. *)
 
 type t
 (** A tracepoint registry. *)
@@ -37,11 +38,39 @@ val disable : t -> ?group:string -> ?name:string -> unit -> int
 val enabled_count : t -> int
 val enabled : point -> bool
 
+(** {1 Event subscriptions}
+
+    Multiple consumers (FlexScope spans, the FlexSan sanitizer, bench
+    sinks) can observe tracepoint hits concurrently. Each subscriber
+    holds a handle; deliveries happen in subscription order. *)
+
+type subscription
+(** A handle identifying one installed callback. *)
+
+val subscribe : t -> ?group:string -> (event -> unit) -> subscription
+(** [subscribe t ?group f] installs [f] as a sink for every hit of
+    every enabled point (restricted to points of [group] when given).
+    Returns the handle needed to {!unsubscribe}. Subscribing the same
+    function twice installs two independent subscriptions. *)
+
+val unsubscribe : t -> subscription -> unit
+(** Remove a subscription. Unsubscribing an already-removed handle is
+    a no-op. A later {!subscribe} re-registers at the tail of the
+    delivery order (handles are never reused). *)
+
+val subscriber_count : t -> int
+
 val set_sink : t -> (event -> unit) -> unit
-(** Install a callback receiving every hit of every enabled point. *)
+[@@ocaml.deprecated
+  "use Trace.subscribe, which supports multiple concurrent consumers. \
+   set_sink is a shim that installs one subscription, replacing the \
+   subscription installed by any previous set_sink call."]
+(** Install a callback receiving every hit of every enabled point.
+    Deprecated: this is the pre-subscription single-sink interface,
+    kept as a shim over {!subscribe}/{!unsubscribe}. *)
 
 val hit : t -> point -> now:Time.t -> conn:int -> arg:int -> unit
-(** Record a hit if the point is enabled (counter + sink). *)
+(** Record a hit if the point is enabled (counter + subscribers). *)
 
 val hits : point -> int
 (** Total recorded hits of a point. *)

@@ -17,6 +17,7 @@ let () =
       ("policies", Test_policies.suite);
       ("properties", Test_properties.suite);
       ("san", Test_san.suite);
+      ("scope", Test_scope.suite);
       ("wraparound", Test_flextoe.wraparound_suite);
       ("datapath", Test_datapath.suite);
       ("coverage", Test_coverage.suite);

@@ -225,10 +225,110 @@ let test_trace_registry () =
   check_int "enable all" 3 (Sim.Trace.enable t ());
   check_int "disable one" 2 (Sim.Trace.disable t ~group:"dma" ~name:"desc" ());
   let events = ref 0 in
-  Sim.Trace.set_sink t (fun _ -> incr events);
+  let sub = Sim.Trace.subscribe t (fun _ -> incr events) in
   Sim.Trace.hit t p1 ~now:2 ~conn:1 ~arg:7;
-  check_int "sink called" 1 !events;
+  check_int "subscriber called" 1 !events;
+  Sim.Trace.unsubscribe t sub;
   check_int "registered" 3 (List.length (Sim.Trace.points t))
+
+let test_trace_subscribe_ordering () =
+  let t = Sim.Trace.create () in
+  let p = Sim.Trace.register t ~group:"proto" "rx" in
+  ignore (Sim.Trace.enable t ());
+  let log = ref [] in
+  let s1 = Sim.Trace.subscribe t (fun _ -> log := 1 :: !log) in
+  let s2 = Sim.Trace.subscribe t (fun _ -> log := 2 :: !log) in
+  Sim.Trace.hit t p ~now:0 ~conn:1 ~arg:0;
+  Alcotest.(check (list int)) "oldest first" [ 1; 2 ] (List.rev !log);
+  (* Unsubscribing the first leaves the second; double-unsubscribe is
+     a no-op. *)
+  Sim.Trace.unsubscribe t s1;
+  Sim.Trace.unsubscribe t s1;
+  check_int "one left" 1 (Sim.Trace.subscriber_count t);
+  log := [];
+  Sim.Trace.hit t p ~now:1 ~conn:1 ~arg:0;
+  Alcotest.(check (list int)) "only s2" [ 2 ] !log;
+  (* Re-registration after unsubscribe appends at the tail. *)
+  let _s3 = Sim.Trace.subscribe t (fun _ -> log := 3 :: !log) in
+  log := [];
+  Sim.Trace.hit t p ~now:2 ~conn:1 ~arg:0;
+  Alcotest.(check (list int)) "s2 then s3" [ 2; 3 ] (List.rev !log);
+  Sim.Trace.unsubscribe t s2
+
+let test_trace_subscribe_group_filter () =
+  let t = Sim.Trace.create () in
+  let p_proto = Sim.Trace.register t ~group:"proto" "rx" in
+  let p_dma = Sim.Trace.register t ~group:"dma" "desc" in
+  ignore (Sim.Trace.enable t ());
+  let proto_events = ref 0 and all_events = ref 0 in
+  let _sp =
+    Sim.Trace.subscribe t ~group:"proto" (fun _ -> incr proto_events)
+  in
+  let _sa = Sim.Trace.subscribe t (fun _ -> incr all_events) in
+  Sim.Trace.hit t p_proto ~now:0 ~conn:1 ~arg:0;
+  Sim.Trace.hit t p_dma ~now:1 ~conn:1 ~arg:0;
+  check_int "group-filtered" 1 !proto_events;
+  check_int "unfiltered" 2 !all_events
+
+let test_trace_set_sink_shim () =
+  let t = Sim.Trace.create () in
+  let p = Sim.Trace.register t ~group:"proto" "rx" in
+  ignore (Sim.Trace.enable t ());
+  let a = ref 0 and b = ref 0 and sub_hits = ref 0 in
+  let _s = Sim.Trace.subscribe t (fun _ -> incr sub_hits) in
+  (Sim.Trace.set_sink t (fun _ -> incr a) [@alert "-deprecated"]);
+  Sim.Trace.hit t p ~now:0 ~conn:1 ~arg:0;
+  (* A second set_sink replaces the first's subscription but leaves
+     independent subscribers alone. *)
+  (Sim.Trace.set_sink t (fun _ -> incr b) [@alert "-deprecated"]);
+  Sim.Trace.hit t p ~now:1 ~conn:1 ~arg:0;
+  check_int "first sink saw one event" 1 !a;
+  check_int "second sink saw one event" 1 !b;
+  check_int "plain subscriber saw both" 2 !sub_hits
+
+(* --- Histogram _opt / empty behaviour ----------------------------------- *)
+
+let test_histogram_empty_opt () =
+  let h = Sim.Stats.Histogram.create () in
+  Alcotest.(check (option int)) "min_opt" None (Sim.Stats.Histogram.min_opt h);
+  Alcotest.(check (option int)) "max_opt" None (Sim.Stats.Histogram.max_opt h);
+  Alcotest.(check (option int)) "percentile_opt" None
+    (Sim.Stats.Histogram.percentile_opt h 50.);
+  check_int "legacy min reads 0" 0 (Sim.Stats.Histogram.min h);
+  check_int "legacy percentile reads 0" 0
+    (Sim.Stats.Histogram.percentile h 99.);
+  Sim.Stats.Histogram.add h 7;
+  Alcotest.(check (option int)) "min_opt after add" (Some 7)
+    (Sim.Stats.Histogram.min_opt h)
+
+let test_histogram_p0_p100 () =
+  let h = Sim.Stats.Histogram.create () in
+  List.iter (Sim.Stats.Histogram.add h) [ 3; 9; 40; 1000; 123_456 ];
+  (* p0 is the observed minimum, p100 the observed maximum — exactly,
+     despite log bucketing (results clamp to the observed range). *)
+  check_int "p0" 3 (Sim.Stats.Histogram.percentile h 0.);
+  check_int "p100" 123_456 (Sim.Stats.Histogram.percentile h 100.);
+  Alcotest.(check (option int)) "p0 opt" (Some 3)
+    (Sim.Stats.Histogram.percentile_opt h 0.);
+  Alcotest.(check (option int)) "p100 opt" (Some 123_456)
+    (Sim.Stats.Histogram.percentile_opt h 100.)
+
+let test_histogram_merge_after_reset () =
+  let a = Sim.Stats.Histogram.create () in
+  let b = Sim.Stats.Histogram.create () in
+  Sim.Stats.Histogram.add a 5;
+  Sim.Stats.Histogram.add b 50;
+  Sim.Stats.Histogram.reset a;
+  (* Merging into a reset histogram must not resurrect stale min/max. *)
+  Sim.Stats.Histogram.merge a b;
+  check_int "count" 1 (Sim.Stats.Histogram.count a);
+  check_int "min" 50 (Sim.Stats.Histogram.min a);
+  check_int "max" 50 (Sim.Stats.Histogram.max a);
+  (* Merging an empty (reset) source is a no-op. *)
+  Sim.Stats.Histogram.reset b;
+  Sim.Stats.Histogram.merge a b;
+  check_int "count after empty merge" 1 (Sim.Stats.Histogram.count a);
+  check_int "min after empty merge" 50 (Sim.Stats.Histogram.min a)
 
 let suite =
   [
@@ -252,7 +352,17 @@ let suite =
       test_histogram_exact_small;
     QCheck_alcotest.to_alcotest prop_histogram_bounds;
     Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
+    Alcotest.test_case "histogram empty _opt queries" `Quick
+      test_histogram_empty_opt;
+    Alcotest.test_case "histogram p0/p100" `Quick test_histogram_p0_p100;
+    Alcotest.test_case "histogram merge after reset" `Quick
+      test_histogram_merge_after_reset;
     Alcotest.test_case "jain fairness index" `Quick test_jain;
     Alcotest.test_case "throughput meter" `Quick test_meter;
     Alcotest.test_case "tracepoint registry" `Quick test_trace_registry;
+    Alcotest.test_case "trace subscribe ordering" `Quick
+      test_trace_subscribe_ordering;
+    Alcotest.test_case "trace subscription group filter" `Quick
+      test_trace_subscribe_group_filter;
+    Alcotest.test_case "trace set_sink shim" `Quick test_trace_set_sink_shim;
   ]
