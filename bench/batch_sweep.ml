@@ -1,0 +1,123 @@
+(* PR5 batching sweep and CI regression gate.
+
+   Fixed-seed memcached-style workload on FlexTOE at uniform batching
+   degrees 1/2/4/8. Two verdicts:
+
+   - batch=1 throughput must stay within 5% of the checked-in
+     baseline (bench/BENCH_baseline_pr5.json) — the batching machinery
+     may not tax the unbatched pipeline;
+   - batch=8 must beat batch=1 — coalescing has to actually pay.
+
+   [run] prints the sweep table (harness mode); [gate] additionally
+   writes BENCH_pr5.json and exits non-zero on a regression (CI
+   mode, via bench/bench_gate.exe). *)
+
+open Common
+
+let degrees = [ 1; 2; 4; 8 ]
+
+let measure_degree b =
+  let w = mk_world ~seed:42L () in
+  let config =
+    {
+      Flextoe.Config.default with
+      Flextoe.Config.batch = Flextoe.Config.batch_of b;
+    }
+  in
+  let server = mk_node w FlexTOE ~app_cores:2 ~config ip_server in
+  let stats = Host.Rpc.Stats.create w.engine in
+  ignore
+    (Host.App_kv.server ~endpoint:server.ep ~port:11211 ~app_cycles:890 ());
+  for i = 0 to 1 do
+    let client = mk_node w FlexTOE ~app_cores:4 ~config (ip_client i) in
+    Host.App_kv.client ~endpoint:client.ep ~engine:w.engine
+      ~server_ip:ip_server ~server_port:11211 ~conns:16 ~pipeline:8
+      ~key_bytes:32 ~value_bytes:32 ~set_ratio:0.1 ~stats ()
+  done;
+  measure w ~warmup:(Sim.Time.ms 8) ~window:(Sim.Time.ms 15) [ stats ];
+  Host.Rpc.Stats.mops stats
+
+let sweep () = List.map (fun b -> (b, measure_degree b)) degrees
+
+let print_table results =
+  columns (List.map (fun (b, _) -> Printf.sprintf "b=%d" b) results);
+  row_of_floats "FlexTOE mOps" (List.map snd results)
+
+let run () =
+  header "Batch sweep: throughput vs uniform batching degree";
+  let results = sweep () in
+  print_table results;
+  let at b = List.assoc b results in
+  log_result ~experiment:"batch"
+    "batch=8 %.2f mOps = %.2fx batch=1 (doorbell+GRO+notify coalescing)"
+    (at 8)
+    (at 8 /. at 1);
+  note "degree 1 is bit-identical to the unbatched seed pipeline;";
+  note "gains come from amortized doorbells, GRO merges, ARX coalescing."
+
+(* --- JSON in/out ----------------------------------------------------- *)
+
+let write_json path results =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc "{\n  \"experiment\": \"batch_sweep_pr5\",\n";
+      output_string oc "  \"workload\": \"kv 32x32, 2 clients, seed 42\",\n";
+      output_string oc "  \"mops\": {\n";
+      List.iteri
+        (fun i (b, v) ->
+          Printf.fprintf oc "    \"%d\": %.4f%s\n" b v
+            (if i = List.length results - 1 then "" else ","))
+        results;
+      output_string oc "  }\n}\n")
+
+let read_baseline path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e -> Error e
+  | s -> (
+      match Sim.Json.of_string s with
+      | Error e -> Error e
+      | Ok j -> (
+          match
+            Option.bind (Sim.Json.member "mops" j) (fun m ->
+                Option.bind (Sim.Json.member "1" m) Sim.Json.to_float_opt)
+          with
+          | Some v -> Ok v
+          | None -> Error "missing mops.1"))
+
+let gate ~baseline ~out () =
+  let results = sweep () in
+  print_table results;
+  write_json out results;
+  Printf.printf "wrote %s\n" out;
+  let b1 = List.assoc 1 results and b8 = List.assoc 8 results in
+  let ok = ref true in
+  (match read_baseline baseline with
+  | Error e ->
+      Printf.printf "FAIL baseline             %s: %s\n" baseline e;
+      ok := false
+  | Ok base1 ->
+      if b1 < 0.95 *. base1 then begin
+        Printf.printf
+          "FAIL batch=1              %.2f mOps < 95%% of baseline %.2f\n" b1
+          base1;
+        ok := false
+      end
+      else
+        Printf.printf "OK   batch=1              %.2f mOps (baseline %.2f)\n"
+          b1 base1);
+  if b8 <= b1 then begin
+    Printf.printf "FAIL batch=8              %.2f mOps <= batch=1 %.2f\n" b8
+      b1;
+    ok := false
+  end
+  else
+    Printf.printf "OK   batch=8              %.2f mOps = %.2fx batch=1\n" b8
+      (b8 /. b1);
+  !ok

@@ -1,0 +1,16 @@
+(* CI entry point for the PR5 batching regression gate.
+
+   Usage: bench_gate [BASELINE.json] [OUT.json]
+   Defaults: bench/BENCH_baseline_pr5.json, BENCH_pr5.json.
+   Exit 0 when batch=1 holds the baseline (within 5%) and batch=8
+   beats batch=1; exit 1 otherwise. *)
+
+let () =
+  let baseline =
+    if Array.length Sys.argv > 1 then Sys.argv.(1)
+    else "bench/BENCH_baseline_pr5.json"
+  in
+  let out =
+    if Array.length Sys.argv > 2 then Sys.argv.(2) else "BENCH_pr5.json"
+  in
+  if Batch_sweep.gate ~baseline ~out () then exit 0 else exit 1

@@ -20,6 +20,7 @@ let experiments =
     ("table2", Table2.run);
     ("table3", Table3.run);
     ("table4", Table4.run);
+    ("batch", Batch_sweep.run);
     ("ablations", Ablations.run);
     ("chaos", Chaos.run);
     ("micro", Microbench.run);

@@ -440,6 +440,44 @@ let top_cmd =
        ~exits:exit_info)
     Term.(const run_top $ metrics_file_t $ limit_t)
 
+(* --- fuzz-wire: negative corpus for the wire codec ------------------- *)
+
+let run_fuzz_wire cases seed =
+  let s = Tcp.Fuzz.run ~seed:(Int64.of_int seed) ~cases () in
+  List.iter (fun f -> Format.printf "FAIL case                 %s@." f)
+    s.Tcp.Fuzz.failures;
+  if Tcp.Fuzz.ok s then
+    Format.printf
+      "OK   fuzz-wire            %d cases: %d accepted, %d rejected (%d by \
+       checksum), 0 raised@."
+      s.Tcp.Fuzz.total s.Tcp.Fuzz.accepted s.Tcp.Fuzz.rejected
+      s.Tcp.Fuzz.csum_caught
+  else begin
+    Format.printf "FAIL fuzz-wire            %d of %d case(s) raised@."
+      s.Tcp.Fuzz.raised s.Tcp.Fuzz.total;
+    exit 1
+  end
+
+let fuzz_cases_t =
+  Arg.(
+    value & opt int 5000
+    & info [ "cases" ] ~docv:"N" ~doc:"Corpus size (default 5000).")
+
+let fuzz_seed_t =
+  Arg.(
+    value & opt int 0xF022
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:"Corpus seed; a fixed seed gives a reproducible corpus.")
+
+let fuzz_wire_cmd =
+  Cmd.v
+    (Cmd.info "fuzz-wire"
+       ~doc:
+         "Feed a seeded corpus of truncated/bit-flipped/garbage frames to \
+          the wire decoder and checksum helpers; any raised exception fails"
+       ~exits:exit_info)
+    Term.(const run_fuzz_wire $ fuzz_cases_t $ fuzz_seed_t)
+
 (* --- trace-check: Chrome trace_event JSONL schema validation --------- *)
 
 let run_trace_check path =
@@ -503,7 +541,7 @@ let group =
   Cmd.group
     (Cmd.info "flexlint" ~doc:"FlexTOE static checkers" ~exits:exit_info)
     ~default:verify_term
-    [ verify_cmd; san_cmd; top_cmd; trace_check_cmd ]
+    [ verify_cmd; san_cmd; top_cmd; trace_check_cmd; fuzz_wire_cmd ]
 
 let () =
   (* Fold cmdliner's parse-error code into the documented usage-error

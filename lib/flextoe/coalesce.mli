@@ -1,0 +1,34 @@
+(** Pure GRO/TSO descriptor arithmetic for the batched datapath
+    (§3.4): merging adjacent in-sequence RX segments into one
+    descriptor, and splitting oversized TX descriptors back into wire
+    frames at the NBI. Stateless, so the property suite can check the
+    round-trip laws ([split ∘ merge] preserves payload bytes and
+    sequence numbering, across 2^32 wraparound) without a datapath. *)
+
+val chain_next : Meta.rx_summary -> Tcp.Seq32.t
+(** Sequence number one past the segment's payload: the [seq] the next
+    chainable segment must carry. *)
+
+val chainable : next:Tcp.Seq32.t -> Meta.rx_summary -> bool
+(** Data-bearing and exactly in sequence at [next]. Pure ACKs are
+    never chainable (they must reach the protocol stage individually
+    or duplicate-ACK counting breaks). *)
+
+val merge : Meta.rx_summary list -> Meta.rx_summary
+(** Merge adjacent in-sequence segments (oldest first) into one
+    descriptor: head's identity (gseq, seq), concatenated payload,
+    newest acknowledgment state, OR-ed event flags, tail's FIN.
+    Raises [Invalid_argument] on the empty list. *)
+
+val split_payload : mss:int -> Bytes.t -> Bytes.t list
+(** Cut into MSS-sized chunks, last possibly short; concatenating the
+    result is the identity. *)
+
+val split_count : mss:int -> int -> int
+(** Frames a TSO descriptor of the given payload length becomes. *)
+
+val split_desc :
+  mss:int -> Meta.tx_desc -> Bytes.t -> (Meta.tx_desc * Bytes.t) list
+(** Expand a TSO descriptor into per-frame descriptors: chunk [i]
+    shifts position and sequence by [i*mss] (mod 2^32), FIN on the
+    last frame only, CWR on the first only. *)

@@ -27,7 +27,33 @@ type stage_costs = {
   xdp_dispatch : int;
   tracepoint : int;
   pcap_capture : int;
+  (* Batching cost model: one fixed cost per batch (the stage's usual
+     cost) plus a per-unit variable cost below for each extra unit the
+     batch carries. Charged only on batch>1 paths. *)
+  gro_merge : int;  (** Per absorbed segment when GRO coalesces. *)
+  tso_split : int;  (** Per extra wire frame split from a TSO descriptor. *)
+  dma_doorbell : int;  (** Fixed per doorbell-batch flush. *)
+  notify_coalesce : int;  (** Per absorbed ARX notification. *)
 }
+
+(** Batching degrees at each pipeline boundary (§3.4): how many units
+    amortize one fixed cost. All 1 = today's per-segment behavior,
+    bit-identical to the unbatched pipeline (the batch>1 code paths
+    are never entered). *)
+type batch = {
+  b_gro : int;  (** Adjacent in-order RX segments merged per GRO descriptor. *)
+  b_tso : int;  (** MSS units per TX descriptor; split at the NBI. *)
+  b_doorbell : int;  (** DMA descriptors rung per doorbell. *)
+  b_completion : int;  (** DMA completions coalesced per delivery. *)
+  b_notify : int;  (** ARX notifications coalesced per context-queue DMA. *)
+}
+
+let batch_none =
+  { b_gro = 1; b_tso = 1; b_doorbell = 1; b_completion = 1; b_notify = 1 }
+
+let batch_of n =
+  let n = max 1 n in
+  { b_gro = n; b_tso = n; b_doorbell = n; b_completion = n; b_notify = n }
 
 type congestion_control = Dctcp | Timely | Cc_none
 
@@ -54,6 +80,10 @@ type t = {
   notify_cycles : int;
   san : bool;  (** Enable the FlexSan dynamic sanitizer (layer 2). *)
   scope : scope_mode;  (** FlexScope profiling (off / metrics / full). *)
+  batch : batch;  (** Pipeline-boundary batching degrees. *)
+  batch_delay : Sim.Time.t;
+      (** How long a partial batch (GRO window, doorbell ring, ARX
+          accumulator) may be held before a timer flushes it. *)
 }
 
 let default_costs =
@@ -75,6 +105,10 @@ let default_costs =
     xdp_dispatch = 45;
     tracepoint = 6;
     pcap_capture = 650;
+    gro_merge = 20;
+    tso_split = 15;
+    dma_doorbell = 30;
+    notify_coalesce = 25;
   }
 
 let t3_flow_groups =
@@ -135,6 +169,8 @@ let default =
     notify_cycles = 60;
     san = san_env;
     scope = scope_env;
+    batch = batch_none;
+    batch_delay = Sim.Time.us 1;
   }
 
 let with_parallelism t p = { t with parallelism = p }

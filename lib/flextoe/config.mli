@@ -47,7 +47,41 @@ type stage_costs = {
   xdp_dispatch : int;  (** Fixed overhead of an enabled XDP hook. *)
   tracepoint : int;  (** Per enabled tracepoint, per segment. *)
   pcap_capture : int;  (** Per captured packet. *)
+  gro_merge : int;
+      (** Per absorbed segment when GRO coalesces adjacent in-order
+          segments into one descriptor (batch>1 only). *)
+  tso_split : int;
+      (** Per extra wire frame split out of a TSO descriptor at the
+          NBI boundary (batch>1 only). *)
+  dma_doorbell : int;  (** Fixed cost per doorbell-batch flush. *)
+  notify_coalesce : int;
+      (** Per absorbed ARX notification when coalescing (batch>1
+          only). *)
 }
+
+(** Batching degrees at each pipeline boundary (§3.4): how many units
+    amortize one fixed cost. All 1 (the default) preserves today's
+    per-segment behavior bit for bit — the batch>1 code paths are
+    never entered. *)
+type batch = {
+  b_gro : int;
+      (** Adjacent in-sequence RX data segments of a flow merged into
+          one descriptor before protocol processing. *)
+  b_tso : int;
+      (** MSS units one TX descriptor may carry; the NBI splits the
+          descriptor back into wire frames. *)
+  b_doorbell : int;  (** DMA descriptors rung per doorbell. *)
+  b_completion : int;  (** DMA completions coalesced per delivery. *)
+  b_notify : int;
+      (** ARX notifications per connection coalesced into one
+          context-queue DMA and host wakeup. *)
+}
+
+val batch_none : batch
+(** All degrees 1: bit-identical to the unbatched pipeline. *)
+
+val batch_of : int -> batch
+(** Uniform batching degree at every boundary (clamped to >= 1). *)
 
 type congestion_control = Dctcp | Timely | Cc_none
 
@@ -109,6 +143,12 @@ type t = {
           host-side observation, like FlexSan); the modelled cost of
           {e tracepoints} remains a separate, per-point opt-in via
           {!Sim.Trace}. *)
+  batch : batch;
+      (** Pipeline-boundary batching degrees ({!batch_none} by
+          default). *)
+  batch_delay : Sim.Time.t;
+      (** How long a partial batch (GRO window, doorbell ring, ARX
+          accumulator) may be held before a timer flushes it. *)
 }
 
 val default : t

@@ -48,6 +48,35 @@ type post_work =
 
 type conn_lock = { mutable busy : bool; waiters : (unit -> unit) Queue.t }
 
+(* A GRO coalescing window (§3.4, [Config.batch.b_gro] > 1 only): the
+   adjacent in-sequence data segments of one flow accumulated since
+   the last flush. Segments are newest-first; [gc_next] is the
+   sequence number the next chainable segment must carry. *)
+type gro_acc = {
+  mutable gc_segs : Meta.rx_summary list;
+  mutable gc_count : int;
+  mutable gc_next : Tcp.Seq32.t;
+  mutable gc_flushed : bool;
+}
+
+(* An ARX notification accumulator ([Config.batch.b_notify] > 1 only):
+   per-connection deliveries coalesced into one context-queue DMA and
+   host wakeup. Byte counts add; FIN sticks; the readable ranges,
+   lifecycle ids and sanitizer tokens of every absorbed notification
+   are kept so the single delivery can replay their effects. *)
+type arx_acc = {
+  aa_conn : int;
+  aa_opaque : int;
+  mutable aa_count : int;
+  mutable aa_rx : int;
+  mutable aa_txf : int;
+  mutable aa_fin : bool;
+  mutable aa_ranges : (int * int) list;  (* newest first *)
+  mutable aa_gseqs : int list;  (* newest first *)
+  mutable aa_tokens : int list;  (* newest first *)
+  mutable aa_flushed : bool;
+}
+
 (* --- Stages as first-class values (FlexSan layer 1) ------------------ *)
 
 (* A pipeline stage: its effect contract (which memory it may touch,
@@ -186,6 +215,11 @@ type t = {
   mutable atx_scheduled : bool array;
   arx_handlers : (Meta.arx_desc -> unit) array;
   mutable hc_descs_free : int;
+  (* Batching state (empty/untouched at batch degree 1) *)
+  gro_pending : (int, gro_acc) Hashtbl.t;  (* conn -> window *)
+  arx_pending : (int, arx_acc) Hashtbl.t;  (* conn -> accumulator *)
+  mutable atx_flush_armed : bool array;  (* partial-doorbell timers *)
+  mutable st_dma_work : int;  (* doorbell-amortization counter *)
   (* Control plane hooks *)
   mutable control_rx : S.frame -> unit;
   (* Flexibility *)
@@ -471,7 +505,7 @@ let dma_engine t = t.dma
    the RX payload buffer the notification makes readable — the bytes
    the handler (and the application behind it) will touch, so the
    sanitizer checks them against the payload DMA's writes. *)
-let notify_libtoe t ?range ?(gseq = -1) cs (desc : Meta.arx_desc) =
+let notify_libtoe_now t ?range ?(gseq = -1) cs (desc : Meta.arx_desc) =
   let conn_idx = cs.Conn_state.idx in
   let ctx = cs.Conn_state.post.Conn_state.ctx_id mod t.n_ctx in
   let fpc = t.ctx_fpcs.(ctx mod Array.length t.ctx_fpcs) in
@@ -518,6 +552,147 @@ let notify_libtoe t ?range ?(gseq = -1) cs (desc : Meta.arx_desc) =
             Sim.Engine.schedule t.engine t.cfg.Config.libtoe_poll (fun () ->
                 deliver ~join ()))))
 
+(* Flush one connection's ARX accumulator: one context-queue descriptor,
+   one 32B DMA and one host wakeup stand in for [aa_count] of each.
+   The fixed descriptor cost is paid once plus [notify_coalesce] per
+   absorbed notification; byte counts were summed at accumulation.
+   Every absorbed notification's sanitizer token (captured in its
+   payload-DMA completion context) is joined before the host reads, so
+   the coalesced delivery keeps each payload-write -> host-read
+   happens-before edge of the unbatched path. *)
+let arx_flush t acc =
+  if not acc.aa_flushed then begin
+    acc.aa_flushed <- true;
+    Hashtbl.remove t.arx_pending acc.aa_conn;
+    let conn_idx = acc.aa_conn in
+    let gseqs = List.rev acc.aa_gseqs in
+    (match t.scope with
+    | Some sc -> Sim.Scope.record sc "batch/arx/coalesced" acc.aa_count
+    | None -> ());
+    match conn t conn_idx with
+    | None ->
+        (* Torn down with a window pending: nothing to notify, but the
+           RX lifecycles must still close. *)
+        List.iter
+          (fun g -> if g >= 0 then sc_seg_end t ~track:"seg_rx" ~id:g)
+          gseqs
+    | Some cs ->
+        let desc =
+          {
+            Meta.x_opaque = acc.aa_opaque;
+            x_rx_bytes = acc.aa_rx;
+            x_tx_freed = acc.aa_txf;
+            x_fin = acc.aa_fin;
+            x_err = false;
+          }
+        in
+        let ranges = List.rev acc.aa_ranges in
+        let tokens = List.rev acc.aa_tokens in
+        let ctx = cs.Conn_state.post.Conn_state.ctx_id mod t.n_ctx in
+        let fpc = t.ctx_fpcs.(ctx mod Array.length t.ctx_fpcs) in
+        let c = t.cfg.Config.costs in
+        let extra = trace_cycles t "ctx" ~conn:conn_idx in
+        let cycles =
+          c.Config.ctx_desc
+          + ((acc.aa_count - 1) * c.Config.notify_coalesce)
+          + extra
+        in
+        let deliver ~join () =
+          List.iter
+            (fun g ->
+              sc_instant t ~track:"ctx" ~name:"arx_delivery" ~conn:conn_idx
+                ~arg:g;
+              if g >= 0 then sc_seg_end t ~track:"seg_rx" ~id:g)
+            gseqs;
+          match t.san with
+          | None -> t.arx_handlers.(ctx) desc
+          | Some s ->
+              San.run_as s ~thread:("hostctx" ^ string_of_int ctx) ?join
+                (fun () ->
+                  List.iter (fun tok -> San.token_join s tok) tokens;
+                  List.iter
+                    (fun (off, len) ->
+                      if len > 0 then
+                        San.access s ~stage:"ctx" ~flow:conn_idx
+                          ~obj:Effects.Rx_payload ~range:(off, len)
+                          Effects.Read)
+                    ranges;
+                  t.arx_handlers.(ctx) desc;
+                  San.chan_send s ("arx#" ^ string_of_int conn_idx))
+        in
+        Nfp.Fpc.submit fpc [ Compute cycles ]
+          (sc_span t ~stage:"ctx" ~conn:conn_idx ~id:(-1) ~cycles (fun () ->
+               sa t ~stage:"ctx" ~flow:conn_idx Effects.Desc_ring
+                 Effects.Write;
+               Nfp.Dma.issue t.dma ~queue:1 ~bytes:32 (fun () ->
+                   let join =
+                     match t.san with
+                     | Some s -> Some (San.token_send s)
+                     | None -> None
+                   in
+                   Sim.Engine.schedule t.engine t.cfg.Config.libtoe_poll
+                     (fun () -> deliver ~join ()))))
+  end
+
+(* Notification entry point. At [b_notify = 1] (or for error
+   notifications, which must not wait) this is exactly the unbatched
+   delivery. Above 1, per-connection notifications accumulate and
+   flush on FIN, a full window, or the batch-delay timer. *)
+let notify_libtoe t ?range ?(gseq = -1) cs (desc : Meta.arx_desc) =
+  let b = t.cfg.Config.batch.Config.b_notify in
+  let conn_idx = cs.Conn_state.idx in
+  if b <= 1 || desc.Meta.x_err then begin
+    (* An error notification overtaking coalesced data would reorder
+       the host's view: drain the window first. *)
+    (if desc.Meta.x_err then
+       match Hashtbl.find_opt t.arx_pending conn_idx with
+       | Some acc -> arx_flush t acc
+       | None -> ());
+    notify_libtoe_now t ?range ~gseq cs desc
+  end
+  else begin
+    (* Capture the happens-before token in the issuing context (the
+       payload DMA's completion), exactly where the unbatched path
+       would have issued its descriptor DMA. *)
+    let tok =
+      match t.san with Some s -> Some (San.token_send s) | None -> None
+    in
+    match Hashtbl.find_opt t.arx_pending conn_idx with
+    | Some acc ->
+        acc.aa_count <- acc.aa_count + 1;
+        acc.aa_rx <- acc.aa_rx + desc.Meta.x_rx_bytes;
+        acc.aa_txf <- acc.aa_txf + desc.Meta.x_tx_freed;
+        acc.aa_fin <- acc.aa_fin || desc.Meta.x_fin;
+        (match range with
+        | Some r -> acc.aa_ranges <- r :: acc.aa_ranges
+        | None -> ());
+        acc.aa_gseqs <- gseq :: acc.aa_gseqs;
+        (match tok with
+        | Some tk -> acc.aa_tokens <- tk :: acc.aa_tokens
+        | None -> ());
+        if acc.aa_count >= b || acc.aa_fin then arx_flush t acc
+    | None ->
+        let acc =
+          {
+            aa_conn = conn_idx;
+            aa_opaque = desc.Meta.x_opaque;
+            aa_count = 1;
+            aa_rx = desc.Meta.x_rx_bytes;
+            aa_txf = desc.Meta.x_tx_freed;
+            aa_fin = desc.Meta.x_fin;
+            aa_ranges = (match range with Some r -> [ r ] | None -> []);
+            aa_gseqs = [ gseq ];
+            aa_tokens = (match tok with Some tk -> [ tk ] | None -> []);
+            aa_flushed = false;
+          }
+        in
+        Hashtbl.replace t.arx_pending conn_idx acc;
+        if acc.aa_fin then arx_flush t acc
+        else
+          Sim.Engine.schedule t.engine t.cfg.Config.batch_delay (fun () ->
+              arx_flush t acc)
+  end
+
 (* --- NBI egress ---------------------------------------------------- *)
 
 let build_data_frame t cs (d : Meta.tx_desc) payload =
@@ -558,7 +733,7 @@ let build_ack_frame t cs (a : Meta.ack_info) =
   in
   S.make_frame ~src_mac:t.mac ~dst_mac:pre.Conn_state.peer_mac seg
 
-let nbi_emit t eg =
+let nbi_emit_one t eg =
   let frame =
     match eg with
     | Eg_data (d, payload) -> begin
@@ -603,6 +778,40 @@ let nbi_emit t eg =
   | Eg_data _ -> Scheduler.credit_return t.sch
   | Eg_ack _ | Eg_ctl _ -> ()
 
+(* TSO (§3.4): a descriptor wider than one MSS — only producible at
+   [b_tso > 1], where the protocol stage emits up to [b_tso * mss] per
+   descriptor — is segmented back into wire frames here at the NBI
+   boundary. One egress slot, one credit, [split_count] frames. *)
+let nbi_emit t eg =
+  match eg with
+  | Eg_data (d, payload)
+    when Bytes.length payload > t.cfg.Config.mss -> begin
+      match conn t d.Meta.t_conn with
+      | None -> nbi_emit_one t eg  (* teardown: the one-frame path
+                                      already closes the lifecycle *)
+      | Some cs ->
+          sa t ~stage:"nbi" ~flow:d.Meta.t_conn Effects.Conn_pre
+            Effects.Read;
+          let chunks =
+            Coalesce.split_desc ~mss:t.cfg.Config.mss d payload
+          in
+          (match t.scope with
+          | Some sc ->
+              Sim.Scope.record sc "batch/tso/frames" (List.length chunks)
+          | None -> ());
+          List.iter
+            (fun (dc, chunk) ->
+              let f = build_data_frame t cs dc chunk in
+              (match t.capture with Some cap -> cap Dir_tx f | None -> ());
+              t.st_tx <- t.st_tx + 1;
+              sc_count t "nbi/tx_frames";
+              Netsim.Fabric.transmit t.port f)
+            chunks;
+          sc_seg_end t ~track:"seg_tx" ~id:d.Meta.t_gseq;
+          Scheduler.credit_return t.sch
+    end
+  | _ -> nbi_emit_one t eg
+
 (* --- DMA stage ------------------------------------------------------ *)
 
 type dma_work = {
@@ -626,10 +835,22 @@ let dma_stage t (w : dma_work) =
   let c = t.cfg.Config.costs in
   let fpc = next_dma_fpc t in
   let extra = trace_cycles t "dma" ~conn:w.dw_conn in
+  (* Doorbell amortization: in batched mode the MMIO ring costs
+     [dma_doorbell] once per [b_doorbell] descriptors instead of being
+     folded into [dma_desc]. Unbatched mode leaves the counter (and
+     the charge) untouched. *)
+  let db =
+    let b = t.cfg.Config.batch.Config.b_doorbell in
+    if b <= 1 then 0
+    else begin
+      t.st_dma_work <- t.st_dma_work + 1;
+      if t.st_dma_work mod b = 0 then c.Config.dma_doorbell else 0
+    end
+  in
   Nfp.Fpc.submit fpc
-    [ Compute (c.Config.dma_desc + extra) ]
+    [ Compute (c.Config.dma_desc + extra + db) ]
     (sc_span t ~stage:"dma" ~conn:w.dw_conn ~id:w.dw_gseq
-       ~cycles:(c.Config.dma_desc + extra) (fun () ->
+       ~cycles:(c.Config.dma_desc + extra + db) (fun () ->
       sa t ~stage:"dma" ~flow:w.dw_conn Effects.Conn_db Effects.Read;
       let cs = conn t w.dw_conn in
       let finish () =
@@ -711,6 +932,13 @@ let postproc_stage t fg (w : post_work) =
   let cost =
     match w with
     | Post_rx _ -> c.Config.postproc_rx
+    | Post_tx d when d.Meta.t_len > t.cfg.Config.mss ->
+        (* A TSO descriptor ([b_tso > 1] only): laying out the
+           per-frame DMA gather list costs [tso_split] per extra wire
+           frame on top of the ordinary descriptor work. *)
+        c.Config.postproc_tx
+        + (Coalesce.split_count ~mss:t.cfg.Config.mss d.Meta.t_len - 1)
+          * c.Config.tso_split
     | Post_tx _ | Post_hc _ -> c.Config.postproc_tx
   in
   let capture_extra =
@@ -977,13 +1205,82 @@ let protocol_hc t (d : Meta.hc_desc) =
 
 (* --- GRO (RX reorder point) ----------------------------------------- *)
 
-let gro_release t (s : Meta.rx_summary) =
+(* Hand one (possibly merged) summary to the protocol stage. [merged]
+   is the number of wire segments it carries: the sequencer cost is
+   paid once per descriptor, plus [gro_merge] per absorbed segment. *)
+let gro_submit t ~merged (s : Meta.rx_summary) =
   let c = t.cfg.Config.costs in
   let extra = trace_cycles t "gro" ~conn:s.Meta.conn in
+  let cycles =
+    c.Config.sequencer + extra + ((merged - 1) * c.Config.gro_merge)
+  in
   Nfp.Fpc.submit t.gro_fpc
-    [ Compute (c.Config.sequencer + extra) ]
+    [ Compute cycles ]
     (sc_span t ~stage:"gro" ~conn:s.Meta.conn ~id:s.Meta.rx_gseq
-       ~cycles:(c.Config.sequencer + extra) (fun () -> protocol_rx t s))
+       ~cycles (fun () -> protocol_rx t s))
+
+(* Flush a connection's GRO window: merge the accumulated run into one
+   descriptor carrying the head's identity. Absorbed segments' RX
+   lifecycles end at the merge point — from here on the head's gseq
+   stands for the whole run. *)
+let gro_flush t acc =
+  if not acc.gc_flushed then begin
+    acc.gc_flushed <- true;
+    match acc.gc_segs with
+    | [] -> ()
+    | newest :: _ ->
+        Hashtbl.remove t.gro_pending newest.Meta.conn;
+        let segs = List.rev acc.gc_segs in
+        let merged = Coalesce.merge segs in
+        List.iter
+          (fun (s : Meta.rx_summary) ->
+            if s.Meta.rx_gseq <> merged.Meta.rx_gseq then
+              sc_seg_end t ~track:"seg_rx" ~id:s.Meta.rx_gseq)
+          segs;
+        (match t.scope with
+        | Some sc -> Sim.Scope.record sc "batch/gro/segments" acc.gc_count
+        | None -> ());
+        gro_submit t ~merged:acc.gc_count merged
+  end
+
+(* The RX sequencer's release point. At [b_gro = 1] every segment goes
+   straight through, bit-identically to the unbatched pipeline. Above
+   1, adjacent in-sequence data segments of a flow accumulate (the
+   sequencer has already put them in arrival order) and flush when the
+   window fills, on FIN, on any non-chainable segment, or when the
+   batch-delay timer fires. Pure ACKs never merge and never wait —
+   duplicate-ACK counting must see each one — but they do flush the
+   window ahead of themselves so the host's view stays ordered. *)
+let gro_release t (s : Meta.rx_summary) =
+  let b = t.cfg.Config.batch.Config.b_gro in
+  if b <= 1 then gro_submit t ~merged:1 s
+  else begin
+    let pending = Hashtbl.find_opt t.gro_pending s.Meta.conn in
+    match pending with
+    | Some acc when Coalesce.chainable ~next:acc.gc_next s
+                    && acc.gc_count < b ->
+        acc.gc_segs <- s :: acc.gc_segs;
+        acc.gc_count <- acc.gc_count + 1;
+        acc.gc_next <- Coalesce.chain_next s;
+        if acc.gc_count >= b || s.Meta.fin then gro_flush t acc
+    | _ ->
+        (match pending with Some acc -> gro_flush t acc | None -> ());
+        if Bytes.length s.Meta.payload = 0 || s.Meta.fin then
+          gro_submit t ~merged:1 s
+        else begin
+          let acc =
+            {
+              gc_segs = [ s ];
+              gc_count = 1;
+              gc_next = Coalesce.chain_next s;
+              gc_flushed = false;
+            }
+          in
+          Hashtbl.replace t.gro_pending s.Meta.conn acc;
+          Sim.Engine.schedule t.engine t.cfg.Config.batch_delay (fun () ->
+              gro_flush t acc)
+        end
+  end
 
 (* --- Pre-processing (RX) -------------------------------------------- *)
 
@@ -1354,11 +1651,30 @@ and atx_drain_body t ctx =
 let atx_push t ~ctx (d : Meta.hc_desc) =
   let ctx = ctx mod t.n_ctx in
   let ok = Nfp.Ring.push t.atx.(ctx) d in
+  let b = t.cfg.Config.batch.Config.b_doorbell in
   if ok && not t.atx_scheduled.(ctx) then begin
-    t.atx_scheduled.(ctx) <- true;
-    (* MMIO doorbell posts to the NIC. *)
-    Sim.Engine.schedule t.engine t.cfg.Config.params.Nfp.Params.mmio_latency
-      (fun () -> atx_drain t ctx)
+    if b <= 1 || Nfp.Ring.length t.atx.(ctx) >= b then begin
+      t.atx_scheduled.(ctx) <- true;
+      (* MMIO doorbell posts to the NIC. *)
+      Sim.Engine.schedule t.engine
+        t.cfg.Config.params.Nfp.Params.mmio_latency (fun () ->
+          atx_drain t ctx)
+    end
+    else if not t.atx_flush_armed.(ctx) then begin
+      (* Held doorbell: ring when the batch fills (above) or when the
+         hold timer expires on a partial batch, whichever is first. *)
+      t.atx_flush_armed.(ctx) <- true;
+      Sim.Engine.schedule t.engine t.cfg.Config.batch_delay (fun () ->
+          t.atx_flush_armed.(ctx) <- false;
+          if (not t.atx_scheduled.(ctx))
+             && not (Nfp.Ring.is_empty t.atx.(ctx))
+          then begin
+            t.atx_scheduled.(ctx) <- true;
+            Sim.Engine.schedule t.engine
+              t.cfg.Config.params.Nfp.Params.mmio_latency (fun () ->
+                atx_drain t ctx)
+          end)
+    end
   end;
   ok
 
@@ -1679,6 +1995,10 @@ let create engine ~config:cfg ~fabric ~mac ~ip ?(ctx_queues = 4)
         atx_scheduled = Array.make ctx_queues false;
         arx_handlers = Array.make ctx_queues (fun _ -> ());
         hc_descs_free = 128;
+        gro_pending = Hashtbl.create 64;
+        arx_pending = Hashtbl.create 64;
+        atx_flush_armed = Array.make ctx_queues false;
+        st_dma_work = 0;
         control_rx = (fun _ -> ());
         xdp_ingress = None;
         traces;
@@ -1694,6 +2014,13 @@ let create engine ~config:cfg ~fabric ~mac ~ip ?(ctx_queues = 4)
       }
   in
   let t = Lazy.force t in
+  (* Doorbell/completion batching on the PCIe engine ([set_batch] at
+     1/1 is a no-op, but skipping the call keeps the unbatched engine
+     provably untouched). *)
+  let b = cfg.Config.batch in
+  if b.Config.b_doorbell > 1 || b.Config.b_completion > 1 then
+    Nfp.Dma.set_batch t.dma ~doorbell:b.Config.b_doorbell
+      ~completion:b.Config.b_completion ~delay:cfg.Config.batch_delay;
   (* Layer 2 wiring: give every execution context an identity and
      every ordering mechanism a happens-before edge. The RTC baseline
      FPC is deliberately left untraced (san is None for it anyway). *)

@@ -1,6 +1,7 @@
 module Config = Config
 module Conn_state = Conn_state
 module Meta = Meta
+module Coalesce = Coalesce
 module Protocol = Protocol
 module Sequencer = Sequencer
 module Scheduler = Scheduler

@@ -13,6 +13,7 @@ type sock = {
   mutable fin_pending : bool;
   mutable hc_retry_armed : bool;
   mutable hc_retry_delay : Sim.Time.t;  (* current backoff *)
+  mutable hc_batch_armed : bool;  (* coalescing-window timer pending *)
   mutable peer_closed : bool;
   mutable closed : bool;
 }
@@ -96,7 +97,21 @@ let do_send t sock data =
       sock.tx_tail <- sock.tx_tail + n;
       sock.tx_free <- sock.tx_free - n;
       sock.tx_avail_pending <- sock.tx_avail_pending + n;
-      flush_hc t sock
+      (* HC-update coalescing (§3.4): at [b_notify > 1] small appends
+         accumulate into one Tx_avail doorbell — posted as soon as a
+         full segment's worth is pending, or when the batch-delay
+         timer fires on a partial window. Degree 1 posts every
+         append, exactly as before. *)
+      if
+        t.cfg.Config.batch.Config.b_notify <= 1
+        || sock.tx_avail_pending >= t.cfg.Config.mss
+      then flush_hc t sock
+      else if not sock.hc_batch_armed then begin
+        sock.hc_batch_armed <- true;
+        Sim.Engine.schedule t.engine t.cfg.Config.batch_delay (fun () ->
+            sock.hc_batch_armed <- false;
+            flush_hc t sock)
+      end
     end;
     n
   end
@@ -159,6 +174,7 @@ let make_sock t (handle : Control_plane.conn_handle) =
         fin_pending = false;
         hc_retry_armed = false;
         hc_retry_delay = hc_retry_base;
+        hc_batch_armed = false;
         peer_closed = false;
         closed = false;
       }

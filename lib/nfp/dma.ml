@@ -27,6 +27,11 @@ type queue_state = {
   mutable inflight : int;
   waiting : ticket Queue.t;  (* blocked on an in-flight slot *)
   order : ticket Queue.t;  (* issue order; head releases first *)
+  pending : ticket Queue.t;
+      (* issued but not yet rung in (doorbell batching, §3.4): the
+         descriptors sit in the ring until a batch accumulates or the
+         flush timer fires *)
+  mutable db_armed : bool;  (* partial-batch flush timer scheduled *)
 }
 
 type fault = { f_rng : Sim.Rng.t; f_rate : float; f_max_retries : int }
@@ -43,6 +48,12 @@ type t = {
   mutable retries : int;
   mutable retries_exhausted : int;
   mutable tracer : tracer option;
+  (* Batching degrees (§3.4); both 1 by default, which keeps every
+     code path bit-identical to the unbatched engine. *)
+  mutable db_batch : int;  (* descriptors rung per doorbell *)
+  mutable cp_batch : int;  (* completions coalesced per delivery *)
+  mutable batch_delay : Sim.Time.t;  (* partial-batch hold bound *)
+  mutable doorbells : int;  (* flushes rung (batched mode only) *)
 }
 
 let create engine ~params =
@@ -55,6 +66,8 @@ let create engine ~params =
             inflight = 0;
             waiting = Queue.create ();
             order = Queue.create ();
+            pending = Queue.create ();
+            db_armed = false;
           });
     link_free = Sim.Time.zero;
     completed = 0;
@@ -64,9 +77,18 @@ let create engine ~params =
     retries = 0;
     retries_exhausted = 0;
     tracer = None;
+    db_batch = 1;
+    cp_batch = 1;
+    batch_delay = Sim.Time.us 1;
+    doorbells = 0;
   }
 
 let set_tracer t tr = t.tracer <- tr
+
+let set_batch t ~doorbell ~completion ~delay =
+  t.db_batch <- max 1 doorbell;
+  t.cp_batch <- max 1 completion;
+  t.batch_delay <- delay
 
 let set_fault t ?(seed = 0xD0AL) ~rate ?(max_retries = 8) () =
   t.fault <-
@@ -83,14 +105,34 @@ let serialization_time t bytes =
 
 (* Release finished tickets from the head of the queue's issue order:
    a still-retrying transfer ahead in the order holds everything
-   behind it. *)
+   behind it. With completion coalescing ([cp_batch] > 1) a ready run
+   shorter than the batch is additionally held back — unless the queue
+   has gone idle, in which case nothing else will ever top the batch
+   up, so the stragglers are delivered now (this is what makes the
+   coalesced engine deadlock-free: the last completion of any burst
+   always observes an idle queue and drains it). *)
 let drain_order t qi q =
-  while (not (Queue.is_empty q.order)) && (Queue.peek q.order).tk_done do
-    let tk = Queue.pop q.order in
-    match t.tracer with
-    | None -> tk.tk_k ()
-    | Some tr -> tr.dt_complete ~queue:qi ~token:tk.tk_token tk.tk_k
-  done
+  let release () =
+    while (not (Queue.is_empty q.order)) && (Queue.peek q.order).tk_done do
+      let tk = Queue.pop q.order in
+      match t.tracer with
+      | None -> tk.tk_k ()
+      | Some tr -> tr.dt_complete ~queue:qi ~token:tk.tk_token tk.tk_k
+    done
+  in
+  if t.cp_batch <= 1 then release ()
+  else begin
+    let ready = ref 0 in
+    (try
+       Queue.iter
+         (fun tk -> if tk.tk_done then incr ready else raise Exit)
+         q.order
+     with Exit -> ());
+    let idle =
+      q.inflight = 0 && Queue.is_empty q.waiting && Queue.is_empty q.pending
+    in
+    if !ready >= t.cp_batch || idle then release ()
+  end
 
 let rec start t qi q tk =
   q.inflight <- q.inflight + 1;
@@ -132,9 +174,21 @@ and admit t qi q tk =
   if q.inflight < t.params.Params.dma_inflight then start t qi q tk
   else Queue.push tk q.waiting
 
+(* Ring the doorbell: admit every pending descriptor in one go. *)
+let flush_doorbell t qi q =
+  if not (Queue.is_empty q.pending) then begin
+    t.doorbells <- t.doorbells + 1;
+    while not (Queue.is_empty q.pending) do
+      admit t qi q (Queue.pop q.pending)
+    done
+  end
+
 let issue t ~queue ~bytes k =
   let qi = queue mod Array.length t.queues in
   let q = t.queues.(qi) in
+  (* The issue token is captured here, in the issuing context, whether
+     or not the doorbell is deferred — the happens-before edge PCIe
+     gives software runs from the descriptor write, not the ring. *)
   let token =
     match t.tracer with Some tr -> tr.dt_issue ~queue:qi | None -> 0
   in
@@ -143,12 +197,26 @@ let issue t ~queue ~bytes k =
       tk_done = false }
   in
   Queue.push tk q.order;
-  admit t qi q tk
+  if t.db_batch <= 1 then admit t qi q tk
+  else begin
+    Queue.push tk q.pending;
+    if Queue.length q.pending >= t.db_batch then flush_doorbell t qi q
+    else if not q.db_armed then begin
+      q.db_armed <- true;
+      Sim.Engine.schedule t.engine t.batch_delay (fun () ->
+          q.db_armed <- false;
+          flush_doorbell t qi q)
+    end
+  end
 
 let in_flight t = Array.fold_left (fun n q -> n + q.inflight) 0 t.queues
 
 let queued t =
-  Array.fold_left (fun n q -> n + Queue.length q.waiting) 0 t.queues
+  Array.fold_left
+    (fun n q -> n + Queue.length q.waiting + Queue.length q.pending)
+    0 t.queues
+
+let doorbells t = t.doorbells
 
 let queue_stats t =
   Array.map (fun q -> (q.inflight, Queue.length q.waiting)) t.queues

@@ -26,6 +26,21 @@ val create : Sim.Engine.t -> params:Params.t -> t
 val set_tracer : t -> tracer option -> unit
 (** Install (or clear) the completion tracer. Zero cost when unset. *)
 
+val set_batch : t -> doorbell:int -> completion:int -> delay:Sim.Time.t -> unit
+(** Batching degrees (§3.4), both clamped to [>= 1]; [1]/[1] (the
+    default) is bit-identical to the unbatched engine. With
+    [doorbell = n > 1], issued descriptors accumulate and are admitted
+    [n] at a time (or when [delay] elapses on a partial batch); the
+    issue-order FIFO and the sanitizer's issue tokens are fixed at
+    issue time, so completion semantics are unchanged. With
+    [completion = m > 1], a ready run of completions shorter than [m]
+    is held until it fills or the queue goes idle — the last
+    completion of any burst observes the idle queue and drains it, so
+    coalescing cannot deadlock. *)
+
+val doorbells : t -> int
+(** Doorbell flushes rung (counts only in batched mode). *)
+
 val issue : t -> queue:int -> bytes:int -> (unit -> unit) -> unit
 (** [issue t ~queue ~bytes k] starts a DMA of [bytes]; [k] runs at
     completion time. [queue] selects a transaction queue

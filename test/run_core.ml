@@ -1,0 +1,12 @@
+(* Shard 1/8: simulator kernel, TCP library, NFP model, network sim.
+   The suite is split across several executables so [dune runtest]
+   runs the shards in parallel instead of one serial binary. *)
+let () =
+  Alcotest.run "flextoe-core"
+    [
+      ("sim", Test_sim.suite);
+      ("tcp", Test_tcp.suite);
+      ("tcp-golden", Test_tcp.golden_suite);
+      ("nfp", Test_nfp.suite);
+      ("netsim", Test_netsim.suite);
+    ]

@@ -1,0 +1,11 @@
+(* Shard 7/8: end-to-end runs — smoke, integration, fault injection,
+   coverage sweeps. *)
+let () =
+  Alcotest.run "flextoe-e2e"
+    [
+      ("smoke", Smoke.suite);
+      ("integration", Test_integration.suite);
+      ("integration-ext", Test_integration.extended_suite);
+      ("faults", Test_faults.suite);
+      ("coverage", Test_coverage.suite);
+    ]

@@ -1,0 +1,8 @@
+(* Shard 3/8: eBPF extensions and the static verifier. *)
+let () =
+  Alcotest.run "flextoe-ebpf"
+    [
+      ("ebpf", Test_ebpf.suite);
+      ("classifier", Test_ebpf.classifier_suite);
+      ("verifier", Test_verifier.suite);
+    ]

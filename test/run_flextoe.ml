@@ -1,0 +1,12 @@
+(* Shard 2/8: FlexTOE datapath and protocol behavior. *)
+let () =
+  Alcotest.run "flextoe-datapath"
+    [
+      ("flextoe", Test_flextoe.suite);
+      ("delayed-acks", Test_flextoe.delayed_ack_suite);
+      ("wraparound", Test_flextoe.wraparound_suite);
+      ("datapath", Test_datapath.suite);
+      ("vlan", Test_datapath.vlan_suite);
+      ("policies", Test_policies.suite);
+      ("cc", Test_cc.suite);
+    ]

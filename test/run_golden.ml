@@ -1,0 +1,2 @@
+(* Shard 8/8: golden-trace regression digests (PR5 batching gate). *)
+let () = Alcotest.run "flextoe-golden" [ ("golden", Test_golden.suite) ]

@@ -1,0 +1,9 @@
+(* Shard 4/8: host library (sockets API, RPC apps) and the
+   Linux/TAS/Chelsio baseline stacks. *)
+let () =
+  Alcotest.run "flextoe-host"
+    [
+      ("host", Test_host.suite);
+      ("open-loop", Test_host.open_loop_suite);
+      ("baselines", Test_baselines.suite);
+    ]

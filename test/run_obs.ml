@@ -1,0 +1,4 @@
+(* Shard 6/8: observability — FlexSan sanitizer and FlexScope profiler. *)
+let () =
+  Alcotest.run "flextoe-obs"
+    [ ("san", Test_san.suite); ("scope", Test_scope.suite) ]

@@ -1,0 +1,3 @@
+(* Shard 5/8: qcheck property tests (the slowest single suite gets its
+   own executable so it overlaps with everything else). *)
+let () = Alcotest.run "flextoe-properties" [ ("properties", Test_properties.suite) ]

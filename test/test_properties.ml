@@ -443,6 +443,273 @@ let test_protocol_spans_never_overlap () =
         by_flow)
     [ a; b ]
 
+(* --- GRO/TSO coalescing laws (PR5 batching) --------------------------- *)
+
+module Co = Flextoe.Coalesce
+
+let mk_summary ?(gseq = 0) ~seq payload =
+  {
+    M.rx_gseq = gseq;
+    conn = 0;
+    seq;
+    ack_seq = Tcp.Seq32.of_int 1;
+    has_ack = true;
+    wnd = 1024;
+    payload;
+    fin = false;
+    psh = false;
+    ece = false;
+    cwr = false;
+    ecn_ce = false;
+    ts = None;
+    arrival = 0;
+  }
+
+(* [split_payload mss (merge segs).payload] must reproduce exactly the
+   concatenated payload bytes of the original adjacent segments, with
+   MSS-respecting chunking and the merged descriptor keeping the
+   head's sequence identity. *)
+let prop_split_merge_id =
+  QCheck.Test.make
+    ~name:"coalesce: split∘merge is the identity on payload bytes" ~count:300
+    QCheck.(triple (int_bound 10_000) (int_range 1 16) (int_range 64 1460))
+    (fun (seed, nsegs, mss) ->
+      let rng = Sim.Rng.create (Int64.of_int (seed + 7)) in
+      let seq0 = Tcp.Seq32.of_int (Sim.Rng.int rng 0x7FFF_FFFF) in
+      let off = ref 0 in
+      let segs =
+        List.init nsegs (fun i ->
+            let len = 1 + Sim.Rng.int rng mss in
+            let payload =
+              Bytes.init len (fun j -> Char.chr ((i + (j * 17)) land 0xFF))
+            in
+            let s =
+              mk_summary ~gseq:i ~seq:(Tcp.Seq32.add seq0 !off) payload
+            in
+            off := !off + len;
+            s)
+      in
+      let chained =
+        let rec go next = function
+          | [] -> true
+          | s :: rest -> Co.chainable ~next s && go (Co.chain_next s) rest
+        in
+        match segs with [] -> true | s :: rest -> go (Co.chain_next s) rest
+      in
+      let m = Co.merge segs in
+      let orig =
+        Bytes.concat Bytes.empty (List.map (fun s -> s.M.payload) segs)
+      in
+      let chunks = Co.split_payload ~mss m.M.payload in
+      chained
+      && Bytes.equal m.M.payload orig
+      && Bytes.equal (Bytes.concat Bytes.empty chunks) orig
+      && List.length chunks = Co.split_count ~mss (Bytes.length orig)
+      && List.for_all
+           (fun c -> Bytes.length c > 0 && Bytes.length c <= mss)
+           chunks
+      && Tcp.Seq32.diff m.M.seq seq0 = 0
+      && Tcp.Seq32.diff (Co.chain_next m) m.M.seq = !off)
+
+(* Coalescing windows and TSO splits whose sequence ranges straddle
+   2^32: all positional laws are stated as [Seq32.diff]s, which must
+   come out exact despite the wrap. *)
+let prop_seq32_wrap_coalesce =
+  QCheck.Test.make
+    ~name:"coalesce: sequence arithmetic survives 2^32 wraparound"
+    ~count:300
+    QCheck.(triple (int_bound 10_000) (int_range 2 16) (int_range 64 1460))
+    (fun (seed, nchunks, mss) ->
+      let rng = Sim.Rng.create (Int64.of_int (seed + 11)) in
+      let len = mss + 1 + Sim.Rng.int rng (((nchunks - 1) * mss) + 1) in
+      (* Start so close to 2^32 that the run necessarily wraps. *)
+      let back = 1 + Sim.Rng.int rng len in
+      let seq0 = Tcp.Seq32.of_int ((0x1_0000_0000 - back) land 0xFFFF_FFFF) in
+      let payload = Bytes.init len (fun j -> Char.chr (j land 0xFF)) in
+      (* TSO: per-frame descriptors renumber across the wrap. *)
+      let d =
+        {
+          M.t_conn = 0;
+          t_gseq = 9;
+          t_pos = 5_000;
+          t_len = len;
+          t_seq = seq0;
+          t_ack = Tcp.Seq32.zero;
+          t_wnd = 77;
+          t_fin = true;
+          t_cwr = true;
+          t_ts_ecr = 0;
+          t_more = false;
+        }
+      in
+      let chunks = Co.split_desc ~mss d payload in
+      let n = List.length chunks in
+      let ok = ref (n = Co.split_count ~mss len && n >= 2) in
+      List.iteri
+        (fun i (dc, cp) ->
+          let off = i * mss in
+          if Tcp.Seq32.diff dc.M.t_seq seq0 <> off then ok := false;
+          if dc.M.t_pos <> 5_000 + off then ok := false;
+          if dc.M.t_len <> Bytes.length cp then ok := false;
+          if dc.M.t_fin <> (i = n - 1) then ok := false;
+          if dc.M.t_cwr <> (i = 0) then ok := false)
+        chunks;
+      (* GRO: a merged window crossing the wrap chains and renumbers. *)
+      let s1 = mk_summary ~seq:seq0 (Bytes.sub payload 0 mss) in
+      let s2 =
+        mk_summary
+          ~seq:(Tcp.Seq32.add seq0 mss)
+          (Bytes.sub payload mss (len - mss))
+      in
+      let merged = Co.merge [ s1; s2 ] in
+      !ok
+      && Bytes.equal (Bytes.concat Bytes.empty (List.map snd chunks)) payload
+      && Co.chainable ~next:(Co.chain_next s1) s2
+      && Tcp.Seq32.diff (Co.chain_next merged) seq0 = len)
+
+(* End-to-end GRO semantics: segments pushed through a real
+   [Netsim.Faults] chain (loss, bounded reorder, duplication), with
+   survivors coalesced into GRO windows of degree [b] before hitting
+   the multi-interval reassembler — the stream must still reconstruct
+   exactly, across a 2^32 sequence wrap. *)
+let prop_reassembly_gro_faults =
+  QCheck.Test.make
+    ~name:"reassembly: GRO-merged inputs under faults reconstruct the stream"
+    ~count:40
+    QCheck.(triple (int_bound 10_000) (int_range 400 4_000) (int_range 2 8))
+    (fun (seed, n, b) ->
+      let engine = Sim.Engine.create ~seed:(Int64.of_int (seed + 3)) () in
+      let faults =
+        Netsim.Faults.create engine
+          ~seed:(Int64.of_int (seed + 5))
+          [
+            Netsim.Faults.Uniform_loss 0.15;
+            Netsim.Faults.Reorder
+              { prob = 0.3; window = 8; max_hold = Sim.Time.us 200 };
+            Netsim.Faults.Duplicate 0.1;
+          ]
+      in
+      let hook = Netsim.Faults.hook faults in
+      let rng = Sim.Rng.create (Int64.of_int (seed + 13)) in
+      let stream =
+        Bytes.init n (fun i -> Char.chr ((i * 131 + 7) land 0xFF))
+      in
+      (* ISN 256 bytes below 2^32: the stream wraps almost immediately. *)
+      let isn = Tcp.Seq32.of_int 0xFFFF_FF00 in
+      let segs = ref [] in
+      let pos = ref 0 in
+      while !pos < n do
+        let len = min (n - !pos) (40 + Sim.Rng.int rng 500) in
+        segs := (!pos, len) :: !segs;
+        pos := !pos + len
+      done;
+      let frames =
+        List.rev_map
+          (fun (p, l) ->
+            let seg =
+              Tcp.Segment.make
+                ~payload:(Bytes.sub stream p l)
+                ~src_ip:1 ~dst_ip:2 ~src_port:10 ~dst_port:20
+                ~seq:(Tcp.Seq32.add isn p) ~ack_seq:Tcp.Seq32.zero ()
+            in
+            Tcp.Segment.make_frame ~src_mac:1 ~dst_mac:2 seg)
+          !segs
+      in
+      let received = Queue.create () in
+      let t = Tcp.Reassembly_multi.create ~next:isn in
+      let out = Bytes.make n '\x00' in
+      let base = ref 0 in
+      let ok = ref true in
+      let process pos payload =
+        let plen = Bytes.length payload in
+        if !base < n && plen > 0 && !ok then begin
+          let window = n - !base in
+          match
+            Tcp.Reassembly_multi.process t
+              ~seq:(Tcp.Seq32.add isn pos) ~len:plen ~window
+          with
+          | Tcp.Reassembly_multi.Accept { trim; len; advance } ->
+              if pos + trim <> !base then ok := false
+              else if trim < 0 || len < 0 || trim + len > plen then
+                ok := false
+              else if advance < len || !base + advance > n then ok := false
+              else begin
+                Bytes.blit payload trim out !base len;
+                base := !base + advance
+              end
+          | Tcp.Reassembly_multi.Ooo_accept { trim; off; len } ->
+              if off <= 0 || len <= 0 then ok := false
+              else if !base + off <> pos + trim then ok := false
+              else if trim + len > plen || !base + off + len > n then
+                ok := false
+              else Bytes.blit payload trim out (!base + off) len
+          | Tcp.Reassembly_multi.Duplicate
+          | Tcp.Reassembly_multi.Drop_out_of_window ->
+              ()
+        end
+      in
+      (* GRO window over arrivals: adjacent in-sequence survivors merge
+         (degree [b]); anything else flushes the window first. *)
+      let win_pos = ref 0 in
+      let win = Buffer.create 2048 in
+      let win_count = ref 0 in
+      let flush_win () =
+        if !win_count > 0 then begin
+          process !win_pos (Buffer.to_bytes win);
+          Buffer.clear win;
+          win_count := 0
+        end
+      in
+      let on_seg pos payload =
+        if
+          !win_count > 0
+          && !win_pos + Buffer.length win = pos
+          && !win_count < b
+        then begin
+          Buffer.add_bytes win payload;
+          incr win_count
+        end
+        else begin
+          flush_win ();
+          win_pos := pos;
+          Buffer.add_bytes win payload;
+          win_count := 1
+        end
+      in
+      (* Retransmission model: replay every segment each round; faults
+         thin and reorder each pass independently. *)
+      let rounds = ref 0 in
+      while !base < n && !rounds < 60 && !ok do
+        incr rounds;
+        List.iter (fun fr -> hook fr (fun f -> Queue.push f received)) frames;
+        (* Let the reorder stage's hold timers expire. *)
+        Sim.Engine.run
+          ~until:(Sim.Engine.now engine + Sim.Time.ms 1)
+          engine;
+        Queue.iter
+          (fun (fr : Tcp.Segment.frame) ->
+            let sg = fr.Tcp.Segment.seg in
+            on_seg
+              (Tcp.Seq32.diff sg.Tcp.Segment.seq isn)
+              sg.Tcp.Segment.payload)
+          received;
+        Queue.clear received;
+        flush_win ()
+      done;
+      !ok && !base = n && Bytes.equal out stream)
+
+(* The decoder-robustness corpus under fresh seeds each run: whatever
+   the mutation, [Wire.decode] and the checksum helpers classify
+   without raising. *)
+let prop_wire_fuzz_never_raises =
+  QCheck.Test.make ~name:"wire: fuzz corpus never raises in the decoder"
+    ~count:20
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let s = Tcp.Fuzz.run ~seed:(Int64.of_int seed) ~cases:200 () in
+      List.iter print_endline s.Tcp.Fuzz.failures;
+      Tcp.Fuzz.ok s)
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_protocol_invariants;
@@ -451,6 +718,10 @@ let suite =
     QCheck_alcotest.to_alcotest prop_vm_alu64_matches_reference;
     QCheck_alcotest.to_alcotest prop_sequencer_releases_in_order;
     QCheck_alcotest.to_alcotest prop_ring_fifo_wraparound;
+    QCheck_alcotest.to_alcotest prop_split_merge_id;
+    QCheck_alcotest.to_alcotest prop_seq32_wrap_coalesce;
+    QCheck_alcotest.to_alcotest prop_reassembly_gro_faults;
+    QCheck_alcotest.to_alcotest prop_wire_fuzz_never_raises;
     Alcotest.test_case "simulation determinism" `Quick
       test_simulation_deterministic;
     Alcotest.test_case "protocol spans never overlap" `Quick
