@@ -1,16 +1,53 @@
-(* CI entry point for the PR5 batching regression gate.
+(* CI entry point for the bench regression gates.
 
-   Usage: bench_gate [BASELINE.json] [OUT.json]
-   Defaults: bench/BENCH_baseline_pr5.json, BENCH_pr5.json.
-   Exit 0 when batch=1 holds the baseline (within 5%) and batch=8
-   beats batch=1; exit 1 otherwise. *)
+   Usage: bench_gate [GATE] [BASELINE.json] [OUT.json]
+   GATE is "batch" (PR5 batching sweep), "churn" (PR6 churn sweep) or
+   "all" (default when no arguments are given). Baseline/output
+   default to bench/BENCH_baseline_pr{5,6}.json and BENCH_pr{5,6}.json
+   per gate. Exit 0 when every requested gate holds, 1 otherwise.
+
+   Back-compat: a first argument ending in ".json" is treated as the
+   old [BASELINE OUT] form of the batch gate. *)
+
+let batch_defaults = ("bench/BENCH_baseline_pr5.json", "BENCH_pr5.json")
+let churn_defaults = ("bench/BENCH_baseline_pr6.json", "BENCH_pr6.json")
+
+let run_gate name ~baseline ~out =
+  let gate =
+    match name with
+    | "batch" -> Batch_sweep.gate
+    | "churn" -> Churn.gate
+    | _ ->
+        Printf.eprintf "bench_gate: unknown gate %S (batch|churn|all)\n" name;
+        exit 2
+  in
+  gate ~baseline ~out ()
+
+let run_with_defaults name =
+  let baseline, out =
+    match name with "churn" -> churn_defaults | _ -> batch_defaults
+  in
+  run_gate name ~baseline ~out
 
 let () =
-  let baseline =
-    if Array.length Sys.argv > 1 then Sys.argv.(1)
-    else "bench/BENCH_baseline_pr5.json"
+  let argv = Array.to_list Sys.argv in
+  let ok =
+    match argv with
+    | _ :: first :: rest when Filename.check_suffix first ".json" ->
+        (* Legacy form: bench_gate BASELINE [OUT] runs the batch gate. *)
+        let out =
+          match rest with o :: _ -> o | [] -> snd batch_defaults
+        in
+        run_gate "batch" ~baseline:first ~out
+    | [ _ ] | [ _; "all" ] ->
+        let a = run_with_defaults "batch" in
+        let b = run_with_defaults "churn" in
+        a && b
+    | [ _; name ] -> run_with_defaults name
+    | [ _; name; baseline ] ->
+        run_gate name ~baseline ~out:(snd (
+          if name = "churn" then churn_defaults else batch_defaults))
+    | _ :: name :: baseline :: out :: _ -> run_gate name ~baseline ~out
+    | [] -> false
   in
-  let out =
-    if Array.length Sys.argv > 2 then Sys.argv.(2) else "BENCH_pr5.json"
-  in
-  if Batch_sweep.gate ~baseline ~out () then exit 0 else exit 1
+  if ok then exit 0 else exit 1

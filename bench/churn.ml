@@ -1,0 +1,243 @@
+(* PR6 churn sweep and CI regression gate (Fig. 14 flavor).
+
+   A guarded FlexTOE server carries an established KV workload while
+   an open-loop attacker SYN-floods the service port at 0/1/3/10x a
+   50k pps base rate. Reported per multiplier: established-flow
+   goodput, retention vs the flood-free run, and the FlexGuard
+   counters that explain where the flood went (stateless cookies,
+   shed SYNs) plus the bound that must never break: zero
+   established-flow segments shed.
+
+   [run] prints the sweep table (harness mode); [gate] additionally
+   writes BENCH_pr6.json and exits non-zero on a regression (CI mode,
+   via bench/bench_gate.exe):
+
+   - flood-free goodput within 5% of the checked-in baseline
+     (bench/BENCH_baseline_pr6.json);
+   - retention at 10x at or above the baseline's retention_floor;
+   - established_shed identically 0 at every multiplier;
+   - per-stage peak queue depths bounded (cp peak <= g_cp_queue). *)
+
+open Common
+
+let kv_port = 11211
+let base_rate_pps = 50_000
+let multipliers = [ 0; 1; 3; 10 ]
+
+type outcome = {
+  c_mult : int;
+  c_mops : float;
+  c_syns : int;  (* flood SYNs actually injected *)
+  c_cookies : int;
+  c_shed : int;  (* shed_backlog + shed_admission + shed_queue *)
+  c_est_shed : int;  (* must be 0 *)
+  c_cp_peak : int;
+  c_cp_bound : int;  (* g_cp_queue *)
+  c_sched_peak : int;
+}
+
+let guarded_config () =
+  { Flextoe.Config.default with
+    Flextoe.Config.guard = Flextoe.Config.guard_default }
+
+let flex_node n = Option.get n.flex
+
+(* Sanitized runs (FLEXSAN=1) double as the churn-weather race check:
+   any FlexSan report at any flood multiplier fails the harness. *)
+let san_gate ~mult nodes =
+  let dirty =
+    List.filter_map
+      (fun n ->
+        match Flextoe.Datapath.san (Flextoe.datapath (flex_node n)) with
+        | Some s when Flextoe.San.report_count s > 0 -> Some s
+        | _ -> None)
+      nodes
+  in
+  if dirty <> [] then begin
+    Printf.printf "FLEXSAN: flood x%d produced sanitizer reports:\n" mult;
+    List.iter
+      (fun s ->
+        List.iter
+          (fun r -> Printf.printf "  %s\n" (Flextoe.San.report_to_string r))
+          (Flextoe.San.reports s))
+      dirty;
+    exit 1
+  end
+
+let measure_mult mult =
+  let w = mk_world ~seed:42L () in
+  let config = guarded_config () in
+  let server = mk_node w FlexTOE ~app_cores:2 ~config ip_server in
+  let client = mk_node w FlexTOE ~app_cores:2 ~config (ip_client 0) in
+  let stats = Host.Rpc.Stats.create w.engine in
+  ignore
+    (Host.App_kv.server ~endpoint:server.ep ~port:kv_port ~app_cycles:300 ());
+  Host.App_kv.client ~endpoint:client.ep ~engine:w.engine
+    ~server_ip:ip_server ~server_port:kv_port ~conns:8 ~pipeline:4
+    ~key_bytes:32 ~value_bytes:32 ~set_ratio:0.5 ~stats ();
+  let flood =
+    if mult = 0 then None
+    else
+      Some
+        (Netsim.Faults.Churn.syn_flood w.engine w.fabric ~src_ip:0x0A0000EE
+           ~dst_ip:ip_server ~dst_port:kv_port
+           ~rate_pps:(base_rate_pps * mult) ())
+  in
+  measure w ~warmup:(Sim.Time.ms 5) ~window:(Sim.Time.ms 20) [ stats ];
+  Option.iter Netsim.Faults.Churn.stop flood;
+  san_gate ~mult [ server; client ];
+  let sdp = Flextoe.datapath (flex_node server) in
+  let g =
+    match Flextoe.Datapath.guard sdp with
+    | Some g -> g
+    | None -> failwith "churn sweep requires the guard armed"
+  in
+  let c name = Flextoe.Guard.counter g name in
+  {
+    c_mult = mult;
+    c_mops = Host.Rpc.Stats.mops stats;
+    c_syns = (match flood with Some f -> Netsim.Faults.Churn.sent f | None -> 0);
+    c_cookies = c "cookie_sent";
+    c_shed = c "shed_backlog" + c "shed_admission" + c "shed_queue"
+             + c "shed_paused";
+    c_est_shed = Flextoe.Guard.established_shed g;
+    c_cp_peak = Flextoe.Guard.peak_depth g ~stage:"cp";
+    c_cp_bound = (Flextoe.Guard.config g).Flextoe.Config.g_cp_queue;
+    c_sched_peak = Flextoe.Datapath.sched_peak_ready sdp;
+  }
+
+let sweep () = List.map measure_mult multipliers
+
+let print_table results =
+  let base =
+    match results with o :: _ -> o.c_mops | [] -> nan
+  in
+  Printf.printf "%-8s %10s %10s %8s %8s %8s %9s %8s %10s\n" "flood" "mOps"
+    "retention" "syns" "cookies" "shed" "est-shed" "cp-peak" "sched-peak";
+  List.iter
+    (fun o ->
+      Printf.printf "%-8s %10.3f %9.1f%% %8d %8d %8d %9d %5d/%-2d %10d\n"
+        (Printf.sprintf "x%d" o.c_mult)
+        o.c_mops
+        (100. *. o.c_mops /. base)
+        o.c_syns o.c_cookies o.c_shed o.c_est_shed o.c_cp_peak o.c_cp_bound
+        o.c_sched_peak)
+    results;
+  base
+
+let run () =
+  header "Churn: established goodput under SYN flood (FlexGuard armed)";
+  let results = sweep () in
+  let base = print_table results in
+  let at m = List.find (fun o -> o.c_mult = m) results in
+  log_result ~experiment:"churn"
+    "established goodput under 10x SYN flood: %.0f%% of flood-free (floor \
+     80%%); %d flood SYNs answered with %d cookies, %d shed, 0 established \
+     segments shed"
+    (100. *. (at 10).c_mops /. base)
+    (at 10).c_syns (at 10).c_cookies (at 10).c_shed;
+  note "the attacker is open-loop: cookies cost no backlog state;";
+  note "shed policy drops newest SYNs first, never established-flow segments."
+
+(* --- JSON in/out ----------------------------------------------------- *)
+
+let write_json path results =
+  let base = (List.hd results).c_mops in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc "{\n  \"experiment\": \"churn_sweep_pr6\",\n";
+      output_string oc
+        "  \"workload\": \"kv 32x32, 8 conns, syn flood 0/1/3/10x 50kpps, \
+         seed 42\",\n";
+      output_string oc "  \"retention_floor\": 0.80,\n";
+      output_string oc "  \"mops\": {\n";
+      List.iteri
+        (fun i o ->
+          Printf.fprintf oc "    \"%d\": %.4f%s\n" o.c_mult o.c_mops
+            (if i = List.length results - 1 then "" else ","))
+        results;
+      output_string oc "  },\n  \"retention\": {\n";
+      List.iteri
+        (fun i o ->
+          Printf.fprintf oc "    \"%d\": %.4f%s\n" o.c_mult (o.c_mops /. base)
+            (if i = List.length results - 1 then "" else ","))
+        results;
+      output_string oc "  },\n  \"established_shed\": ";
+      Printf.fprintf oc "%d\n}\n"
+        (List.fold_left (fun a o -> a + o.c_est_shed) 0 results))
+
+let read_baseline path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e -> Error e
+  | s -> (
+      match Sim.Json.of_string s with
+      | Error e -> Error e
+      | Ok j -> (
+          let f path' =
+            List.fold_left
+              (fun acc k -> Option.bind acc (Sim.Json.member k))
+              (Some j) path'
+            |> Fun.flip Option.bind Sim.Json.to_float_opt
+          in
+          match (f [ "mops"; "0" ], f [ "retention_floor" ]) with
+          | Some m0, Some floor -> Ok (m0, floor)
+          | _ -> Error "missing mops.0 or retention_floor"))
+
+let gate ~baseline ~out () =
+  let results = sweep () in
+  let base = print_table results in
+  write_json out results;
+  Printf.printf "wrote %s\n" out;
+  let at m = List.find (fun o -> o.c_mult = m) results in
+  let retention10 = (at 10).c_mops /. base in
+  let ok = ref true in
+  (match read_baseline baseline with
+  | Error e ->
+      Printf.printf "FAIL baseline             %s: %s\n" baseline e;
+      ok := false
+  | Ok (base0, floor) ->
+      if base < 0.95 *. base0 then begin
+        Printf.printf
+          "FAIL flood-free           %.2f mOps < 95%% of baseline %.2f\n" base
+          base0;
+        ok := false
+      end
+      else
+        Printf.printf "OK   flood-free           %.2f mOps (baseline %.2f)\n"
+          base base0;
+      if retention10 < floor then begin
+        Printf.printf "FAIL retention@10x        %.0f%% < floor %.0f%%\n"
+          (100. *. retention10) (100. *. floor);
+        ok := false
+      end
+      else
+        Printf.printf "OK   retention@10x        %.0f%% (floor %.0f%%)\n"
+          (100. *. retention10) (100. *. floor));
+  let est_shed = List.fold_left (fun a o -> a + o.c_est_shed) 0 results in
+  if est_shed > 0 then begin
+    Printf.printf "FAIL established-shed     %d segments (must be 0)\n"
+      est_shed;
+    ok := false
+  end
+  else Printf.printf "OK   established-shed     0 segments at every multiplier\n";
+  let unbounded =
+    List.filter (fun o -> o.c_cp_bound > 0 && o.c_cp_peak > o.c_cp_bound)
+      results
+  in
+  if unbounded <> [] then begin
+    List.iter
+      (fun o ->
+        Printf.printf "FAIL cp-queue bound       x%d peak %d > bound %d\n"
+          o.c_mult o.c_cp_peak o.c_cp_bound)
+      unbounded;
+    ok := false
+  end
+  else Printf.printf "OK   cp-queue bound       peaks within g_cp_queue\n";
+  !ok

@@ -23,6 +23,7 @@ let experiments =
     ("batch", Batch_sweep.run);
     ("ablations", Ablations.run);
     ("chaos", Chaos.run);
+    ("churn", Churn.run);
     ("micro", Microbench.run);
   ]
 

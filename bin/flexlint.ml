@@ -537,11 +537,134 @@ let trace_check_cmd =
        ~exits:exit_info)
     Term.(const run_trace_check $ trace_file_t)
 
+(* --- churn: offline admission-policy replay -------------------------- *)
+
+module G = Flextoe.Guard
+
+(* Trace format: one event per line, [syn|ack|seg|close] ID, with
+   blank lines and #-comments skipped — the shape `flexlint churn`
+   shares with test fixtures and ad-hoc hand-written storms. *)
+let parse_churn_line ~lineno line =
+  match
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun s -> s <> "")
+  with
+  | [] -> None
+  | kw :: _ when String.length kw > 0 && kw.[0] = '#' -> None
+  | [ kw; id ] -> (
+      match (kw, int_of_string_opt id) with
+      | "syn", Some id -> Some (G.Ev_syn id)
+      | "ack", Some id -> Some (G.Ev_ack id)
+      | "seg", Some id -> Some (G.Ev_seg id)
+      | "close", Some id -> Some (G.Ev_close id)
+      | _ ->
+          Format.printf "FAIL line %-12d expected [syn|ack|seg|close] ID@."
+            lineno;
+          exit 2)
+  | _ ->
+      Format.printf "FAIL line %-12d expected [syn|ack|seg|close] ID@." lineno;
+      exit 2
+
+let read_churn_trace path =
+  let ic =
+    if path = "-" then stdin
+    else
+      try open_in path
+      with Sys_error e ->
+        Format.printf "FAIL %-20s unreadable: %s@." path e;
+        exit 2
+  in
+  let events = ref [] and lineno = ref 0 in
+  Fun.protect
+    ~finally:(fun () -> if path <> "-" then close_in_noerr ic)
+    (fun () ->
+      try
+        while true do
+          incr lineno;
+          match parse_churn_line ~lineno:!lineno (input_line ic) with
+          | Some ev -> events := ev :: !events
+          | None -> ()
+        done
+      with End_of_file -> ());
+  List.rev !events
+
+let run_churn path backlog max_conns no_cookies tw_ticks =
+  let g =
+    {
+      Flextoe.Config.guard_default with
+      Flextoe.Config.g_syn_backlog = backlog;
+      g_max_conns = max_conns;
+      g_syn_cookies = not no_cookies;
+    }
+  in
+  let events = read_churn_trace path in
+  if events = [] then begin
+    Format.printf "FAIL %-20s empty trace@." path;
+    exit 2
+  end;
+  let l = G.replay ~tw_ticks g events in
+  Format.printf "%a@." G.pp_ledger l;
+  if l.G.lg_established_shed > 0 then begin
+    Format.printf
+      "FAIL established-shed     %d established-flow segment(s) shed@."
+      l.G.lg_established_shed;
+    exit 1
+  end;
+  Format.printf
+    "OK   established-shed     0 of %d established-flow segment(s) shed@."
+    l.G.lg_segments
+
+let churn_trace_t =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"TRACE"
+        ~doc:
+          "Churn trace: one event per line ([syn|ack|seg|close] ID), \
+           #-comments allowed; - reads stdin.")
+
+let churn_backlog_t =
+  Arg.(
+    value
+    & opt int Flextoe.Config.guard_default.Flextoe.Config.g_syn_backlog
+    & info [ "backlog" ] ~docv:"N"
+        ~doc:"Stateful SYN backlog capacity (0 = unbounded).")
+
+let churn_max_conns_t =
+  Arg.(
+    value
+    & opt int Flextoe.Config.guard_default.Flextoe.Config.g_max_conns
+    & info [ "max-conns" ] ~docv:"N"
+        ~doc:"Admission cap on established + pending (0 = unbounded).")
+
+let churn_no_cookies_t =
+  Arg.(
+    value & flag
+    & info [ "no-cookies" ]
+        ~doc:"Disable the stateless SYN-cookie fallback on backlog overflow.")
+
+let churn_tw_ticks_t =
+  Arg.(
+    value & opt int 1024
+    & info [ "tw-ticks" ] ~docv:"N"
+        ~doc:"TIME_WAIT lifetime in trace events (default 1024).")
+
+let churn_cmd =
+  Cmd.v
+    (Cmd.info "churn"
+       ~doc:
+         "Replay a connection-churn trace through the FlexGuard admission \
+          policy; any shed established-flow segment fails"
+       ~exits:exit_info)
+    Term.(
+      const run_churn $ churn_trace_t $ churn_backlog_t $ churn_max_conns_t
+      $ churn_no_cookies_t $ churn_tw_ticks_t)
+
 let group =
   Cmd.group
     (Cmd.info "flexlint" ~doc:"FlexTOE static checkers" ~exits:exit_info)
     ~default:verify_term
-    [ verify_cmd; san_cmd; top_cmd; trace_check_cmd; fuzz_wire_cmd ]
+    [ verify_cmd; san_cmd; top_cmd; trace_check_cmd; fuzz_wire_cmd; churn_cmd ]
 
 let () =
   (* Fold cmdliner's parse-error code into the documented usage-error

@@ -23,6 +23,7 @@ type proto = {
   mutable tx_fin : bool;
   mutable fin_sent : bool;
   mutable rx_fin : bool;
+  mutable rx_fin_pending : Tcp.Seq32.t option;
   mutable fin_acked : bool;
   mutable ece_pending : bool;
   mutable cwr_pending : bool;
@@ -84,6 +85,7 @@ let create ~idx ~flow ~peer_mac ~flow_group ~tx_isn ~rx_isn
         tx_fin = false;
         fin_sent = false;
         rx_fin = false;
+        rx_fin_pending = None;
         fin_acked = false;
         ece_pending = false;
         cwr_pending = false;
@@ -105,6 +107,36 @@ let create ~idx ~flow ~peer_mac ~flow_group ~tx_isn ~rx_isn
       };
     active = true;
   }
+
+(* Teardown phase, derived from the four FIN bits. The data path keeps
+   no explicit TCP state enum (Table 5 has no room for one); this view
+   gives the control plane's reaper and the teardown tests the classic
+   state names. *)
+type close_phase =
+  | Established
+  | Fin_wait_1  (* we closed; our FIN unacknowledged *)
+  | Fin_wait_2  (* our FIN acked; peer still open *)
+  | Close_wait  (* peer closed; we are still open *)
+  | Closing  (* both FINs seen, ours not yet acked (incl. LAST_ACK) *)
+  | Closed  (* both directions closed and acknowledged *)
+
+let close_phase t =
+  let p = t.proto in
+  match (p.tx_fin, p.rx_fin) with
+  | false, false -> Established
+  | true, false -> if p.fin_acked then Fin_wait_2 else Fin_wait_1
+  | false, true -> Close_wait
+  | true, true -> if p.fin_acked then Closed else Closing
+
+let pp_close_phase ppf ph =
+  Format.pp_print_string ppf
+    (match ph with
+    | Established -> "ESTABLISHED"
+    | Fin_wait_1 -> "FIN_WAIT_1"
+    | Fin_wait_2 -> "FIN_WAIT_2"
+    | Close_wait -> "CLOSE_WAIT"
+    | Closing -> "CLOSING"
+    | Closed -> "CLOSED")
 
 let tx_seq_of_pos t pos = Tcp.Seq32.add t.proto.tx_isn (1 + pos)
 let tx_pos_of_seq t seq = Tcp.Seq32.diff seq (Tcp.Seq32.add t.proto.tx_isn 1)

@@ -40,6 +40,9 @@ type proto = {
   mutable tx_fin : bool;  (** App closed; FIN after last byte. *)
   mutable fin_sent : bool;
   mutable rx_fin : bool;  (** Peer's FIN reached the in-order point. *)
+  mutable rx_fin_pending : Tcp.Seq32.t option;
+      (** Peer's FIN arrived out of order: its sequence, held until
+          reassembly reaches it. *)
   mutable fin_acked : bool;  (** Our FIN was acknowledged. *)
   mutable ece_pending : bool;
       (** CE observed; echo ECE until the peer CWRs. *)
@@ -93,6 +96,24 @@ val create :
   tx_buf_bytes:int ->
   unit ->
   t
+
+(** Teardown phase, derived from the four FIN bits ([tx_fin],
+    [fin_acked], [rx_fin]; [fin_sent] distinguishes retransmission
+    states only). The data path keeps no explicit TCP state enum —
+    this view gives the control plane's idle reaper and the teardown
+    tests the classic state names. [Closing] covers both simultaneous
+    close and LAST_ACK (the bits cannot distinguish who closed
+    first). *)
+type close_phase =
+  | Established
+  | Fin_wait_1
+  | Fin_wait_2
+  | Close_wait
+  | Closing
+  | Closed
+
+val close_phase : t -> close_phase
+val pp_close_phase : Format.formatter -> close_phase -> unit
 
 val tx_seq_of_pos : t -> int -> Tcp.Seq32.t
 (** Sequence number of a transmit-stream position. *)

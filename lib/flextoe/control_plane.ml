@@ -49,6 +49,8 @@ type t = {
   dp : Datapath.t;
   core : Host.Host_cpu.core;
   rng : Sim.Rng.t;
+  guard : Guard.t option;  (* shared with the data path *)
+  paused : (int, unit) Hashtbl.t;  (* ports with accept backpressure *)
   listeners : (int, int option * (conn_handle -> unit)) Hashtbl.t;
   pending : pending Tcp.Flow.Tbl.t;
   flows : (int, cc_flow) Hashtbl.t;
@@ -63,6 +65,9 @@ type t = {
 }
 
 let active_flows t = Hashtbl.length t.flows
+let gcount t name = match t.guard with Some g -> Guard.count g name | None -> ()
+let guard_rst t =
+  match t.guard with Some g -> (Guard.config g).Config.g_rst | None -> false
 let retransmit_timeouts t = t.rto_count
 let retransmit_aborts t = t.rto_aborts
 let rto_events t = List.rev t.rto_log
@@ -159,60 +164,181 @@ let port_owner t port =
     t.partitions
 
 (* Handshake packets can be lost; the CP retries SYN / SYN-ACK while
-   the connection is still pending. *)
+   the connection is still pending. Unguarded: a fixed 5 ms period and
+   10 attempts (the historical behavior, kept bit-identical). Guarded:
+   [g_syn_retries] attempts with exponential backoff from
+   [g_syn_retry_base] capped at [g_syn_retry_max], and exhaustion
+   surfaces ["Etimedout"] — a connect to a blackholed peer fails in
+   bounded time instead of hanging. *)
+let retry_delay t attempt =
+  match t.guard with
+  | None -> Sim.Time.ms 5
+  | Some g ->
+      let gc = Guard.config g in
+      let d = ref gc.Config.g_syn_retry_base in
+      for _ = 1 to attempt do
+        d := min (2 * !d) gc.Config.g_syn_retry_max
+      done;
+      !d
+
+let max_handshake_retries t =
+  match t.guard with
+  | None -> 10
+  | Some g -> (Guard.config g).Config.g_syn_retries
+
+let timeout_error t =
+  match t.guard with None -> "connection timed out" | Some _ -> "Etimedout"
+
 let rec handshake_retry t flow attempt =
-  Sim.Engine.schedule t.engine (Sim.Time.ms 5) (fun () ->
+  Sim.Engine.schedule t.engine (retry_delay t attempt) (fun () ->
       match Tcp.Flow.Tbl.find_opt t.pending flow with
-      | Some p when (not p.p_installing) && attempt < 10 ->
+      | Some p when (not p.p_installing) && attempt < max_handshake_retries t
+        ->
           (match p.p_kind with
           | `Connect _ ->
+              gcount t "syn_retx";
               Datapath.control_tx t.dp
                 (ctl_frame t ~flow ~seq:p.p_our_isn ~ack_seq:Tcp.Seq32.zero
                    ~flags:{ S.no_flags with S.syn = true }
                    ~mss:true ())
           | `Accept _ ->
+              gcount t "synack_retx";
               Datapath.control_tx t.dp
                 (ctl_frame t ?win:p.p_win ~flow ~seq:p.p_our_isn
                    ~ack_seq:(Tcp.Seq32.succ p.p_peer_isn)
                    ~flags:{ S.no_flags with S.syn = true; ack = true }
                    ~mss:true ()));
           handshake_retry t flow (attempt + 1)
-      | Some p when (not p.p_installing) && attempt >= 10 -> begin
+      | Some p when not p.p_installing -> begin
           Tcp.Flow.Tbl.remove t.pending flow;
           match p.p_kind with
-          | `Connect k -> k (Error "connection timed out")
-          | `Accept _ -> ()
+          | `Connect k ->
+              gcount t "connect_timeout";
+              k (Error (timeout_error t))
+          | `Accept _ -> gcount t "synack_expired"
         end
       | _ -> ())
 
+(* RST in response to a segment that names no connection (guarded
+   mode only). Sequence comes from the offender's ACK field so the
+   peer accepts it; pure SYNs get seq 0 / ack their SYN instead. *)
+let send_rst t ~flow (seg : S.t) =
+  gcount t "rst_tx";
+  let seq, ack_seq, ack =
+    if seg.S.flags.S.ack then (seg.S.ack_seq, Tcp.Seq32.zero, false)
+    else (Tcp.Seq32.zero, Tcp.Seq32.succ seg.S.seq, true)
+  in
+  Datapath.control_tx t.dp
+    (ctl_frame t ~flow ~seq ~ack_seq
+       ~flags:{ S.no_flags with S.rst = true; S.ack }
+       ~mss:false ())
+
 let handle_syn t (frame : S.frame) =
   let seg = frame.S.seg in
+  gcount t "syn_rx";
   match Hashtbl.find_opt t.listeners seg.S.dst_port with
-  | None -> ()  (* No listener: drop (no RST modelled). *)
+  | None ->
+      (* No listener. Unguarded: silent drop (no RST modelled).
+         Guarded with [g_rst]: refuse actively so the peer fails fast
+         instead of retrying into the void. *)
+      let flow = Tcp.Flow.of_segment_rx seg in
+      if guard_rst t then send_rst t ~flow seg
   | Some (win, on_accept) ->
       let flow = Tcp.Flow.of_segment_rx seg in
-      if at_connection_limit t then ()  (* policy: ignore the SYN *)
-      else if not (Tcp.Flow.Tbl.mem t.pending flow) then begin
-        let our_isn = Tcp.Seq32.of_int (Sim.Rng.int t.rng 0x3FFFFFFF) in
-        let p =
-          {
-            p_flow = flow;
-            p_our_isn = our_isn;
-            p_peer_isn = seg.S.seq;
-            p_win = win;
-            p_ctx = alloc_ctx t;
-            p_kind = `Accept on_accept;
-            p_installing = false;
-          }
+      (* TIME_WAIT disambiguation: a fresh SYN may recycle a 4-tuple
+         still in TIME_WAIT only when its ISN is strictly beyond the
+         dead incarnation's final receive point (wraparound-aware);
+         otherwise it could be an old duplicate and is refused. *)
+      let tw_ok =
+        match t.guard with
+        | None -> true
+        | Some g ->
+            if Guard.tw_syn_acceptable g ~flow ~isn:seg.S.seq then begin
+              if Guard.tw_find g ~flow <> None then begin
+                Guard.tw_remove g ~flow;
+                Guard.count g "tw_recycled_syn"
+              end;
+              true
+            end
+            else begin
+              Guard.count g "tw_refused_syn";
+              false
+            end
+      in
+      if not tw_ok then ()
+      else if Hashtbl.mem t.paused seg.S.dst_port then
+        (* Accept backpressure: the application stopped draining its
+           accept queue; defer the handshake to the client's retry. *)
+        gcount t "shed_paused"
+      else begin
+        let backlog_full =
+          match t.guard with
+          | None -> false
+          | Some g ->
+              let gc = Guard.config g in
+              gc.Config.g_syn_backlog > 0
+              && Tcp.Flow.Tbl.length t.pending >= gc.Config.g_syn_backlog
         in
-        Tcp.Flow.Tbl.replace t.pending flow p;
-        Host.Host_cpu.exec t.core ~category:"cp" ~cycles:cp_cycles (fun () ->
-            Datapath.control_tx t.dp
-              (ctl_frame t ?win ~flow ~seq:our_isn
-                 ~ack_seq:(Tcp.Seq32.succ seg.S.seq)
-                 ~flags:{ S.no_flags with S.syn = true; ack = true }
-                 ~mss:true ()));
-        handshake_retry t flow 0
+        let admission_full =
+          at_connection_limit t
+          ||
+          match t.guard with
+          | None -> false
+          | Some g ->
+              let gc = Guard.config g in
+              gc.Config.g_max_conns > 0
+              && Hashtbl.length t.flows + Tcp.Flow.Tbl.length t.pending
+                 >= gc.Config.g_max_conns
+        in
+        if admission_full then
+          (* Connection-table pressure: shedding the SYN (newest
+             first) is the only safe move — a cookie would only defer
+             the failure past the handshake. *)
+          gcount t "shed_admission"
+        else if backlog_full then begin
+          match t.guard with
+          | Some g when (Guard.config g).Config.g_syn_cookies ->
+              (* Backlog full: answer statelessly. The SYN-ACK's ISN
+                 is a cookie over (flow, secret, epoch); the
+                 completing ACK re-derives everything, so this costs
+                 zero half-open state and is never retransmitted. *)
+              Guard.count g "cookie_sent";
+              let isn =
+                Guard.cookie_isn g ~now:(Sim.Engine.now t.engine) ~flow
+              in
+              Host.Host_cpu.exec t.core ~category:"cp" ~cycles:cp_cycles
+                (fun () ->
+                  Datapath.control_tx t.dp
+                    (ctl_frame t ?win ~flow ~seq:isn
+                       ~ack_seq:(Tcp.Seq32.succ seg.S.seq)
+                       ~flags:{ S.no_flags with S.syn = true; ack = true }
+                       ~mss:true ()))
+          | _ -> gcount t "shed_backlog"
+        end
+        else if not (Tcp.Flow.Tbl.mem t.pending flow) then begin
+          gcount t "syn_accepted";
+          let our_isn = Tcp.Seq32.of_int (Sim.Rng.int t.rng 0x3FFFFFFF) in
+          let p =
+            {
+              p_flow = flow;
+              p_our_isn = our_isn;
+              p_peer_isn = seg.S.seq;
+              p_win = win;
+              p_ctx = alloc_ctx t;
+              p_kind = `Accept on_accept;
+              p_installing = false;
+            }
+          in
+          Tcp.Flow.Tbl.replace t.pending flow p;
+          Host.Host_cpu.exec t.core ~category:"cp" ~cycles:cp_cycles
+            (fun () ->
+              Datapath.control_tx t.dp
+                (ctl_frame t ?win ~flow ~seq:our_isn
+                   ~ack_seq:(Tcp.Seq32.succ seg.S.seq)
+                   ~flags:{ S.no_flags with S.syn = true; ack = true }
+                   ~mss:true ()));
+          handshake_retry t flow 0
+        end
       end
 
 let handle_synack t (p : pending) (frame : S.frame) =
@@ -251,12 +377,59 @@ let handle_handshake_ack t (p : pending) (frame : S.frame) =
                     Datapath.reinject_rx t.dp frame)))
   | _ -> ()
 
+(* A valid cookie ACK installs the connection statelessly: our ISN is
+   re-derived from the ACK field, the peer's from the sequence number.
+   The pending record exists only for the duration of [finalize]. *)
+let install_from_cookie t (frame : S.frame) ~flow ~win ~on_accept =
+  let seg = frame.S.seg in
+  gcount t "cookie_accepted";
+  let p =
+    {
+      p_flow = flow;
+      p_our_isn = Tcp.Seq32.add seg.S.ack_seq (-1);
+      p_peer_isn = Tcp.Seq32.add seg.S.seq (-1);
+      p_win = win;
+      p_ctx = alloc_ctx t;
+      p_kind = `Accept on_accept;
+      p_installing = true;
+    }
+  in
+  Tcp.Flow.Tbl.replace t.pending flow p;
+  Host.Host_cpu.exec t.core ~category:"cp" ~cycles:cp_cycles (fun () ->
+      finalize t
+        ~remote_win:(seg.S.window lsl t.cfg.Config.window_scale)
+        p
+        (fun handle ->
+          on_accept handle;
+          if Bytes.length seg.S.payload > 0 then
+            Sim.Engine.schedule t.engine (Sim.Time.us 3) (fun () ->
+                Datapath.reinject_rx t.dp frame)))
+
+(* Abort an established connection on an incoming RST. *)
+let abort_on_rst t ~conn =
+  gcount t "rst_rx";
+  Datapath.notify_abort t.dp ~conn;
+  Datapath.remove_conn t.dp ~conn;
+  Hashtbl.remove t.flows conn
+
 let control_rx t (frame : S.frame) =
   let seg = frame.S.seg in
   let flow = Tcp.Flow.of_segment_rx seg in
   match Tcp.Flow.Tbl.find_opt t.pending flow with
   | Some p ->
-      if seg.S.flags.S.syn && seg.S.flags.S.ack then handle_synack t p frame
+      if seg.S.flags.S.rst && guard_rst t then begin
+        (* RST against a half-open handshake: fail it immediately
+           (connects surface "Econnreset"; accepts just forget). *)
+        gcount t "rst_rx";
+        if not p.p_installing then begin
+          Tcp.Flow.Tbl.remove t.pending flow;
+          match p.p_kind with
+          | `Connect k -> k (Error "Econnreset")
+          | `Accept _ -> ()
+        end
+      end
+      else if seg.S.flags.S.syn && seg.S.flags.S.ack then
+        handle_synack t p frame
       else if seg.S.flags.S.syn then () (* SYN retransmit: SYN-ACK lost;
                                            resent on CP timeout below *)
       else if p.p_installing then
@@ -266,7 +439,17 @@ let control_rx t (frame : S.frame) =
             Datapath.reinject_rx t.dp frame)
       else if seg.S.flags.S.ack then handle_handshake_ack t p frame
   | None ->
-      if seg.S.flags.S.syn && not seg.S.flags.S.ack then handle_syn t frame
+      if seg.S.flags.S.rst then begin
+        (* RST to an installed connection aborts it (including during
+           half-close); RST to nothing is ignored. Unguarded, RSTs
+           keep their historical no-op semantics. *)
+        if guard_rst t then
+          match Datapath.conn_of_flow t.dp flow with
+          | Some conn -> abort_on_rst t ~conn
+          | None -> ()
+      end
+      else if seg.S.flags.S.syn && not seg.S.flags.S.ack then
+        handle_syn t frame
       else if S.data_path_flags seg.S.flags && Datapath.has_flow t.dp flow
       then
         (* The segment was in flight through the CPI forwarding path
@@ -274,7 +457,46 @@ let control_rx t (frame : S.frame) =
            the data path. *)
         Sim.Engine.schedule t.engine (Sim.Time.us 1) (fun () ->
             Datapath.reinject_rx t.dp frame)
-      else ()  (* Stale segment of a dead connection: drop. *)
+      else
+        match t.guard with
+        | None -> ()  (* Stale segment of a dead connection: drop. *)
+        | Some g -> (
+            let gc = Guard.config g in
+            let listener = Hashtbl.find_opt t.listeners seg.S.dst_port in
+            if
+              gc.Config.g_syn_cookies && seg.S.flags.S.ack
+              && (not seg.S.flags.S.syn)
+              && listener <> None
+              && Guard.cookie_check g
+                   ~now:(Sim.Engine.now t.engine)
+                   ~flow
+                   ~isn:(Tcp.Seq32.add seg.S.ack_seq (-1))
+            then begin
+              (* Completing ACK of a stateless SYN-ACK. Admission is
+                 re-checked here: cookies defer the table commitment
+                 to this point. *)
+              if at_connection_limit t then gcount t "shed_admission"
+              else
+                match listener with
+                | Some (win, on_accept) ->
+                    install_from_cookie t frame ~flow ~win ~on_accept
+                | None -> ()
+            end
+            else
+              match Guard.tw_find g ~flow with
+              | Some (snd_nxt, rcv_nxt) when seg.S.flags.S.fin ->
+                  (* The peer retransmitted its FIN into our
+                     TIME_WAIT: our final ACK was lost. Re-ACK from
+                     the stored endpoint state. *)
+                  Guard.count g "tw_reack";
+                  Datapath.control_tx t.dp
+                    (ctl_frame t ~flow ~seq:snd_nxt ~ack_seq:rcv_nxt
+                       ~flags:S.flags_ack ~mss:false ())
+              | Some _ -> ()
+              | None ->
+                  (* No connection, no cookie, no TIME_WAIT: actively
+                     refuse so the peer aborts instead of timing out. *)
+                  if gc.Config.g_rst then send_rst t ~flow seg)
 
 (* --- Public connection API ------------------------------------------ *)
 
@@ -318,11 +540,20 @@ let connect t ~remote_ip ~remote_port ~ctx ~on_connected =
            ~mss:true ()));
   handshake_retry t flow 0
 
-let close t ~conn =
-  (match Hashtbl.find_opt t.flows conn with
-  | Some f -> f.cf_closing <- true
-  | None -> ());
-  Datapath.cp_push t.dp { Meta.h_conn = conn; h_op = Meta.Fin }
+(* Idempotent: a second close, or a close racing teardown/abort
+   (unknown conn), is a no-op — in particular no second FIN is pushed
+   through the CPI, where it could overtake an in-flight Tx_avail on
+   another context ring. libTOE passes [~send_fin:false] because it
+   already ordered the FIN behind its pending Tx_avails on the sock's
+   own ring. *)
+let close ?(send_fin = true) t ~conn =
+  match Hashtbl.find_opt t.flows conn with
+  | None -> ()
+  | Some f ->
+      let first = not f.cf_closing in
+      f.cf_closing <- true;
+      if send_fin && first then
+        Datapath.cp_push t.dp { Meta.h_conn = conn; h_op = Meta.Fin }
 
 (* --- Congestion control ----------------------------------------------- *)
 
@@ -429,17 +660,84 @@ let iterate_flow t now (f : cc_flow) =
           (Cc.Timely.update tm ~wire_bps:(wire_bps t.cfg) obs)
     | No_cc -> ()
   end;
-  (* Teardown: both directions closed. *)
+  (* Teardown: both directions closed. Guarded with a TIME_WAIT hold,
+     the 4-tuple parks in the guard's table (so late segments are
+     re-ACKed and only sufficiently-new SYNs recycle it) while the
+     data-path state frees immediately — TIME_WAIT costs a table
+     entry, never a connection slot. *)
   if f.cf_closing then begin
     match Datapath.conn t.dp f.cf_conn with
     | Some cs
       when cs.Conn_state.proto.Conn_state.fin_acked
            && cs.Conn_state.proto.Conn_state.rx_fin ->
+        (match t.guard with
+        | Some g when (Guard.config g).Config.g_time_wait > Sim.Time.zero ->
+            let snd_nxt =
+              Tcp.Seq32.add
+                (Conn_state.tx_seq_of_pos cs
+                   cs.Conn_state.proto.Conn_state.tx_tail_pos)
+                1
+            in
+            let rcv_nxt =
+              Tcp.Reassembly.next cs.Conn_state.proto.Conn_state.reasm
+            in
+            Guard.tw_add g ~now ~flow:cs.Conn_state.flow ~snd_nxt ~rcv_nxt
+        | _ -> ());
         Datapath.remove_conn t.dp ~conn:f.cf_conn;
         Hashtbl.remove t.flows f.cf_conn
     | _ -> ()
   end
   end
+
+(* FlexGuard reaper: expires TIME_WAIT entries and reclaims teardown
+   state that stopped making progress. Scheduled only when the guard
+   is on, so the default configuration adds zero engine events.
+
+   Only locally-closed connections ([tx_fin]) are candidates:
+   Established flows are the application's business however idle, and
+   so is Close_wait — the peer closed but the local app still owns the
+   socket (no TCP timer covers that state). Of the candidates,
+   Fin_wait_2 (our FIN acked, peer's never arrives) is an orphan —
+   the app already closed, every byte was delivered — so it is
+   reclaimed quietly; Fin_wait_1/Closing with the FIN unacked past the
+   idle window means a vanished peer, a genuine abort. *)
+let rec guard_loop t g () =
+  let now = Sim.Engine.now t.engine in
+  ignore (Guard.tw_reap g ~now);
+  let gc = Guard.config g in
+  if gc.Config.g_idle_timeout > Sim.Time.zero then begin
+    let stale =
+      Hashtbl.fold
+        (fun _ f acc ->
+          match Datapath.conn t.dp f.cf_conn with
+          | Some cs
+            when cs.Conn_state.proto.Conn_state.tx_fin
+                 && Conn_state.close_phase cs <> Conn_state.Established
+                 && Conn_state.close_phase cs <> Conn_state.Close_wait
+                 && now - cs.Conn_state.proto.Conn_state.last_progress
+                    > gc.Config.g_idle_timeout ->
+              (f, cs.Conn_state.proto.Conn_state.fin_acked) :: acc
+          | _ -> acc)
+        t.flows []
+    in
+    List.iter
+      (fun (f, orphan) ->
+        if orphan then Guard.count g "reaped_orphan"
+        else begin
+          Guard.count g "reaped_idle";
+          Datapath.notify_abort t.dp ~conn:f.cf_conn
+        end;
+        Datapath.remove_conn t.dp ~conn:f.cf_conn;
+        Hashtbl.remove t.flows f.cf_conn)
+      stale
+  end;
+  Sim.Engine.schedule t.engine gc.Config.g_reap_interval (guard_loop t g)
+
+let set_listener_paused t ~port paused =
+  if paused then Hashtbl.replace t.paused port ()
+  else Hashtbl.remove t.paused port
+
+let listener_paused t ~port = Hashtbl.mem t.paused port
 
 let rec cc_loop t () =
   let now = Sim.Engine.now t.engine in
@@ -458,6 +756,8 @@ let create engine ~config ~datapath ~core () =
       dp = datapath;
       core;
       rng = Sim.Rng.split (Sim.Engine.rng engine);
+      guard = Datapath.guard datapath;
+      paused = Hashtbl.create 4;
       listeners = Hashtbl.create 16;
       pending = Tcp.Flow.Tbl.create 64;
       flows = Hashtbl.create 256;
@@ -473,4 +773,10 @@ let create engine ~config ~datapath ~core () =
   in
   Datapath.set_control_rx datapath (control_rx t);
   Sim.Engine.schedule engine config.Config.cc_interval (cc_loop t);
+  (match t.guard with
+  | Some g ->
+      Sim.Engine.schedule engine
+        (Guard.config g).Config.g_reap_interval
+        (guard_loop t g)
+  | None -> ());
   t

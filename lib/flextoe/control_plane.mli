@@ -57,9 +57,22 @@ val connect :
   on_connected:((conn_handle, string) result -> unit) ->
   unit
 
-val close : t -> conn:int -> unit
+val close : ?send_fin:bool -> t -> conn:int -> unit
 (** Application close: sends FIN through HC; the connection is
-    deallocated once both directions have closed. *)
+    deallocated once both directions have closed. Idempotent — a
+    second close or a close on an unknown (never-established or
+    already-removed) connection is a no-op. [~send_fin:false] marks
+    the flow closing without pushing a FIN through the CPI: used by
+    libTOE, which orders the FIN behind its pending Tx_avails on the
+    sock's own context ring (pushing a second FIN on ring 0 could
+    overtake them and freeze the stream tail early). *)
+
+val set_listener_paused : t -> port:int -> bool -> unit
+(** Accept-queue backpressure: while paused, incoming SYNs for the
+    port are deferred to the client's retransmission (counted as
+    [shed_paused]) instead of accepted. *)
+
+val listener_paused : t -> port:int -> bool
 
 val active_flows : t -> int
 

@@ -176,6 +176,8 @@ type t = {
   sabotage : sabotage;
   san : San.t option;
   scope : Sim.Scope.t option;
+  guard : Guard.t option;  (* FlexGuard overload control; None = dormant *)
+  mutable cp_pending : int;  (* control-path frames in flight to the CP *)
   port : Netsim.Fabric.port;
   mac : int;
   ip : int;
@@ -242,6 +244,7 @@ let config t = t.cfg
 let stages t = t.stages
 let san t = t.san
 let scope t = t.scope
+let guard t = t.guard
 let fabric_port t = t.port
 
 (* Sanitizer access shorthands: no-ops (one test of an immutable
@@ -463,6 +466,9 @@ let conn t idx = Hashtbl.find_opt t.conns idx
 let has_flow t flow =
   Nfp.Lookup.lookup t.conn_db ~hash:(Tcp.Flow.hash flow) flow <> None
 
+let conn_of_flow t flow =
+  Nfp.Lookup.lookup t.conn_db ~hash:(Tcp.Flow.hash flow) flow
+
 let active_conns t = Hashtbl.length t.conns
 
 let install_conn t cs ~k =
@@ -488,6 +494,17 @@ let remove_conn t ~conn =
       let flow = cs.Conn_state.flow in
       Nfp.Lookup.remove t.conn_db ~hash:(Tcp.Flow.hash flow) flow;
       Scheduler.forget t.sch ~conn;
+      (* Under churn a dead connection's cache lines are pure poison:
+         invalidate its CAM/CLS/EMEM entries so short-lived flows
+         cannot crowd out the working set of established ones. *)
+      (match t.guard with
+      | Some g when (Guard.config g).Config.g_evict_caches ->
+          let fg = cs.Conn_state.pre.Conn_state.flow_group in
+          Nfp.Cam.remove t.proto_cam.(fg) conn;
+          Nfp.Direct_cache.invalidate t.fg_cls.(fg) conn;
+          Nfp.Lru.remove t.emem_lru conn;
+          Guard.count g "evicted_cache"
+      | _ -> ());
       (match t.san with
       | Some s -> San.flow_forget s ~flow:conn
       | None -> ())
@@ -1286,6 +1303,11 @@ let gro_release t (s : Meta.rx_summary) =
 
 let forward_to_control t frame =
   t.st_ctl <- t.st_ctl + 1;
+  (match t.guard with
+  | Some g ->
+      t.cp_pending <- t.cp_pending + 1;
+      Guard.note_depth g ~stage:"cp" t.cp_pending
+  | None -> ());
   let c = t.cfg.Config.costs in
   let fpc = t.ctx_fpcs.(0) in
   Nfp.Fpc.submit fpc
@@ -1293,7 +1315,9 @@ let forward_to_control t frame =
     (fun () ->
       Nfp.Dma.issue t.dma ~queue:1
         ~bytes:(S.frame_wire_len frame)
-        (fun () -> t.control_rx frame))
+        (fun () ->
+          if t.guard <> None then t.cp_pending <- t.cp_pending - 1;
+          t.control_rx frame))
 
 (* Checksum verification cost: driving the CRC/checksum unit has a
    fixed overhead plus a per-16B streaming component over the frame
@@ -1552,8 +1576,28 @@ let rx_datapath t frame =
   end
   else rtc_rx t frame
 
+(* Ingress shed policy: when the control path is saturated ([g_cp_queue]
+   frames already in flight to the CP) drop the newest pure SYNs at the
+   NBI. Never anything else — established-flow segments and handshake
+   completions always pass, so load shedding degrades accept rate, not
+   goodput. *)
+let guard_shed_rx t frame =
+  match t.guard with
+  | None -> false
+  | Some g ->
+      let q = (Guard.config g).Config.g_cp_queue in
+      let fl = frame.S.seg.S.flags in
+      if q > 0 && t.cp_pending >= q && fl.S.syn && not fl.S.ack then begin
+        Guard.count g "shed_queue";
+        t.st_drop <- t.st_drop + 1;
+        true
+      end
+      else false
+
 let rx_frame t frame =
   (match t.capture with Some cap -> cap Dir_rx frame | None -> ());
+  if guard_shed_rx t frame then ()
+  else
   match t.xdp_ingress with
   | None -> rx_datapath t frame
   | Some hook ->
@@ -1651,6 +1695,10 @@ and atx_drain_body t ctx =
 let atx_push t ~ctx (d : Meta.hc_desc) =
   let ctx = ctx mod t.n_ctx in
   let ok = Nfp.Ring.push t.atx.(ctx) d in
+  (match t.guard with
+  | Some g ->
+      Guard.note_depth g ~stage:"atx" (Nfp.Ring.length t.atx.(ctx))
+  | None -> ());
   let b = t.cfg.Config.batch.Config.b_doorbell in
   if ok && not t.atx_scheduled.(ctx) then begin
     if b <= 1 || Nfp.Ring.length t.atx.(ctx) >= b then begin
@@ -1741,7 +1789,13 @@ let read_cc_stats t ~conn:conn_idx =
           tx_backlog =
             proto.Conn_state.tx_tail_pos - proto.Conn_state.tx_acked_pos;
           tx_inflight =
-            proto.Conn_state.tx_next_pos - proto.Conn_state.tx_acked_pos;
+            (* An unacked FIN is in flight too: without this, a lost
+               FIN never trips the RTO and teardown hangs in
+               FIN_WAIT_1. *)
+            proto.Conn_state.tx_next_pos - proto.Conn_state.tx_acked_pos
+            + (if proto.Conn_state.fin_sent && not proto.Conn_state.fin_acked
+               then 1
+               else 0);
           ack_pending = proto.Conn_state.delack_segs > 0;
           last_progress = proto.Conn_state.last_progress;
         }
@@ -1764,6 +1818,7 @@ let set_rate t ~conn:conn_idx ~bps =
     (fun () -> Scheduler.set_interval t.sch ~conn:conn_idx ~ps_per_byte)
 
 let wake_tx t ~conn = Scheduler.wakeup t.sch ~conn
+let sched_peak_ready t = Scheduler.peak_ready t.sch
 
 let set_xdp_ingress t h = t.xdp_ingress <- h
 let set_capture t c = t.capture <- c
@@ -1920,6 +1975,18 @@ let create engine ~config:cfg ~fabric ~mac ~ip ?(ctx_queues = 4)
     | Config.Scope_full ->
         Some (Sim.Scope.create ~mode:Sim.Scope.Full engine)
   in
+  (* FlexGuard: constructed here (off by default) so every data-path
+     hook is a single branch on an immutable option, like FlexSan and
+     FlexScope. The cookie secret is derived from the node identity —
+     deterministic per node, different across nodes. *)
+  let guard =
+    if cfg.Config.guard.Config.g_on then
+      Some
+        (Guard.create ~g:cfg.Config.guard
+           ~secret:(((mac * 0x9E3779B1) lxor (ip * 0x85EBCA6B)) land max_int)
+           ())
+    else None
+  in
   let rec t =
     lazy
       {
@@ -1929,6 +1996,8 @@ let create engine ~config:cfg ~fabric ~mac ~ip ?(ctx_queues = 4)
         sabotage;
         san;
         scope;
+        guard;
+        cp_pending = 0;
         port =
           Netsim.Fabric.add_port fabric ~rate_gbps:p.Nfp.Params.wire_gbps
             ~mac ~ip
@@ -2014,6 +2083,13 @@ let create engine ~config:cfg ~fabric ~mac ~ip ?(ctx_queues = 4)
       }
   in
   let t = Lazy.force t in
+  (* Guard counters mirror into the FlexScope metrics snapshot under
+     "guard/<name>" when both subsystems are on. *)
+  (match (t.guard, t.scope) with
+  | Some g, Some sc ->
+      Guard.set_on_count g (fun name ->
+          Sim.Scope.count sc ~name:("guard/" ^ name) ())
+  | _ -> ());
   (* Doorbell/completion batching on the PCIe engine ([set_batch] at
      1/1 is a no-op, but skipping the call keeps the unbatched engine
      provably untouched). *)

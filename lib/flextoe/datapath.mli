@@ -65,6 +65,11 @@ val scope : t -> Sim.Scope.t option
     {!Config.Scope_off}). Every data-path hook costs one branch on
     this option when profiling is off. *)
 
+val guard : t -> Guard.t option
+(** FlexGuard overload control, when enabled ([config.guard.g_on]).
+    Like [san] and [scope], a dormant guard is a [None]: no events,
+    no counters, bit-identical behavior. *)
+
 val create :
   Sim.Engine.t ->
   config:Config.t ->
@@ -107,6 +112,14 @@ val has_flow : t -> Tcp.Flow.t -> bool
     (dropped). *)
 
 val active_conns : t -> int
+
+val conn_of_flow : t -> Tcp.Flow.t -> int option
+(** Connection index currently installed for a 4-tuple (the RST and
+    teardown paths need the index, not just presence). *)
+
+val sched_peak_ready : t -> int
+(** High-water mark of the flow scheduler's queued-flow count
+    (FlexGuard bounded-queue gate). *)
 
 (** {1 Control-plane segment path} *)
 

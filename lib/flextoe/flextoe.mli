@@ -28,6 +28,7 @@ module Sequencer = Sequencer
 module Scheduler = Scheduler
 module Effects = Effects
 module San = San
+module Guard = Guard
 module Datapath = Datapath
 module Cc = Cc
 module Control_plane = Control_plane

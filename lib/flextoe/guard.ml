@@ -1,0 +1,323 @@
+(* FlexGuard: the overload-control policy engine (DESIGN.md §13).
+
+   Owns the mechanism state the control plane and data path consult
+   under churn: the SYN-cookie secret, the TIME_WAIT table, the event
+   counters, and the per-stage queue-depth high-water marks. The
+   module is deliberately simulator-light — decisions are pure
+   functions of explicit [now] arguments — so the same policy core
+   replays offline under `flexlint churn`. *)
+
+type tw_entry = {
+  tw_flow : Tcp.Flow.t;
+  tw_snd_nxt : Tcp.Seq32.t;  (* our seq after the FIN *)
+  tw_rcv_nxt : Tcp.Seq32.t;  (* peer seq after their FIN *)
+  tw_deadline : Sim.Time.t;
+  tw_born : int;  (* insertion order, for oldest-first recycling *)
+}
+
+type t = {
+  g : Config.guard;
+  secret : int;
+  tw : tw_entry Tcp.Flow.Tbl.t;
+  mutable tw_births : int;
+  counters : (string, int ref) Hashtbl.t;
+  peaks : (string, int ref) Hashtbl.t;
+  mutable on_count : (string -> unit) option;
+}
+
+let create ~g ~secret () =
+  {
+    g;
+    secret = secret land 0x3FFFFFFF;
+    tw = Tcp.Flow.Tbl.create 256;
+    tw_births = 0;
+    counters = Hashtbl.create 32;
+    peaks = Hashtbl.create 8;
+    on_count = None;
+  }
+
+let config t = t.g
+let set_on_count t f = t.on_count <- Some f
+
+let count t name =
+  (match Hashtbl.find_opt t.counters name with
+  | Some r -> incr r
+  | None -> Hashtbl.replace t.counters name (ref 1));
+  match t.on_count with Some f -> f name | None -> ()
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let counters t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let established_shed t = counter t "established_shed"
+
+(* --- Queue-depth high-water marks ----------------------------------- *)
+
+let note_depth t ~stage depth =
+  match Hashtbl.find_opt t.peaks stage with
+  | Some r -> if depth > !r then r := depth
+  | None -> Hashtbl.replace t.peaks stage (ref depth)
+
+let peak_depth t ~stage =
+  match Hashtbl.find_opt t.peaks stage with Some r -> !r | None -> 0
+
+let peak_depths t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.peaks []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* --- SYN cookies ------------------------------------------------------ *)
+
+(* A cookie ISN folds the 4-tuple, a per-node secret and a coarse time
+   epoch through an avalanche mix. Validation accepts the current and
+   previous epoch, so a cookie stays good for one to two epochs — the
+   stateless analogue of the bounded SYN-ACK retransmission window. *)
+
+let mix h v =
+  let h = (h lxor v) * 0x9E3779B1 land max_int in
+  (h lxor (h lsr 16)) land max_int
+
+let cookie_epoch_len t =
+  if t.g.Config.g_time_wait > Sim.Time.zero then t.g.Config.g_time_wait
+  else Sim.Time.ms 4
+
+let cookie_of_epoch t ~flow ~epoch =
+  let open Tcp.Flow in
+  let h = mix t.secret epoch in
+  let h = mix h flow.local_ip in
+  let h = mix h flow.remote_ip in
+  let h = mix h ((flow.local_port lsl 16) lor flow.remote_port) in
+  Tcp.Seq32.of_int (h land 0x3FFFFFFF)
+
+let cookie_isn t ~now ~flow =
+  cookie_of_epoch t ~flow ~epoch:(now / cookie_epoch_len t)
+
+let cookie_check t ~now ~flow ~isn =
+  let epoch = now / cookie_epoch_len t in
+  Tcp.Seq32.diff isn (cookie_of_epoch t ~flow ~epoch) = 0
+  || (epoch > 0
+     && Tcp.Seq32.diff isn (cookie_of_epoch t ~flow ~epoch:(epoch - 1)) = 0)
+
+(* --- TIME_WAIT table -------------------------------------------------- *)
+
+let tw_length t = Tcp.Flow.Tbl.length t.tw
+
+let tw_find t ~flow =
+  match Tcp.Flow.Tbl.find_opt t.tw flow with
+  | Some e -> Some (e.tw_snd_nxt, e.tw_rcv_nxt)
+  | None -> None
+
+let tw_remove t ~flow = Tcp.Flow.Tbl.remove t.tw flow
+
+let tw_add t ~now ~flow ~snd_nxt ~rcv_nxt =
+  let cap = t.g.Config.g_time_wait_max in
+  if cap > 0 && tw_length t >= cap && not (Tcp.Flow.Tbl.mem t.tw flow) then begin
+    (* Pressure: recycle the oldest entry so teardown can't be wedged
+       by a full table. *)
+    let oldest =
+      Tcp.Flow.Tbl.fold
+        (fun _ e acc ->
+          match acc with
+          | Some o when o.tw_born <= e.tw_born -> acc
+          | _ -> Some e)
+        t.tw None
+    in
+    match oldest with
+    | Some o ->
+        Tcp.Flow.Tbl.remove t.tw o.tw_flow;
+        count t "tw_recycled_pressure"
+    | None -> ()
+  end;
+  t.tw_births <- t.tw_births + 1;
+  Tcp.Flow.Tbl.replace t.tw flow
+    {
+      tw_flow = flow;
+      tw_snd_nxt = snd_nxt;
+      tw_rcv_nxt = rcv_nxt;
+      tw_deadline = now + t.g.Config.g_time_wait;
+      tw_born = t.tw_births;
+    };
+  count t "tw_installed"
+
+(* A fresh SYN may take over a TIME_WAIT 4-tuple only when its ISN is
+   strictly beyond the old connection's final receive point —
+   wraparound-aware, so a recycled port with a wrapped sequence space
+   still disambiguates (RFC 6191 flavor). *)
+let tw_syn_acceptable t ~flow ~isn =
+  match Tcp.Flow.Tbl.find_opt t.tw flow with
+  | None -> true
+  | Some e -> Tcp.Seq32.gt isn e.tw_rcv_nxt
+
+let tw_reap t ~now =
+  let dead =
+    Tcp.Flow.Tbl.fold
+      (fun flow e acc -> if now >= e.tw_deadline then flow :: acc else acc)
+      t.tw []
+  in
+  List.iter
+    (fun flow ->
+      Tcp.Flow.Tbl.remove t.tw flow;
+      count t "tw_expired")
+    dead;
+  List.length dead
+
+(* --- Offline admission replay (flexlint churn) ------------------------ *)
+
+type churn_event =
+  | Ev_syn of int  (* connection attempt [id] arrives *)
+  | Ev_ack of int  (* handshake ACK for [id] *)
+  | Ev_seg of int  (* established-flow segment for [id] *)
+  | Ev_close of int  (* both directions of [id] closed *)
+
+type ledger = {
+  lg_syns : int;
+  lg_accepted : int;  (* entered the stateful backlog *)
+  lg_cookies : int;  (* answered statelessly *)
+  lg_shed : int;  (* SYNs dropped by backlog/admission pressure *)
+  lg_established : int;  (* handshakes completed *)
+  lg_segments : int;  (* established-flow segments passed *)
+  lg_established_shed : int;  (* MUST be 0: the policy never sheds these *)
+  lg_tw_recycled : int;  (* TIME_WAIT entries recycled under pressure *)
+  lg_peak_backlog : int;
+  lg_peak_established : int;
+}
+
+(* Replays the admission policy over an abstract trace: the same
+   decision order as the live control plane (TIME_WAIT check, then
+   backlog/admission, then cookie fallback), with logical time = event
+   index and a TIME_WAIT lifetime of [tw_ticks] events. *)
+let replay ?(tw_ticks = 1024) (g : Config.guard) events =
+  let pending = Hashtbl.create 64 in  (* id -> () *)
+  let cookie_sent = Hashtbl.create 64 in
+  let established = Hashtbl.create 64 in
+  let tw = Hashtbl.create 64 in  (* id -> expiry tick *)
+  let lg =
+    ref
+      {
+        lg_syns = 0;
+        lg_accepted = 0;
+        lg_cookies = 0;
+        lg_shed = 0;
+        lg_established = 0;
+        lg_segments = 0;
+        lg_established_shed = 0;
+        lg_tw_recycled = 0;
+        lg_peak_backlog = 0;
+        lg_peak_established = 0;
+      }
+  in
+  List.iteri
+    (fun tick ev ->
+      (* Expire TIME_WAIT entries. *)
+      let dead =
+        Hashtbl.fold
+          (fun id exp acc -> if tick >= exp then id :: acc else acc)
+          tw []
+      in
+      List.iter (Hashtbl.remove tw) dead;
+      let l = !lg in
+      match ev with
+      | Ev_syn id ->
+          let l = { l with lg_syns = l.lg_syns + 1 } in
+          let tw_blocked = Hashtbl.mem tw id in
+          let backlog_full =
+            g.Config.g_syn_backlog > 0
+            && Hashtbl.length pending >= g.Config.g_syn_backlog
+          in
+          let table_full =
+            g.Config.g_max_conns > 0
+            && Hashtbl.length established + Hashtbl.length pending
+               >= g.Config.g_max_conns
+          in
+          lg :=
+            if tw_blocked then
+              (* Old incarnation still in TIME_WAIT: the abstract trace
+                 carries no ISN, so treat the SYN as a pressure recycle
+                 (the live path compares ISNs). *)
+              begin
+                Hashtbl.remove tw id;
+                Hashtbl.replace pending id ();
+                {
+                  l with
+                  lg_tw_recycled = l.lg_tw_recycled + 1;
+                  lg_accepted = l.lg_accepted + 1;
+                }
+              end
+            else if table_full then { l with lg_shed = l.lg_shed + 1 }
+            else if backlog_full then
+              if g.Config.g_syn_cookies then begin
+                Hashtbl.replace cookie_sent id ();
+                { l with lg_cookies = l.lg_cookies + 1 }
+              end
+              else { l with lg_shed = l.lg_shed + 1 }
+            else begin
+              Hashtbl.replace pending id ();
+              { l with lg_accepted = l.lg_accepted + 1 }
+            end;
+          lg :=
+            {
+              !lg with
+              lg_peak_backlog = max !lg.lg_peak_backlog (Hashtbl.length pending);
+            }
+      | Ev_ack id ->
+          if Hashtbl.mem pending id || Hashtbl.mem cookie_sent id then begin
+            Hashtbl.remove pending id;
+            Hashtbl.remove cookie_sent id;
+            Hashtbl.replace established id ();
+            lg :=
+              {
+                l with
+                lg_established = l.lg_established + 1;
+                lg_peak_established =
+                  max l.lg_peak_established (Hashtbl.length established);
+              }
+          end
+      | Ev_seg id ->
+          (* The shed policy never touches established-flow segments;
+             a segment for a flow we admitted always passes. *)
+          if Hashtbl.mem established id then
+            lg := { l with lg_segments = l.lg_segments + 1 }
+      | Ev_close id ->
+          if Hashtbl.mem established id then begin
+            Hashtbl.remove established id;
+            if g.Config.g_time_wait > Sim.Time.zero then begin
+              (if
+                 g.Config.g_time_wait_max > 0
+                 && Hashtbl.length tw >= g.Config.g_time_wait_max
+               then
+                 let oldest =
+                   Hashtbl.fold
+                     (fun id' exp acc ->
+                       match acc with
+                       | Some (_, e) when e <= exp -> acc
+                       | _ -> Some (id', exp))
+                     tw None
+                 in
+                 match oldest with
+                 | Some (id', _) ->
+                     Hashtbl.remove tw id';
+                     lg := { !lg with lg_tw_recycled = !lg.lg_tw_recycled + 1 }
+                 | None -> ());
+              Hashtbl.replace tw id (tick + tw_ticks)
+            end
+          end)
+    events;
+  !lg
+
+let pp_ledger ppf l =
+  Format.fprintf ppf
+    "@[<v>syns         %8d@,\
+     accepted     %8d@,\
+     cookies      %8d@,\
+     shed         %8d@,\
+     established  %8d@,\
+     segments     %8d@,\
+     est. shed    %8d@,\
+     tw recycled  %8d@,\
+     peak backlog %8d@,\
+     peak estab.  %8d@]"
+    l.lg_syns l.lg_accepted l.lg_cookies l.lg_shed l.lg_established
+    l.lg_segments l.lg_established_shed l.lg_tw_recycled l.lg_peak_backlog
+    l.lg_peak_established

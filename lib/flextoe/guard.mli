@@ -1,0 +1,109 @@
+(** FlexGuard: the overload-control policy engine (DESIGN.md §13).
+
+    Holds the mechanism state consulted by the control plane and the
+    data path under connection churn: the SYN-cookie secret, the
+    TIME_WAIT table, the accept/shed/evict/reap counters, and the
+    per-stage queue-depth high-water marks. Created by the data path
+    when {!Config.guard} has [g_on] set; absent (a [None] option, one
+    branch per hook) otherwise.
+
+    Decisions are pure functions of explicit [now] arguments so the
+    same policy core replays offline under [flexlint churn]. *)
+
+type t
+
+val create : g:Config.guard -> secret:int -> unit -> t
+val config : t -> Config.guard
+
+(** {1 Counters}
+
+    Every guard event increments a named counter; with FlexScope
+    enabled the data path mirrors each increment into the metrics
+    snapshot under ["guard/<name>"]. *)
+
+val count : t -> string -> unit
+val counter : t -> string -> int
+val counters : t -> (string * int) list
+(** Sorted by name. *)
+
+val established_shed : t -> int
+(** The one counter that must stay 0: established-flow segments
+    dropped by the shed policy. *)
+
+(** {1 Queue-depth high-water marks} *)
+
+val note_depth : t -> stage:string -> int -> unit
+val peak_depth : t -> stage:string -> int
+val peak_depths : t -> (string * int) list
+
+(** {1 SYN cookies}
+
+    A cookie ISN folds the 4-tuple, a per-node secret and a coarse
+    time epoch; validation accepts the current and previous epoch. *)
+
+val cookie_isn : t -> now:Sim.Time.t -> flow:Tcp.Flow.t -> Tcp.Seq32.t
+val cookie_check :
+  t -> now:Sim.Time.t -> flow:Tcp.Flow.t -> isn:Tcp.Seq32.t -> bool
+
+(** {1 TIME_WAIT table} *)
+
+val tw_add :
+  t ->
+  now:Sim.Time.t ->
+  flow:Tcp.Flow.t ->
+  snd_nxt:Tcp.Seq32.t ->
+  rcv_nxt:Tcp.Seq32.t ->
+  unit
+(** Install a TIME_WAIT entry; at [g_time_wait_max] capacity the
+    oldest entry is recycled (counted). *)
+
+val tw_find : t -> flow:Tcp.Flow.t -> (Tcp.Seq32.t * Tcp.Seq32.t) option
+(** [(snd_nxt, rcv_nxt)] of the dead incarnation, if any. *)
+
+val tw_remove : t -> flow:Tcp.Flow.t -> unit
+
+val tw_syn_acceptable : t -> flow:Tcp.Flow.t -> isn:Tcp.Seq32.t -> bool
+(** May a fresh SYN with this ISN take over the 4-tuple? True when no
+    TIME_WAIT entry exists or the ISN is strictly beyond the old
+    incarnation's final receive point (Seq32 wraparound-aware). *)
+
+val tw_reap : t -> now:Sim.Time.t -> int
+(** Expire entries past their deadline; returns how many. *)
+
+val tw_length : t -> int
+
+(** {1 Offline admission replay (flexlint churn)} *)
+
+type churn_event =
+  | Ev_syn of int
+  | Ev_ack of int
+  | Ev_seg of int
+  | Ev_close of int
+
+type ledger = {
+  lg_syns : int;
+  lg_accepted : int;
+  lg_cookies : int;
+  lg_shed : int;
+  lg_established : int;
+  lg_segments : int;
+  lg_established_shed : int;  (** Must be 0. *)
+  lg_tw_recycled : int;
+  lg_peak_backlog : int;
+  lg_peak_established : int;
+}
+
+val replay : ?tw_ticks:int -> Config.guard -> churn_event list -> ledger
+(** Replay the admission policy over an abstract churn trace, with
+    logical time = event index and TIME_WAIT lifetime [tw_ticks]
+    events (default 1024). Decision order matches the live control
+    plane: TIME_WAIT check, then admission cap, then backlog (cookie
+    fallback), and established-flow segments are never shed. *)
+
+val pp_ledger : Format.formatter -> ledger -> unit
+
+(**/**)
+
+val set_on_count : t -> (string -> unit) -> unit
+(** Wired by the data path to mirror counter increments into
+    FlexScope. *)

@@ -142,7 +142,12 @@ let do_close t sock =
     charge sock t.cfg.Config.sockets_api_cycles;
     sock.fin_pending <- true;
     flush_hc t sock;
-    Control_plane.close t.control ~conn:sock.handle.Control_plane.ch_conn
+    (* The FIN rides the sock's own context ring, ordered behind any
+       pending Tx_avails (flush_hc above). [~send_fin:false] keeps the
+       control plane from pushing a second FIN on ring 0, which could
+       overtake them and freeze the stream tail early. *)
+    Control_plane.close ~send_fin:false t.control
+      ~conn:sock.handle.Control_plane.ch_conn
   end
 
 let make_sock t (handle : Control_plane.conn_handle) =

@@ -136,18 +136,28 @@ let rx cfg ~now conn (s : Meta.rx_summary) ~alloc_gseq =
         (* Re-ack at the expected sequence number to prod the sender. *)
         need_ack := true
   end;
-  (* FIN: only consumable once all preceding data is in order. *)
+  (* FIN: only consumable once all preceding data is in order. A FIN
+     ahead of the in-order point (its carrier overtook earlier data)
+     is remembered, not dropped — it is consumed below when
+     reassembly reaches its cut point, which may be this very segment
+     filling the hole. *)
   let fin_reached = ref false in
   if s.Meta.fin && not p.rx_fin then begin
     let fin_seq = Tcp.Seq32.add s.Meta.seq plen in
-    if Tcp.Seq32.diff fin_seq (Tcp.Reassembly.next p.reasm) = 0 then begin
+    if Tcp.Seq32.diff fin_seq (Tcp.Reassembly.next p.reasm) >= 0 then
+      p.rx_fin_pending <- Some fin_seq;
+    need_ack := true
+  end;
+  (match p.rx_fin_pending with
+  | Some fs
+    when (not p.rx_fin)
+         && Tcp.Seq32.diff fs (Tcp.Reassembly.next p.reasm) <= 0 ->
+      p.rx_fin_pending <- None;
       p.rx_fin <- true;
       Tcp.Reassembly.force_advance p.reasm 1;
       fin_reached := true;
       need_ack := true
-    end
-    else need_ack := true
-  end;
+  | _ -> ());
   let ack =
     if not !need_ack then None
     else if cfg.Config.delayed_acks && !delayable && not !fin_reached then begin
@@ -235,8 +245,18 @@ let hc cfg ~now conn op ~alloc_gseq =
   let p = conn.proto in
   match op with
   | Meta.Tx_avail n ->
-      p.tx_tail_pos <- p.tx_tail_pos + n;
-      { hc_wake_tx = true; hc_window_update = None }
+      (* Once the FIN is on the wire the stream end is committed: a
+         Tx_avail that raced the Fin (cross-ring reorder, or a delayed
+         descriptor DMA completing out of order) must not extend the
+         tail past a sent FIN — that would emit data overlapping the
+         FIN's sequence number. Before [fin_sent], extending is safe:
+         the FIN simply rides after the new tail. *)
+      if p.tx_fin && (p.fin_sent || p.fin_acked) then
+        { hc_wake_tx = false; hc_window_update = None }
+      else begin
+        p.tx_tail_pos <- p.tx_tail_pos + n;
+        { hc_wake_tx = true; hc_window_update = None }
+      end
   | Meta.Rx_credit n ->
       let was_closed = p.rx_avail < cfg.Config.mss in
       (* Defensive: libTOE is untrusted (§3); never credit beyond the
@@ -251,8 +271,14 @@ let hc cfg ~now conn op ~alloc_gseq =
       in
       { hc_wake_tx = false; hc_window_update = update }
   | Meta.Fin ->
-      p.tx_fin <- true;
-      { hc_wake_tx = true; hc_window_update = None }
+      (* Idempotent: a second Fin (double close, or libTOE and the
+         control plane both signalling) is a no-op — re-waking TX for
+         an already-frozen tail would only burn scheduler credits. *)
+      if p.tx_fin then { hc_wake_tx = false; hc_window_update = None }
+      else begin
+        p.tx_fin <- true;
+        { hc_wake_tx = true; hc_window_update = None }
+      end
   | Meta.Retransmit ->
       p.tx_next_pos <- p.tx_acked_pos;
       p.karn_pos <- p.tx_max_pos;

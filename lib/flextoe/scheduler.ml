@@ -28,6 +28,7 @@ type t = {
   rr : flow Queue.t;  (* uncongested + due flows *)
   mutable in_wheel : int;
   mutable dispatched_total : int;
+  mutable peak_ready : int;  (* high-water mark of ready t *)
   mutable tracer : tracer option;
 }
 
@@ -44,6 +45,7 @@ let create engine ~slot ~slots ~credits ~dispatch =
     rr = Queue.create ();
     in_wheel = 0;
     dispatched_total = 0;
+    peak_ready = 0;
     tracer = None;
   }
 
@@ -85,10 +87,15 @@ let rec pump t =
    unpaced or already due; otherwise into the wheel slot covering its
    deadline (deadlines are rounded up to slot granularity; the horizon
    clamps far-future deadlines, as a bounded hardware wheel must). *)
+let note_peak t =
+  let d = Queue.length t.rr + t.in_wheel in
+  if d > t.peak_ready then t.peak_ready <- d
+
 let park t f =
   let now = Sim.Engine.now t.engine in
   if f.ps_per_byte = 0 || f.next_time <= now then begin
     Queue.push f t.rr;
+    note_peak t;
     pump t
   end
   else begin
@@ -96,6 +103,7 @@ let park t f =
     let deadline = min f.next_time (now + horizon) in
     let slot_deadline = (deadline + t.slot - 1) / t.slot * t.slot in
     t.in_wheel <- t.in_wheel + 1;
+    note_peak t;
     Sim.Engine.schedule_at t.engine slot_deadline (fun () ->
         t.in_wheel <- t.in_wheel - 1;
         if f.status = Ready then begin
@@ -152,3 +160,4 @@ let ready t =
   + t.in_wheel
 
 let dispatched_total t = t.dispatched_total
+let peak_ready t = t.peak_ready

@@ -66,3 +66,8 @@ val ready : t -> int
 (** Flows currently queued (round-robin and wheel). *)
 
 val dispatched_total : t -> int
+
+val peak_ready : t -> int
+(** High-water mark of the queued-flow count (round-robin + wheel),
+    for FlexGuard's bounded-queue-depth gate. Always tracked — a bare
+    int comparison per park. *)

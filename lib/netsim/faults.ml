@@ -260,3 +260,78 @@ let named = function
 
 let schedule_names =
   [ "none"; "bursty-loss"; "reorder-heavy"; "corruption"; "blackout"; "jitter" ]
+
+(* ---- connection-churn load generators --------------------------------- *)
+
+module Churn = struct
+  let mac_of_ip ip = 0x020000000000 lor ip
+
+  type flood = {
+    fl_engine : Sim.Engine.t;
+    fl_port : Fabric.port;
+    fl_src_ip : int;
+    fl_dst_ip : int;
+    fl_dst_port : int;
+    fl_interval : Sim.Time.t;
+    fl_src_ports : int;
+    mutable fl_next_port : int;
+    mutable fl_sent : int;
+    mutable fl_stopped : bool;
+  }
+
+  let flood_frame f =
+    (* Rotating ephemeral source ports, monotone ISNs: every SYN names
+       a distinct 4-tuple, the worst case for a stateful backlog. The
+       attacker never completes a handshake. *)
+    let src_port = 20_000 + (f.fl_next_port mod f.fl_src_ports) in
+    f.fl_next_port <- f.fl_next_port + 1;
+    let seg =
+      S.make
+        ~flags:{ S.no_flags with S.syn = true }
+        ~src_ip:f.fl_src_ip ~dst_ip:f.fl_dst_ip ~src_port
+        ~dst_port:f.fl_dst_port
+        ~seq:(Tcp.Seq32.of_int (f.fl_sent * 0x10001 land 0x3FFFFFFF))
+        ~ack_seq:Tcp.Seq32.zero ()
+    in
+    S.make_frame
+      ~src_mac:(mac_of_ip f.fl_src_ip)
+      ~dst_mac:(mac_of_ip f.fl_dst_ip)
+      seg
+
+  let rec flood_tick f () =
+    if not f.fl_stopped then begin
+      Fabric.transmit f.fl_port (flood_frame f);
+      f.fl_sent <- f.fl_sent + 1;
+      Sim.Engine.schedule f.fl_engine f.fl_interval (flood_tick f)
+    end
+
+  let syn_flood engine fabric ~src_ip ~dst_ip ~dst_port ~rate_pps
+      ?(src_ports = 4096) () =
+    if rate_pps <= 0 then invalid_arg "Churn.syn_flood: rate_pps <= 0";
+    let port =
+      (* The attacker ignores every response (open loop): SYN-ACKs and
+         RSTs vanish here. *)
+      Fabric.add_port fabric ~mac:(mac_of_ip src_ip) ~ip:src_ip
+        ~rx:(fun _ -> ())
+        ()
+    in
+    let f =
+      {
+        fl_engine = engine;
+        fl_port = port;
+        fl_src_ip = src_ip;
+        fl_dst_ip = dst_ip;
+        fl_dst_port = dst_port;
+        fl_interval = max 1 (1_000_000_000_000 / rate_pps);
+        fl_src_ports = max 1 src_ports;
+        fl_next_port = 0;
+        fl_sent = 0;
+        fl_stopped = false;
+      }
+    in
+    Sim.Engine.schedule engine f.fl_interval (flood_tick f);
+    f
+
+  let stop f = f.fl_stopped <- true
+  let sent f = f.fl_sent
+end

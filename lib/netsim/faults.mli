@@ -111,3 +111,32 @@ val named : string -> spec list
 (** Raises [Invalid_argument] on an unknown name. *)
 
 val schedule_names : string list
+
+(** {1 Connection-churn load generators}
+
+    Open-loop adversarial traffic for the FlexGuard churn scenarios:
+    unlike the frame-transform stages above, these are sources — they
+    get their own fabric port and inject fresh frames. *)
+
+module Churn : sig
+  type flood
+
+  val syn_flood :
+    Sim.Engine.t ->
+    Fabric.t ->
+    src_ip:int ->
+    dst_ip:int ->
+    dst_port:int ->
+    rate_pps:int ->
+    ?src_ports:int ->
+    unit ->
+    flood
+  (** Start an open-loop SYN flood at [rate_pps] SYNs/s toward
+      [dst_ip:dst_port], rotating over [src_ports] (default 4096)
+      ephemeral source ports with monotone ISNs — every SYN a distinct
+      4-tuple, never completing a handshake, ignoring all responses.
+      Raises [Invalid_argument] when [rate_pps <= 0]. *)
+
+  val stop : flood -> unit
+  val sent : flood -> int
+end

@@ -8,11 +8,20 @@ type 'a t = {
   mutable clock : int;
   mutable hits : int;
   mutable misses : int;
+  mutable evictions : int;
+  mutable invalidations : int;
 }
 
 let create ~entries =
   if entries <= 0 then invalid_arg "Cam.create: entries must be positive";
-  { slots = Array.make entries None; clock = 0; hits = 0; misses = 0 }
+  {
+    slots = Array.make entries None;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    invalidations = 0;
+  }
 
 let tick t =
   t.clock <- t.clock + 1;
@@ -69,6 +78,7 @@ let insert t key value =
           | None -> assert false
         in
         t.slots.(!lru) <- Some { key; value; stamp = tick t };
+        t.evictions <- t.evictions + 1;
         Some evicted
       end
     end
@@ -76,7 +86,9 @@ let insert t key value =
 let remove t key =
   Array.iteri
     (fun i -> function
-      | Some s when s.key = key -> t.slots.(i) <- None
+      | Some s when s.key = key ->
+          t.slots.(i) <- None;
+          t.invalidations <- t.invalidations + 1
       | _ -> ())
     t.slots
 
@@ -88,6 +100,8 @@ let length t =
 let capacity t = Array.length t.slots
 let hits t = t.hits
 let misses t = t.misses
+let evictions t = t.evictions
+let invalidations t = t.invalidations
 
 let clear t = Array.fill t.slots 0 (Array.length t.slots) None
 

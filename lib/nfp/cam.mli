@@ -18,6 +18,9 @@ val insert : 'a t -> int -> 'a -> (int * 'a) option
     binding if the cache was full. *)
 
 val remove : 'a t -> int -> unit
+(** Invalidate a binding (teardown-driven cache eviction); counts
+    toward {!invalidations} when the key was present. *)
+
 val mem : 'a t -> int -> bool
 (** Pure membership test; does not touch LRU order or counters. *)
 
@@ -25,6 +28,12 @@ val length : 'a t -> int
 val capacity : 'a t -> int
 val hits : 'a t -> int
 val misses : 'a t -> int
+
+val evictions : 'a t -> int
+(** Capacity evictions performed by {!insert} (pressure — distinct
+    from explicit {!remove} invalidations). *)
+
+val invalidations : 'a t -> int
 val clear : 'a t -> unit
 
 val iter : (int -> 'a -> unit) -> 'a t -> unit

@@ -11,6 +11,8 @@ type t = {
   mutable tail : node option;  (* least recently used *)
   mutable hits : int;
   mutable misses : int;
+  mutable evictions : int;
+  mutable invalidations : int;
 }
 
 let create ~entries =
@@ -22,6 +24,8 @@ let create ~entries =
     tail = None;
     hits = 0;
     misses = 0;
+    evictions = 0;
+    invalidations = 0;
   }
 
 let unlink t n =
@@ -53,7 +57,8 @@ let access t key =
         match t.tail with
         | Some lru ->
             unlink t lru;
-            Hashtbl.remove t.tbl lru.key
+            Hashtbl.remove t.tbl lru.key;
+            t.evictions <- t.evictions + 1
         | None -> ()
       end;
       let n = { key; prev = None; next = None } in
@@ -67,9 +72,12 @@ let remove t key =
   match Hashtbl.find_opt t.tbl key with
   | Some n ->
       unlink t n;
-      Hashtbl.remove t.tbl key
+      Hashtbl.remove t.tbl key;
+      t.invalidations <- t.invalidations + 1
   | None -> ()
 
 let length t = Hashtbl.length t.tbl
 let hits t = t.hits
 let misses t = t.misses
+let evictions t = t.evictions
+let invalidations t = t.invalidations

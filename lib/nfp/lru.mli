@@ -16,7 +16,17 @@ val access : t -> int -> bool
     (installed on miss, evicting the LRU key if full). *)
 
 val mem : t -> int -> bool
+
 val remove : t -> int -> unit
+(** Invalidate a key (teardown-driven cache eviction); counts toward
+    {!invalidations} when present. *)
+
 val length : t -> int
 val hits : t -> int
 val misses : t -> int
+
+val evictions : t -> int
+(** Capacity evictions performed by {!access} on a miss when full
+    (pressure — distinct from explicit {!remove} invalidations). *)
+
+val invalidations : t -> int

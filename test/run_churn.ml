@@ -1,0 +1,3 @@
+(* Shard 9: FlexGuard — overload control, teardown lifecycle, and
+   churn robustness. *)
+let () = Alcotest.run "flextoe-churn" [ ("churn", Test_churn.suite) ]

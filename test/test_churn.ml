@@ -1,0 +1,469 @@
+(* FlexGuard: teardown state machine, TIME_WAIT disambiguation,
+   RST handling, bounded handshake retransmission, admission/backlog
+   policy — unit tests on the policy engine plus end-to-end churn
+   scenarios with the guard armed. *)
+
+module F = Netsim.Faults
+module S = Tcp.Segment
+module Guard = Flextoe.Guard
+module Config = Flextoe.Config
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* --- Policy-engine unit tests --------------------------------------- *)
+
+let mk_guard ?(g = Config.guard_default) () =
+  Guard.create ~g ~secret:0x5EED ()
+
+let test_cookie_roundtrip () =
+  let g = mk_guard () in
+  let flow =
+    Tcp.Flow.v ~local_ip:0x0A000001 ~local_port:7 ~remote_ip:0x0A000002
+      ~remote_port:40000
+  in
+  let now = Sim.Time.ms 3 in
+  let isn = Guard.cookie_isn g ~now ~flow in
+  check_bool "cookie validates at issue time" true
+    (Guard.cookie_check g ~now ~flow ~isn);
+  (* Still valid one epoch later (previous-epoch acceptance)... *)
+  let later = now + Config.guard_default.Config.g_time_wait in
+  check_bool "cookie validates next epoch" true
+    (Guard.cookie_check g ~now:later ~flow ~isn);
+  (* ...but not two epochs later. *)
+  let much_later = now + (3 * Config.guard_default.Config.g_time_wait) in
+  check_bool "cookie expires after two epochs" false
+    (Guard.cookie_check g ~now:much_later ~flow ~isn);
+  (* A different 4-tuple never validates. *)
+  let other =
+    Tcp.Flow.v ~local_ip:0x0A000001 ~local_port:7 ~remote_ip:0x0A000002
+      ~remote_port:40001
+  in
+  check_bool "cookie bound to the 4-tuple" false
+    (Guard.cookie_check g ~now ~flow:other ~isn)
+
+let test_tw_wraparound () =
+  let g = mk_guard () in
+  let flow =
+    Tcp.Flow.v ~local_ip:1 ~local_port:7 ~remote_ip:2 ~remote_port:9
+  in
+  (* Dead incarnation's final receive point sits just below the 2^32
+     wrap; disambiguation must follow Seq32 ordering, not integer
+     ordering. *)
+  let rcv_nxt = Tcp.Seq32.of_int 0xFFFFFFF0 in
+  Guard.tw_add g ~now:Sim.Time.zero ~flow ~snd_nxt:(Tcp.Seq32.of_int 100)
+    ~rcv_nxt;
+  check_bool "ISN just past the wrap is acceptable" true
+    (Guard.tw_syn_acceptable g ~flow ~isn:(Tcp.Seq32.add rcv_nxt 5));
+  check_bool "older ISN (pre-wrap) is refused" false
+    (Guard.tw_syn_acceptable g ~flow ~isn:(Tcp.Seq32.add rcv_nxt (-5)));
+  check_bool "equal ISN is refused (strictly beyond required)" false
+    (Guard.tw_syn_acceptable g ~flow ~isn:rcv_nxt);
+  (* Unknown 4-tuples are always acceptable. *)
+  let other =
+    Tcp.Flow.v ~local_ip:1 ~local_port:7 ~remote_ip:2 ~remote_port:10
+  in
+  check_bool "no TIME_WAIT entry: acceptable" true
+    (Guard.tw_syn_acceptable g ~flow:other ~isn:Tcp.Seq32.zero)
+
+let test_tw_capacity_recycles_oldest () =
+  let g =
+    mk_guard ~g:{ Config.guard_default with Config.g_time_wait_max = 4 } ()
+  in
+  let flow i =
+    Tcp.Flow.v ~local_ip:1 ~local_port:7 ~remote_ip:2 ~remote_port:(100 + i)
+  in
+  for i = 0 to 5 do
+    Guard.tw_add g ~now:(Sim.Time.us i) ~flow:(flow i)
+      ~snd_nxt:Tcp.Seq32.zero ~rcv_nxt:Tcp.Seq32.zero
+  done;
+  check_int "capacity respected" 4 (Guard.tw_length g);
+  check_int "two pressure recycles" 2 (Guard.counter g "tw_recycled_pressure");
+  check_bool "oldest entries recycled first" true
+    (Guard.tw_find g ~flow:(flow 0) = None
+    && Guard.tw_find g ~flow:(flow 1) = None
+    && Guard.tw_find g ~flow:(flow 5) <> None);
+  (* Expiry reaps the rest. *)
+  let past = Sim.Time.ms 1000 in
+  check_int "reap expires remaining entries" 4 (Guard.tw_reap g ~now:past);
+  check_int "table empty after reap" 0 (Guard.tw_length g)
+
+let test_replay_backlog_and_cookies () =
+  let g =
+    {
+      Config.guard_default with
+      Config.g_syn_backlog = 8;
+      g_max_conns = 0;
+      g_syn_cookies = true;
+    }
+  in
+  (* 100 SYNs, none ever ACKed: the first 8 fill the backlog, the rest
+     are answered statelessly. Nothing is shed. *)
+  let events = List.init 100 (fun i -> Guard.Ev_syn i) in
+  let l = Guard.replay g events in
+  check_int "backlog absorbed 8" 8 l.Guard.lg_accepted;
+  check_int "92 answered with cookies" 92 l.Guard.lg_cookies;
+  check_int "nothing shed with cookies on" 0 l.Guard.lg_shed;
+  check_int "peak backlog bounded" 8 l.Guard.lg_peak_backlog;
+  (* Same flood without cookies: the overflow is shed. *)
+  let l' = Guard.replay { g with Config.g_syn_cookies = false } events in
+  check_int "without cookies the overflow sheds" 92 l'.Guard.lg_shed;
+  check_int "established segments never shed (none here)" 0
+    l'.Guard.lg_established_shed
+
+let test_replay_established_never_shed () =
+  let g =
+    {
+      Config.guard_default with
+      Config.g_syn_backlog = 2;
+      g_max_conns = 4;
+      g_syn_cookies = false;
+    }
+  in
+  (* Four established flows exchanging segments under a SYN flood that
+     saturates both backlog and admission: every established segment
+     must still pass. *)
+  let establish i = [ Guard.Ev_syn i; Guard.Ev_ack i ] in
+  let flood = List.init 50 (fun i -> Guard.Ev_syn (1000 + i)) in
+  let traffic = List.init 40 (fun i -> Guard.Ev_seg (i mod 4)) in
+  let events = List.concat (List.init 4 establish) @ flood @ traffic in
+  let l = Guard.replay g events in
+  check_int "four established" 4 l.Guard.lg_established;
+  check_int "flood shed" 50 l.Guard.lg_shed;
+  check_int "all established segments passed" 40 l.Guard.lg_segments;
+  check_int "zero established segments shed" 0 l.Guard.lg_established_shed
+
+let test_replay_close_and_timewait () =
+  let g =
+    { Config.guard_default with Config.g_syn_backlog = 0; g_time_wait_max = 2 }
+  in
+  let conn i = [ Guard.Ev_syn i; Guard.Ev_ack i; Guard.Ev_close i ] in
+  let events = List.concat (List.init 5 conn) in
+  let l = Guard.replay ~tw_ticks:1_000 g events in
+  check_int "five established over the run" 5 l.Guard.lg_established;
+  (* TIME_WAIT capacity 2: three of the five closes recycled an
+     entry. *)
+  check_int "time-wait recycles under pressure" 3 l.Guard.lg_tw_recycled
+
+(* --- End-to-end worlds ------------------------------------------------ *)
+
+let ip_server = 0x0A000001
+let ip_client = 0x0A000002
+let ip_rogue = 0x0A0000EE
+let mac_of_ip ip = 0x020000000000 lor ip
+
+type world = {
+  engine : Sim.Engine.t;
+  fabric : Netsim.Fabric.t;
+  server : Flextoe.t;
+  client : Flextoe.t;
+}
+
+let guarded_config () =
+  { Config.default with Config.guard = Config.guard_default }
+
+let mk_world ?(seed = 11L) ?(config = guarded_config ()) () =
+  let engine = Sim.Engine.create ~seed () in
+  let fabric = Netsim.Fabric.create engine () in
+  let server =
+    Flextoe.create_node engine ~fabric ~config ~app_cores:2 ~ip:ip_server ()
+  in
+  let client =
+    Flextoe.create_node engine ~fabric ~config ~app_cores:2 ~ip:ip_client ()
+  in
+  { engine; fabric; server; client }
+
+let run_for w d = Sim.Engine.run ~until:(Sim.Engine.now w.engine + d) w.engine
+
+let server_guard w =
+  match Flextoe.Datapath.guard (Flextoe.datapath w.server) with
+  | Some g -> g
+  | None -> Alcotest.fail "guard not armed on server"
+
+let total_aborts w =
+  Flextoe.Libtoe.sockets_aborted (Flextoe.libtoe w.server)
+  + Flextoe.Libtoe.sockets_aborted (Flextoe.libtoe w.client)
+
+let active_total w =
+  Flextoe.Control_plane.active_flows (Flextoe.control w.server)
+  + Flextoe.Control_plane.active_flows (Flextoe.control w.client)
+
+(* Establish one echo-less connection; returns the client socket and
+   the server socket once both exist. *)
+let establish w =
+  let ssock = ref None and csock = ref None in
+  (Flextoe.endpoint w.server).Host.Api.listen ~port:7
+    ~on_accept:(fun sock -> ssock := Some sock);
+  (Flextoe.endpoint w.client).Host.Api.connect ~remote_ip:ip_server
+    ~remote_port:7 ~on_connected:(fun r ->
+      match r with
+      | Ok sock -> csock := Some sock
+      | Error e -> Alcotest.fail ("connect failed: " ^ e));
+  run_for w (Sim.Time.ms 2);
+  match (!ssock, !csock) with
+  | Some s, Some c -> (s, c)
+  | _ -> Alcotest.fail "handshake did not complete"
+
+(* A raw injection port for crafting adversarial frames. *)
+let rogue_port w =
+  Netsim.Fabric.add_port w.fabric ~mac:(mac_of_ip ip_rogue) ~ip:ip_rogue
+    ~rx:(fun _ -> ())
+    ()
+
+let inject w port ?(payload = Bytes.create 0) ~src_ip ~src_port ~dst_port
+    ~flags ~seq ~ack_seq () =
+  let seg =
+    S.make ~flags ~payload ~src_ip ~dst_ip:ip_server ~src_port ~dst_port ~seq
+      ~ack_seq ()
+  in
+  Netsim.Fabric.transmit port
+    (S.make_frame ~src_mac:(mac_of_ip src_ip) ~dst_mac:(mac_of_ip ip_server)
+       seg);
+  run_for w (Sim.Time.ms 1)
+
+let test_simultaneous_close () =
+  let w = mk_world () in
+  let s, c = establish w in
+  (* Both ends close in the same engine step: FINs cross. *)
+  s.Host.Api.close ();
+  c.Host.Api.close ();
+  run_for w (Sim.Time.ms 10);
+  check_int "no aborts on simultaneous close" 0 (total_aborts w);
+  check_int "both connection tables empty" 0 (active_total w);
+  check_bool "TIME_WAIT entries installed" true
+    (Guard.counter (server_guard w) "tw_installed" >= 1)
+
+let test_double_close_idempotent () =
+  let w = mk_world () in
+  let s, c = establish w in
+  let conn =
+    match Flextoe.Datapath.conn_of_flow (Flextoe.datapath w.client)
+            (Tcp.Flow.v ~local_ip:ip_client ~local_port:40000
+               ~remote_ip:ip_server ~remote_port:7)
+    with
+    | Some idx -> idx
+    | None -> Alcotest.fail "client connection not installed"
+  in
+  c.Host.Api.close ();
+  c.Host.Api.close ();  (* double close at the API *)
+  (* Close again below the API while the FIN handshake is in flight
+     (the close-during-retransmit shape): must be a no-op, not a
+     second FIN racing the first. *)
+  Flextoe.Control_plane.close (Flextoe.control w.client) ~conn;
+  run_for w (Sim.Time.ms 5);
+  s.Host.Api.close ();
+  run_for w (Sim.Time.ms 10);
+  check_int "no aborts on double close" 0 (total_aborts w);
+  check_int "teardown completed" 0 (active_total w);
+  (* Close on a torn-down connection: idempotent no-op. *)
+  Flextoe.Control_plane.close (Flextoe.control w.client) ~conn;
+  run_for w (Sim.Time.ms 1);
+  check_int "post-teardown close is a no-op" 0 (total_aborts w)
+
+let test_fin_retransmit_into_timewait () =
+  let w = mk_world () in
+  let s, c = establish w in
+  c.Host.Api.close ();
+  s.Host.Api.close ();
+  run_for w (Sim.Time.ms 5);
+  let g = server_guard w in
+  let flow =
+    Tcp.Flow.v ~local_ip:ip_server ~local_port:7 ~remote_ip:ip_client
+      ~remote_port:40000
+  in
+  match Guard.tw_find g ~flow with
+  | None -> Alcotest.fail "connection not in TIME_WAIT on server"
+  | Some (snd_nxt, rcv_nxt) ->
+      (* Replay the peer's FIN (its final ACK was "lost"): the guard
+         must re-ACK from the stored endpoint state, not RST. *)
+      let port = rogue_port w in
+      inject w port ~src_ip:ip_client ~src_port:40000 ~dst_port:7
+        ~flags:{ S.no_flags with S.fin = true; S.ack = true }
+        ~seq:(Tcp.Seq32.add rcv_nxt (-1))
+        ~ack_seq:snd_nxt ();
+      check_int "FIN retransmission re-ACKed" 1 (Guard.counter g "tw_reack");
+      check_int "no RST for a TIME_WAIT tuple" 0 (Guard.counter g "rst_tx")
+
+let test_timewait_syn_disambiguation () =
+  let w = mk_world () in
+  let s, c = establish w in
+  c.Host.Api.close ();
+  s.Host.Api.close ();
+  run_for w (Sim.Time.ms 5);
+  let g = server_guard w in
+  let flow =
+    Tcp.Flow.v ~local_ip:ip_server ~local_port:7 ~remote_ip:ip_client
+      ~remote_port:40000
+  in
+  match Guard.tw_find g ~flow with
+  | None -> Alcotest.fail "connection not in TIME_WAIT on server"
+  | Some (_, rcv_nxt) ->
+      let port = rogue_port w in
+      (* An old duplicate SYN (ISN below the dead incarnation's final
+         receive point) must be refused... *)
+      inject w port ~src_ip:ip_client ~src_port:40000 ~dst_port:7
+        ~flags:{ S.no_flags with S.syn = true }
+        ~seq:(Tcp.Seq32.add rcv_nxt (-1000))
+        ~ack_seq:Tcp.Seq32.zero ();
+      check_int "stale SYN refused" 1 (Guard.counter g "tw_refused_syn");
+      check_bool "TIME_WAIT entry survives a stale SYN" true
+        (Guard.tw_find g ~flow <> None);
+      (* ...while a genuinely fresh SYN recycles the entry. *)
+      inject w port ~src_ip:ip_client ~src_port:40000 ~dst_port:7
+        ~flags:{ S.no_flags with S.syn = true }
+        ~seq:(Tcp.Seq32.add rcv_nxt 4242)
+        ~ack_seq:Tcp.Seq32.zero ();
+      check_int "fresh SYN recycles TIME_WAIT" 1
+        (Guard.counter g "tw_recycled_syn");
+      check_bool "entry gone after recycle" true
+        (Guard.tw_find g ~flow = None)
+
+let test_rst_in_half_close () =
+  let w = mk_world () in
+  let s, c = establish w in
+  (* Half-close: client FINs, server keeps its direction open. *)
+  c.Host.Api.close ();
+  run_for w (Sim.Time.ms 3);
+  let flow =
+    Tcp.Flow.v ~local_ip:ip_server ~local_port:7 ~remote_ip:ip_client
+      ~remote_port:40000
+  in
+  check_bool "server connection still installed after half-close" true
+    (Flextoe.Datapath.conn_of_flow (Flextoe.datapath w.server) flow <> None);
+  (* RST lands during half-close: the server connection aborts. *)
+  let port = rogue_port w in
+  inject w port ~src_ip:ip_client ~src_port:40000 ~dst_port:7
+    ~flags:{ S.no_flags with S.rst = true }
+    ~seq:Tcp.Seq32.zero ~ack_seq:Tcp.Seq32.zero ();
+  run_for w (Sim.Time.ms 2);
+  check_bool "server connection torn down by RST" true
+    (Flextoe.Datapath.conn_of_flow (Flextoe.datapath w.server) flow = None);
+  check_int "server socket saw the abort" 1
+    (Flextoe.Libtoe.sockets_aborted (Flextoe.libtoe w.server));
+  check_int "guard counted the RST" 1
+    (Guard.counter (server_guard w) "rst_rx");
+  ignore s
+
+let test_rst_to_no_connection () =
+  let w = mk_world () in
+  (* No listener, no connection: an ACK-bearing segment to port 9999
+     draws an active refusal. *)
+  let port = rogue_port w in
+  inject w port ~src_ip:ip_rogue ~src_port:555 ~dst_port:9999
+    ~flags:S.flags_ack ~seq:(Tcp.Seq32.of_int 77)
+    ~ack_seq:(Tcp.Seq32.of_int 88) ();
+  check_int "RST sent to no-such-connection" 1
+    (Guard.counter (server_guard w) "rst_tx")
+
+let test_connect_blackhole_etimedout () =
+  let w = mk_world () in
+  let result = ref None in
+  (* No node owns this IP: the fabric drops every SYN (open-loop
+     blackhole). Bounded retries must surface Etimedout. *)
+  (Flextoe.endpoint w.client).Host.Api.connect ~remote_ip:0x0A0000FD
+    ~remote_port:7 ~on_connected:(fun r -> result := Some r);
+  run_for w (Sim.Time.ms 80);
+  (match !result with
+  | Some (Error e) -> check_string "connect error" "Etimedout" e
+  | Some (Ok _) -> Alcotest.fail "connect to a blackhole succeeded"
+  | None -> Alcotest.fail "connect still pending after retry budget");
+  check_int "no half-open state leaked" 0
+    (Flextoe.Control_plane.active_flows (Flextoe.control w.client))
+
+let test_syn_flood_cookies_and_shed () =
+  let w = mk_world () in
+  (Flextoe.endpoint w.server).Host.Api.listen ~port:7
+    ~on_accept:(fun _ -> ());
+  let flood =
+    F.Churn.syn_flood w.engine w.fabric ~src_ip:ip_rogue ~dst_ip:ip_server
+      ~dst_port:7 ~rate_pps:400_000 ()
+  in
+  run_for w (Sim.Time.ms 20);
+  F.Churn.stop flood;
+  run_for w (Sim.Time.ms 5);
+  let g = server_guard w in
+  check_bool "flood was substantial" true (F.Churn.sent flood > 1000);
+  check_bool "backlog overflow answered with cookies" true
+    (Guard.counter g "cookie_sent" > 0);
+  check_bool "stateful backlog stayed bounded" true
+    (Guard.counter g "syn_accepted"
+     <= Config.guard_default.Config.g_syn_backlog
+        * Config.guard_default.Config.g_syn_retries);
+  check_int "nothing established by an open-loop attacker" 0
+    (Flextoe.Control_plane.active_flows (Flextoe.control w.server));
+  check_int "established-flow segments never shed" 0
+    (Guard.established_shed g)
+
+let test_listener_pause_backpressure () =
+  let w = mk_world () in
+  let accepted = ref 0 in
+  (Flextoe.endpoint w.server).Host.Api.listen ~port:7
+    ~on_accept:(fun _ -> incr accepted);
+  let cp = Flextoe.control w.server in
+  Flextoe.Control_plane.set_listener_paused cp ~port:7 true;
+  check_bool "pause observable" true
+    (Flextoe.Control_plane.listener_paused cp ~port:7);
+  (Flextoe.endpoint w.client).Host.Api.connect ~remote_ip:ip_server
+    ~remote_port:7 ~on_connected:(fun _ -> ());
+  run_for w (Sim.Time.ms 3);
+  check_int "no accept while paused" 0 !accepted;
+  check_bool "SYNs counted as shed_paused" true
+    (Guard.counter (server_guard w) "shed_paused" >= 1);
+  (* Resume: the client's SYN retransmission completes the handshake. *)
+  Flextoe.Control_plane.set_listener_paused cp ~port:7 false;
+  run_for w (Sim.Time.ms 20);
+  check_int "handshake completes after resume" 1 !accepted
+
+let test_guard_defaults_off () =
+  (* [guard_none] (the default unless FLEXGUARD is set — pinned
+     explicitly here so the churn CI job's FLEXGUARD=1 doesn't flip
+     it) must leave the guard dormant: no Guard.t, no reaper events,
+     unchanged close semantics. The golden-trace suite pins
+     bit-identity; this pins the structural invariant. *)
+  let w =
+    mk_world
+      ~config:{ Config.default with Config.guard = Config.guard_none }
+      ()
+  in
+  check_bool "guard absent at defaults" true
+    (Flextoe.Datapath.guard (Flextoe.datapath w.server) = None);
+  let s, c = establish w in
+  s.Host.Api.close ();
+  c.Host.Api.close ();
+  run_for w (Sim.Time.ms 10);
+  check_int "unguarded teardown still clean" 0 (total_aborts w);
+  check_int "unguarded tables empty" 0 (active_total w)
+
+let suite =
+  [
+    Alcotest.test_case "cookie roundtrip" `Quick test_cookie_roundtrip;
+    Alcotest.test_case "TIME_WAIT wraparound disambiguation" `Quick
+      test_tw_wraparound;
+    Alcotest.test_case "TIME_WAIT capacity recycles oldest" `Quick
+      test_tw_capacity_recycles_oldest;
+    Alcotest.test_case "replay: backlog and cookies" `Quick
+      test_replay_backlog_and_cookies;
+    Alcotest.test_case "replay: established never shed" `Quick
+      test_replay_established_never_shed;
+    Alcotest.test_case "replay: close and TIME_WAIT" `Quick
+      test_replay_close_and_timewait;
+    Alcotest.test_case "simultaneous close" `Slow test_simultaneous_close;
+    Alcotest.test_case "double close idempotent" `Slow
+      test_double_close_idempotent;
+    Alcotest.test_case "FIN retransmit into TIME_WAIT" `Slow
+      test_fin_retransmit_into_timewait;
+    Alcotest.test_case "TIME_WAIT SYN disambiguation" `Slow
+      test_timewait_syn_disambiguation;
+    Alcotest.test_case "RST in half-close" `Slow test_rst_in_half_close;
+    Alcotest.test_case "RST to no connection" `Slow
+      test_rst_to_no_connection;
+    Alcotest.test_case "blackholed connect times out" `Slow
+      test_connect_blackhole_etimedout;
+    Alcotest.test_case "SYN flood: cookies, bounded backlog" `Slow
+      test_syn_flood_cookies_and_shed;
+    Alcotest.test_case "listener pause backpressure" `Slow
+      test_listener_pause_backpressure;
+    Alcotest.test_case "guard dormant at defaults" `Quick
+      test_guard_defaults_off;
+  ]

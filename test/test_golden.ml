@@ -30,6 +30,9 @@ let cfg ~batch ~scope ~san =
   {
     Flextoe.Config.default with
     Flextoe.Config.batch = Flextoe.Config.batch_of batch;
+    (* The digests pin the unguarded pipeline: FLEXGUARD=1 in the
+       environment (the churn CI job) must not perturb them. *)
+    guard = Flextoe.Config.guard_none;
     san;
     scope =
       (if scope then Flextoe.Config.Scope_metrics
