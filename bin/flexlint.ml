@@ -1,30 +1,29 @@
 (* flexlint: FlexTOE static checkers from the command line.
 
-   Two subcommands:
+   Subcommands (see the top-level man page): [verify] (eBPF programs;
+   also the default so plain [flexlint --builtin] keeps working),
+   [san] (stage-effect contracts + dynamic race sanitizer), [graph]
+   (FlexProve whole-graph analysis: interference, deadlock, queue
+   bounds), [fsm] (teardown-FSM model check), [top] (FlexScope
+   metrics ranking), [trace-check] (trace_event schema validation),
+   [fuzz-wire] (wire-codec negative corpus), [churn] (admission-policy
+   replay).
 
-   - [flexlint verify] (also the default, so plain
-     [flexlint --builtin] keeps working): run the eBPF verifier over
-     the shipped extension programs and/or programs decoded from
-     files in the kernel instruction format.
-   - [flexlint san]: run the FlexSan layer-1 contract check over the
-     datapath's built-in stage set; with [--builtin] additionally
-     boot a sanitized two-node pipeline under an echo workload and
-     require zero dynamic reports; with [--seeded VARIANT] run a
-     deliberately-broken datapath and require the sanitizer to catch
-     it (CI self-test of the detector).
-
-   Exit status: 0 all checks passed; 1 a verification or sanitizer
-   check failed; 2 usage, file-read or decode errors. *)
+   Exit status — uniform across subcommands: 0 all checks passed; 1 a
+   checker's verdict failed; 2 usage, file-read or decode errors. *)
 
 open Cmdliner
 module V = Flextoe.Verifier
 
+let version = "0.7.0"
+
 let exit_info =
   [
     Cmd.Exit.info 0 ~doc:"all checks passed.";
-    Cmd.Exit.info 1 ~doc:"a program was rejected or the sanitizer reported.";
+    Cmd.Exit.info 1 ~doc:"a check's verdict failed (program rejected, \
+                          sanitizer or prover reported, mutant survived).";
     Cmd.Exit.info 2
-      ~doc:"usage error, unreadable or undecodable input file.";
+      ~doc:"usage error, unreadable, undecodable or empty input.";
   ]
 
 (* --- verify: eBPF programs ------------------------------------------ *)
@@ -158,8 +157,17 @@ let verify_term = Term.(const run_verify $ builtin_t $ dump_t $ maps_t $ files_t
 
 let verify_cmd =
   Cmd.v
-    (Cmd.info "verify" ~doc:"Statically verify FlexTOE eBPF programs"
-       ~exits:exit_info)
+    (Cmd.info "verify" ~version
+       ~doc:"Statically verify FlexTOE eBPF programs" ~exits:exit_info
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Runs the eBPF verifier over the shipped extension programs \
+              ($(b,--builtin)) and/or programs decoded from files in the \
+              kernel instruction encoding. File programs take their map \
+              shapes from repeated $(b,--map) options.";
+         ])
     verify_term
 
 (* --- san: stage-effect contracts and the dynamic sanitizer ---------- *)
@@ -290,11 +298,23 @@ let seeded_t =
 
 let san_cmd =
   Cmd.v
-    (Cmd.info "san"
+    (Cmd.info "san" ~version
        ~doc:
          "Check the datapath stage-effect contracts (FlexSan layer 1) and \
           optionally the dynamic race sanitizer (layer 2)"
-       ~exits:exit_info)
+       ~exits:exit_info
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Checks the built-in stage set's effect contracts pairwise. \
+              With $(b,--builtin), additionally boots a sanitized two-node \
+              pipeline under an echo workload and requires zero dynamic \
+              reports; with $(b,--seeded) $(i,VARIANT), runs a \
+              deliberately-broken datapath and requires the sanitizer to \
+              catch it (detector self-test). The whole-graph generalization \
+              of the pairwise check lives in $(b,flexlint graph).";
+         ])
     Term.(const run_san $ san_builtin_t $ seeded_t)
 
 (* --- top: FlexScope metrics-snapshot report -------------------------- *)
@@ -433,11 +453,20 @@ let limit_t =
 
 let top_cmd =
   Cmd.v
-    (Cmd.info "top"
+    (Cmd.info "top" ~version
        ~doc:
          "Rank a FlexScope metrics snapshot: stages by total attributed \
           cycles, segment-lifecycle latencies, counters, pool utilization"
-       ~exits:exit_info)
+       ~exits:exit_info
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Reads a metrics snapshot written by flextoe-sim \
+              $(b,--profile) and prints the where-does-the-time-go tables: \
+              stage histograms ranked by total attributed cycles, \
+              segment-lifecycle latencies, counters and pool utilization.";
+         ])
     Term.(const run_top $ metrics_file_t $ limit_t)
 
 (* --- fuzz-wire: negative corpus for the wire codec ------------------- *)
@@ -471,11 +500,20 @@ let fuzz_seed_t =
 
 let fuzz_wire_cmd =
   Cmd.v
-    (Cmd.info "fuzz-wire"
+    (Cmd.info "fuzz-wire" ~version
        ~doc:
          "Feed a seeded corpus of truncated/bit-flipped/garbage frames to \
           the wire decoder and checksum helpers; any raised exception fails"
-       ~exits:exit_info)
+       ~exits:exit_info
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Feeds a seeded corpus of truncated, bit-flipped and garbage \
+              frames to the wire decoder and checksum helpers. Decoders may \
+              reject; they may never raise. A fixed $(b,--seed) gives a \
+              reproducible corpus.";
+         ])
     Term.(const run_fuzz_wire $ fuzz_cases_t $ fuzz_seed_t)
 
 (* --- trace-check: Chrome trace_event JSONL schema validation --------- *)
@@ -511,9 +549,12 @@ let run_trace_check path =
           end
         done
       with End_of_file -> ());
+  (* An empty trace is an input problem, not a schema verdict: exit 2
+     like every other unreadable/empty input across the subcommands
+     (churn does the same). *)
   if !total = 0 then begin
     Format.printf "FAIL %-20s empty trace@." path;
-    exit 1
+    exit 2
   end;
   if !bad > 0 then begin
     Format.printf "FAIL %-20s %d of %d line(s) invalid@." path !bad !total;
@@ -530,11 +571,19 @@ let trace_file_t =
 
 let trace_check_cmd =
   Cmd.v
-    (Cmd.info "trace-check"
+    (Cmd.info "trace-check" ~version
        ~doc:
          "Validate a FlexScope Chrome trace_event JSONL export against the \
           emitter's schema"
-       ~exits:exit_info)
+       ~exits:exit_info
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Validates every line of a Chrome trace_event JSONL export \
+              against the emitter's schema. Invalid lines fail with exit 1; \
+              an unreadable or empty file is an input error (exit 2).";
+         ])
     Term.(const run_trace_check $ trace_file_t)
 
 (* --- churn: offline admission-policy replay -------------------------- *)
@@ -651,20 +700,325 @@ let churn_tw_ticks_t =
 
 let churn_cmd =
   Cmd.v
-    (Cmd.info "churn"
+    (Cmd.info "churn" ~version
        ~doc:
          "Replay a connection-churn trace through the FlexGuard admission \
           policy; any shed established-flow segment fails"
-       ~exits:exit_info)
+       ~exits:exit_info
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Replays a churn trace (one $(b,syn)/$(b,ack)/$(b,seg)/\
+              $(b,close) event per line) through the FlexGuard admission \
+              policy offline and prints the resulting ledger. Shedding an \
+              established-flow segment fails the replay.";
+         ])
     Term.(
       const run_churn $ churn_trace_t $ churn_backlog_t $ churn_max_conns_t
       $ churn_no_cookies_t $ churn_tw_ticks_t)
 
+(* --- graph: FlexProve whole-graph static analysis --------------------- *)
+
+module GI = Flextoe.Graph_ir
+module P = Flextoe.Prove
+
+(* The acceptance matrix: batching off and the two CI-exercised
+   degrees, each with FlexGuard off and on — the four structural
+   shapes the extraction can take (bounded vs unbounded CP queue,
+   coalesced vs unit batches). *)
+let graph_degrees = [ 1; 8; 16 ]
+
+let graph_config ~batch ~guard =
+  {
+    Flextoe.Config.default with
+    Flextoe.Config.batch = Flextoe.Config.batch_of batch;
+    guard =
+      (if guard then Flextoe.Config.guard_default
+       else Flextoe.Config.guard_none);
+  }
+
+let write_out path s =
+  if path = "-" then print_string s
+  else
+    match open_out path with
+    | oc ->
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc s)
+    | exception Sys_error e ->
+        Format.printf "FAIL %-20s unwritable: %s@." path e;
+        exit 2
+
+let check_combo ~batch ~guard =
+  let mode = Printf.sprintf "batch=%-2d guard=%s" batch
+      (if guard then "on " else "off") in
+  match
+    P.check_graph (D.builtin_graph ~config:(graph_config ~batch ~guard) ())
+  with
+  | Ok reports ->
+      List.iter
+        (fun r ->
+          List.iter
+            (fun n -> Format.printf "OK   %-20s %s %s@." r.P.r_pass mode n)
+            r.P.r_notes)
+        reports;
+      true
+  | Error fs ->
+      List.iter
+        (fun f ->
+          Format.printf "FAIL %-20s %s %s: %s@." f.P.f_pass mode
+            f.P.f_subject f.P.f_detail)
+        fs;
+      false
+
+(* One sabotage variant against the passes: caught statically, tagged
+   dynamic-only with its rationale, or — the CI-failing case — an
+   unclassified gap in the safety story. *)
+let classify_variant (name, sb) =
+  match
+    P.check_graph
+      (D.builtin_graph ~sabotage:sb ~config:Flextoe.Config.default ())
+  with
+  | Error fs ->
+      Format.printf "OK   caught:%-13s %s@." name
+        (P.finding_to_string (List.hd fs));
+      true
+  | Ok _ -> (
+      match List.assoc_opt name D.sabotage_dynamic_only with
+      | Some why ->
+          Format.printf "OK   dynamic:%-12s %s@." name why;
+          true
+      | None ->
+          Format.printf
+            "FAIL unclassified:%-7s as-built graph is clean yet the \
+             variant is not tagged dynamic-only@."
+            name;
+          false)
+
+let run_graph dot classify sabotage_v =
+  (match dot with
+  | Some path ->
+      write_out path
+        (GI.to_dot (D.builtin_graph ~config:Flextoe.Config.default ()))
+  | None -> ());
+  let ok =
+    match sabotage_v with
+    | Some v -> (
+        match List.assoc_opt v D.sabotage_variants with
+        | None ->
+            Format.printf
+              "FAIL sabotage             unknown variant %s (have: %s)@." v
+              (String.concat ", " (List.map fst D.sabotage_variants));
+            exit 2
+        | Some sb -> classify_variant (v, sb))
+    | None ->
+        let clean =
+          List.fold_left
+            (fun acc batch ->
+              List.fold_left
+                (fun acc guard -> check_combo ~batch ~guard && acc)
+                acc [ false; true ])
+            true graph_degrees
+        in
+        if classify then
+          List.fold_left
+            (fun acc v -> classify_variant v && acc)
+            clean D.sabotage_variants
+        else clean
+  in
+  if not ok then exit 1
+
+let graph_dot_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dot" ] ~docv:"FILE"
+        ~doc:
+          "Write the healthy pipeline graph in Graphviz DOT format to \
+           $(docv) (- for stdout) before checking.")
+
+let graph_classify_t =
+  Arg.(
+    value & flag
+    & info [ "classify" ]
+        ~doc:
+          "Additionally classify every seeded sabotage variant: each must \
+           be caught statically or be explicitly tagged dynamic-only; an \
+           unclassified variant fails.")
+
+let graph_sabotage_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "sabotage" ] ~docv:"VARIANT"
+        ~doc:
+          "Classify a single sabotage variant's as-built graph instead of \
+           checking the healthy matrix.")
+
+let graph_cmd =
+  Cmd.v
+    (Cmd.info "graph" ~version
+       ~doc:
+         "FlexProve: whole-graph static analysis of the pipeline \
+          (interference, deadlock freedom, queue bounds)"
+       ~exits:exit_info
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Extracts the built-in pipeline as a typed graph (stages with \
+              effect contracts and serialization domains, queues with \
+              capacities and overflow policies, credit edges) and runs the \
+              FlexProve passes: whole-graph interference — the transitive \
+              generalization of the pairwise contract check in \
+              $(b,flexlint san) — deadlock freedom of the \
+              credit/backpressure wait-for graph, and worst-case queue \
+              occupancy against configured capacities. The healthy matrix \
+              covers batch degrees 1, 8 and 16, each with FlexGuard off \
+              and on. The same passes run at node construction; this \
+              command is the offline/CI surface.";
+         ])
+    Term.(const run_graph $ graph_dot_t $ graph_classify_t $ graph_sabotage_t)
+
+(* --- fsm: teardown-FSM model check ------------------------------------ *)
+
+let fsm_modes =
+  [ (false, false); (false, true); (true, false); (true, true) ]
+
+let fsm_mode_name (guard, tw) =
+  Printf.sprintf "guard=%s tw=%s" (if guard then "on " else "off")
+    (if tw then "on " else "off")
+
+let run_fsm mutate dot =
+  (match dot with
+  | Some path -> write_out path (P.fsm_dot ~guard:true ~tw:true ())
+  | None -> ());
+  match mutate with
+  | None ->
+      let ok =
+        List.fold_left
+          (fun acc mode ->
+            let guard, tw = mode in
+            match P.check_fsm ~guard ~tw () with
+            | Ok notes ->
+                List.iter
+                  (fun n ->
+                    Format.printf "OK   fsm %-16s %s@." (fsm_mode_name mode) n)
+                  notes;
+                acc
+            | Error c ->
+                Format.printf "FAIL fsm %-16s %s@." (fsm_mode_name mode)
+                  (P.counterexample_to_string c);
+                false)
+          true fsm_modes
+      in
+      if not ok then exit 1
+  | Some name -> (
+      match List.assoc_opt name P.fsm_mutations with
+      | None ->
+          Format.printf
+            "FAIL mutate               unknown mutation %s (have: %s)@." name
+            (String.concat ", " (List.map fst P.fsm_mutations));
+          exit 2
+      | Some step -> (
+          (* Checker self-test: the mutated table must be rejected in
+             at least one feature mode, with a path-to-violation
+             counterexample. A surviving mutant is a blind spot. *)
+          let rejections =
+            List.filter_map
+              (fun (guard, tw) ->
+                match P.check_fsm ~step ~guard ~tw () with
+                | Error c -> Some ((guard, tw), c)
+                | Ok _ -> None)
+              fsm_modes
+          in
+          match rejections with
+          | [] ->
+              Format.printf
+                "FAIL mutate:%-13s survived every mode (checker blind \
+                 spot)@."
+                name;
+              exit 1
+          | (mode, c) :: _ ->
+              Format.printf "OK   mutate:%-13s rejected (%s): %s@." name
+                (String.trim (fsm_mode_name mode))
+                (P.counterexample_to_string c)))
+
+let fsm_mutate_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "mutate" ] ~docv:"NAME"
+        ~doc:
+          "Run the checker over a seeded single-transition mutation of the \
+           teardown table and require a rejection (checker self-test). \
+           Mutations: drop_tw_reack, skip_time_wait, tw_immortal, \
+           reopen_rx, reap_established.")
+
+let fsm_dot_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dot" ] ~docv:"FILE"
+        ~doc:
+          "Write the reachable teardown transition graph (guard and \
+           TIME_WAIT on) in Graphviz DOT format to $(docv) (- for stdout).")
+
+let fsm_cmd =
+  Cmd.v
+    (Cmd.info "fsm" ~version
+       ~doc:
+         "Model-check the shared teardown transition table against the \
+          RFC-793/6191 teardown spec"
+       ~exits:exit_info
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Exhaustively checks Conn_state.step — the single transition \
+              table the control plane's teardown poll, idle reaper, \
+              TIME_WAIT and abort paths all execute — against the teardown \
+              spec: no dead states, direction monotonicity, RECLAIMED \
+              absorbing, TIME_WAIT entry/re-ACK discipline (RFC 793), \
+              reaper exemptions, and orphan-freedom (every closing state \
+              reaches RECLAIMED; via local timer/poll events alone when \
+              FlexGuard is on). Violations come with a shortest \
+              path-to-violation counterexample from ESTABLISHED. \
+              $(b,--mutate) runs the checker over a seeded broken table \
+              and requires the rejection.";
+         ])
+    Term.(const run_fsm $ fsm_mutate_t $ fsm_dot_t)
+
 let group =
   Cmd.group
-    (Cmd.info "flexlint" ~doc:"FlexTOE static checkers" ~exits:exit_info)
+    (Cmd.info "flexlint" ~version ~doc:"FlexTOE static checkers"
+       ~exits:exit_info
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Static checkers for the FlexTOE reproduction, one \
+              subcommand per analysis surface:";
+           `P "$(b,verify) — eBPF extension programs (also the default).";
+           `P "$(b,san) — stage-effect contracts + dynamic race sanitizer.";
+           `P
+             "$(b,graph) — FlexProve whole-graph analysis: interference, \
+              deadlock, queue bounds.";
+           `P "$(b,fsm) — teardown-FSM model check against RFC-793/6191.";
+           `P "$(b,top) — rank a FlexScope metrics snapshot.";
+           `P "$(b,trace-check) — validate a trace_event JSONL export.";
+           `P "$(b,fuzz-wire) — wire-codec negative corpus.";
+           `P "$(b,churn) — FlexGuard admission-policy replay.";
+           `P
+             "All subcommands share the exit contract: 0 passed, 1 a \
+              verdict failed, 2 input or usage error.";
+         ])
     ~default:verify_term
-    [ verify_cmd; san_cmd; top_cmd; trace_check_cmd; fuzz_wire_cmd; churn_cmd ]
+    [
+      verify_cmd; san_cmd; graph_cmd; fsm_cmd; top_cmd; trace_check_cmd;
+      fuzz_wire_cmd; churn_cmd;
+    ]
 
 let () =
   (* Fold cmdliner's parse-error code into the documented usage-error

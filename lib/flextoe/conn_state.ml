@@ -138,6 +138,121 @@ let pp_close_phase ppf ph =
     | Closing -> "CLOSING"
     | Closed -> "CLOSED")
 
+(* --- Teardown lifecycle as a pure transition table ------------------- *)
+
+(* The control plane's teardown decisions (CP teardown poll, FlexGuard
+   reaper, TIME_WAIT handling, RST abort) all consult [step] below, and
+   the FlexProve FSM checker ([Prove.check_fsm]) model-checks the same
+   table against the RFC-793/6191 teardown spec — a seeded mutation of
+   a transition both fails the checker and changes live behavior, so
+   the verified artifact is the deployed one. *)
+
+type lifecycle =
+  | Phase of close_phase  (* datapath state installed, FIN bits live *)
+  | Time_wait  (* datapath state freed; 4-tuple parked in Guard's table *)
+  | Reclaimed  (* everything released; absorbing *)
+
+type close_event =
+  | Ev_app_close  (* local close(): queue a FIN after the last byte *)
+  | Ev_peer_fin  (* peer's FIN reached the in-order point *)
+  | Ev_fin_acked  (* our FIN was cumulatively acknowledged *)
+  | Ev_rst  (* RST received (guarded mode only; unguarded RSTs no-op) *)
+  | Ev_abort  (* CP abort: retransmission retries exhausted *)
+  | Ev_reap_idle  (* FlexGuard reaper: idle past g_idle_timeout *)
+  | Ev_teardown  (* CP teardown poll found the flow fully closed *)
+  | Ev_tw_fin  (* peer retransmitted its FIN into our TIME_WAIT *)
+  | Ev_tw_syn  (* acceptable fresh SYN recycles the tuple (RFC 6191) *)
+  | Ev_tw_expire  (* TIME_WAIT hold elapsed *)
+
+type close_output =
+  | Out_send_fin  (* push a FIN through the host-control path *)
+  | Out_reack  (* re-ACK the peer's FIN from the stored endpoint state *)
+  | Out_notify_err  (* x_err notification: the application must learn *)
+  | Out_enter_tw  (* park the 4-tuple in the TIME_WAIT table *)
+  | Out_free  (* release the data-path connection state *)
+
+let all_lifecycles =
+  [
+    Phase Established; Phase Fin_wait_1; Phase Fin_wait_2;
+    Phase Close_wait; Phase Closing; Phase Closed; Time_wait; Reclaimed;
+  ]
+
+let all_events =
+  [
+    Ev_app_close; Ev_peer_fin; Ev_fin_acked; Ev_rst; Ev_abort;
+    Ev_reap_idle; Ev_teardown; Ev_tw_fin; Ev_tw_syn; Ev_tw_expire;
+  ]
+
+let lifecycle_name = function
+  | Phase ph -> Format.asprintf "%a" pp_close_phase ph
+  | Time_wait -> "TIME_WAIT"
+  | Reclaimed -> "RECLAIMED"
+
+let event_name = function
+  | Ev_app_close -> "app_close"
+  | Ev_peer_fin -> "peer_fin"
+  | Ev_fin_acked -> "fin_acked"
+  | Ev_rst -> "rst"
+  | Ev_abort -> "abort"
+  | Ev_reap_idle -> "reap_idle"
+  | Ev_teardown -> "teardown"
+  | Ev_tw_fin -> "tw_fin"
+  | Ev_tw_syn -> "tw_syn"
+  | Ev_tw_expire -> "tw_expire"
+
+let output_name = function
+  | Out_send_fin -> "send_fin"
+  | Out_reack -> "reack"
+  | Out_notify_err -> "notify_err"
+  | Out_enter_tw -> "enter_tw"
+  | Out_free -> "free"
+
+(* Total transition function. [guard] arms the FlexGuard-only events
+   (RST handling, idle reaper); [tw] says a TIME_WAIT hold is
+   configured ([g_time_wait > 0]). Events that do not apply in a state
+   are no-ops: [(s, [])]. The abort path ([Ev_rst]/[Ev_abort]) always
+   notifies — the application must learn the connection died — except
+   in TIME_WAIT, where an RST is ignored (RFC 1337: TIME-WAIT
+   assassination refused). The reaper exempts Established (the
+   application's business, however idle) and Close_wait (peer closed
+   but the local app still owns the socket; no TCP timer covers it);
+   of the reaped states, Fin_wait_2 and Closed are orphans — our FIN
+   was acked, every byte delivered — reclaimed quietly, while
+   Fin_wait_1/Closing mean a vanished peer, a genuine abort. *)
+let step ~guard ~tw state event =
+  let abort = (Reclaimed, [ Out_notify_err; Out_free ]) in
+  let stay = (state, []) in
+  match (state, event) with
+  | Phase Established, Ev_app_close -> (Phase Fin_wait_1, [ Out_send_fin ])
+  | Phase Established, Ev_peer_fin -> (Phase Close_wait, [])
+  | Phase Established, Ev_rst when guard -> abort
+  | Phase Established, Ev_abort -> abort
+  | Phase Fin_wait_1, Ev_fin_acked -> (Phase Fin_wait_2, [])
+  | Phase Fin_wait_1, Ev_peer_fin -> (Phase Closing, [])
+  | Phase Fin_wait_1, Ev_rst when guard -> abort
+  | Phase Fin_wait_1, Ev_abort -> abort
+  | Phase Fin_wait_1, Ev_reap_idle when guard -> abort
+  | Phase Fin_wait_2, Ev_peer_fin -> (Phase Closed, [])
+  | Phase Fin_wait_2, Ev_rst when guard -> abort
+  | Phase Fin_wait_2, Ev_reap_idle when guard -> (Reclaimed, [ Out_free ])
+  | Phase Close_wait, Ev_app_close -> (Phase Closing, [ Out_send_fin ])
+  | Phase Close_wait, Ev_rst when guard -> abort
+  | Phase Close_wait, Ev_abort -> abort
+  | Phase Closing, Ev_fin_acked -> (Phase Closed, [])
+  | Phase Closing, Ev_rst when guard -> abort
+  | Phase Closing, Ev_abort -> abort
+  | Phase Closing, Ev_reap_idle when guard -> abort
+  | Phase Closed, Ev_teardown ->
+      if tw then (Time_wait, [ Out_enter_tw; Out_free ])
+      else (Reclaimed, [ Out_free ])
+  | Phase Closed, Ev_rst when guard -> abort
+  | Phase Closed, Ev_reap_idle when guard -> (Reclaimed, [ Out_free ])
+  | Time_wait, Ev_tw_fin -> (Time_wait, [ Out_reack ])
+  | Time_wait, Ev_tw_syn -> (Reclaimed, [ Out_free ])
+  | Time_wait, Ev_tw_expire -> (Reclaimed, [ Out_free ])
+  | Reclaimed, _ -> (Reclaimed, [])
+  | _ -> stay
+
 let tx_seq_of_pos t pos = Tcp.Seq32.add t.proto.tx_isn (1 + pos)
 let tx_pos_of_seq t seq = Tcp.Seq32.diff seq (Tcp.Seq32.add t.proto.tx_isn 1)
 let rx_pos_of_seq t seq = Tcp.Seq32.diff seq (Tcp.Seq32.add t.proto.rx_isn 1)

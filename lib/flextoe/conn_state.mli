@@ -115,6 +115,55 @@ type close_phase =
 val close_phase : t -> close_phase
 val pp_close_phase : Format.formatter -> close_phase -> unit
 
+(** {1 Teardown lifecycle (shared transition table)}
+
+    The full connection teardown lifecycle as a pure Mealy machine:
+    the {!close_phase} states while data-path state is installed, plus
+    [Time_wait] (state freed, 4-tuple parked in FlexGuard's table) and
+    [Reclaimed] (everything released; absorbing). {!step} is the
+    single source of truth for teardown decisions: the control plane's
+    teardown poll, idle reaper, TIME_WAIT re-ACK/recycle and RST-abort
+    paths all consult it, and the FlexProve FSM checker
+    ([Prove.check_fsm]) model-checks the same table against an
+    RFC-793/6191 spec — so a mutated transition both fails the checker
+    and changes live behavior. *)
+
+type lifecycle = Phase of close_phase | Time_wait | Reclaimed
+
+type close_event =
+  | Ev_app_close  (** Local close(): queue a FIN after the last byte. *)
+  | Ev_peer_fin  (** Peer's FIN reached the in-order point. *)
+  | Ev_fin_acked  (** Our FIN was cumulatively acknowledged. *)
+  | Ev_rst  (** RST received (guarded mode; unguarded RSTs no-op). *)
+  | Ev_abort  (** CP abort: retransmission retries exhausted. *)
+  | Ev_reap_idle  (** FlexGuard reaper: idle past [g_idle_timeout]. *)
+  | Ev_teardown  (** CP teardown poll found the flow fully closed. *)
+  | Ev_tw_fin  (** Peer retransmitted its FIN into our TIME_WAIT. *)
+  | Ev_tw_syn  (** Acceptable fresh SYN recycles the tuple (RFC 6191). *)
+  | Ev_tw_expire  (** TIME_WAIT hold elapsed. *)
+
+type close_output =
+  | Out_send_fin  (** Push a FIN through the host-control path. *)
+  | Out_reack  (** Re-ACK the peer's FIN from stored endpoint state. *)
+  | Out_notify_err  (** x_err notification: the app must learn. *)
+  | Out_enter_tw  (** Park the 4-tuple in the TIME_WAIT table. *)
+  | Out_free  (** Release the data-path connection state. *)
+
+val all_lifecycles : lifecycle list
+val all_events : close_event list
+val lifecycle_name : lifecycle -> string
+val event_name : close_event -> string
+val output_name : close_output -> string
+
+val step :
+  guard:bool -> tw:bool -> lifecycle -> close_event ->
+  lifecycle * close_output list
+(** Total: events that do not apply in a state are no-ops [(s, [])].
+    [guard] arms the FlexGuard-only events (RST handling, idle
+    reaper); [tw] says a TIME_WAIT hold is configured
+    ([g_time_wait > 0]), steering [Ev_teardown] from [Phase Closed]
+    into [Time_wait] instead of immediate reclamation. *)
+
 val tx_seq_of_pos : t -> int -> Tcp.Seq32.t
 (** Sequence number of a transmit-stream position. *)
 

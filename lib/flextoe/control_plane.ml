@@ -66,6 +66,22 @@ type t = {
 
 let active_flows t = Hashtbl.length t.flows
 let gcount t name = match t.guard with Some g -> Guard.count g name | None -> ()
+
+(* Teardown decisions go through the shared pure transition table
+   ([Conn_state.step]) that FlexProve model-checks: [lstep] fixes the
+   table's mode bits from this CP's guard configuration. *)
+let tw_enabled t =
+  match t.guard with
+  | Some g -> (Guard.config g).Config.g_time_wait > Sim.Time.zero
+  | None -> false
+
+let lstep t state ev =
+  Conn_state.step ~guard:(t.guard <> None) ~tw:(tw_enabled t) state ev
+
+let phase_of t conn =
+  Option.map
+    (fun cs -> Conn_state.Phase (Conn_state.close_phase cs))
+    (Datapath.conn t.dp conn)
 let guard_rst t =
   match t.guard with Some g -> (Guard.config g).Config.g_rst | None -> false
 let retransmit_timeouts t = t.rto_count
@@ -254,10 +270,14 @@ let handle_syn t (frame : S.frame) =
         | None -> true
         | Some g ->
             if Guard.tw_syn_acceptable g ~flow ~isn:seg.S.seq then begin
-              if Guard.tw_find g ~flow <> None then begin
-                Guard.tw_remove g ~flow;
-                Guard.count g "tw_recycled_syn"
-              end;
+              (if Guard.tw_find g ~flow <> None then
+                 (* RFC 6191 recycle: the table confirms an acceptable
+                    SYN releases the parked tuple. *)
+                 match lstep t Conn_state.Time_wait Conn_state.Ev_tw_syn with
+                 | Conn_state.Reclaimed, _ ->
+                     Guard.tw_remove g ~flow;
+                     Guard.count g "tw_recycled_syn"
+                 | _ -> ());
               true
             end
             else begin
@@ -405,12 +425,23 @@ let install_from_cookie t (frame : S.frame) ~flow ~win ~on_accept =
             Sim.Engine.schedule t.engine (Sim.Time.us 3) (fun () ->
                 Datapath.reinject_rx t.dp frame)))
 
-(* Abort an established connection on an incoming RST. *)
+(* Abort an installed connection on an incoming RST. The transition
+   table sends every phase to RECLAIMED with a notify — except that it
+   cannot fire unguarded ([Ev_rst] is a no-op there), matching the
+   historical RSTs-ignored semantics enforced by the caller. *)
 let abort_on_rst t ~conn =
   gcount t "rst_rx";
-  Datapath.notify_abort t.dp ~conn;
-  Datapath.remove_conn t.dp ~conn;
-  Hashtbl.remove t.flows conn
+  let outs =
+    match phase_of t conn with
+    | Some st -> snd (lstep t st Conn_state.Ev_rst)
+    | None -> [ Conn_state.Out_notify_err; Conn_state.Out_free ]
+  in
+  if List.mem Conn_state.Out_notify_err outs then
+    Datapath.notify_abort t.dp ~conn;
+  if List.mem Conn_state.Out_free outs then begin
+    Datapath.remove_conn t.dp ~conn;
+    Hashtbl.remove t.flows conn
+  end
 
 let control_rx t (frame : S.frame) =
   let seg = frame.S.seg in
@@ -486,12 +517,18 @@ let control_rx t (frame : S.frame) =
               match Guard.tw_find g ~flow with
               | Some (snd_nxt, rcv_nxt) when seg.S.flags.S.fin ->
                   (* The peer retransmitted its FIN into our
-                     TIME_WAIT: our final ACK was lost. Re-ACK from
-                     the stored endpoint state. *)
-                  Guard.count g "tw_reack";
-                  Datapath.control_tx t.dp
-                    (ctl_frame t ~flow ~seq:snd_nxt ~ack_seq:rcv_nxt
-                       ~flags:S.flags_ack ~mss:false ())
+                     TIME_WAIT: our final ACK was lost. The re-ACK
+                     edge is the transition table's — dropping it
+                     there fails both the FSM checker and this path. *)
+                  if
+                    List.mem Conn_state.Out_reack
+                      (snd (lstep t Conn_state.Time_wait Conn_state.Ev_tw_fin))
+                  then begin
+                    Guard.count g "tw_reack";
+                    Datapath.control_tx t.dp
+                      (ctl_frame t ~flow ~seq:snd_nxt ~ack_seq:rcv_nxt
+                         ~flags:S.flags_ack ~mss:false ())
+                  end
               | Some _ -> ()
               | None ->
                   (* No connection, no cookie, no TIME_WAIT: actively
@@ -553,7 +590,16 @@ let close ?(send_fin = true) t ~conn =
       let first = not f.cf_closing in
       f.cf_closing <- true;
       if send_fin && first then
-        Datapath.cp_push t.dp { Meta.h_conn = conn; h_op = Meta.Fin }
+        (* A first close finds the flow in ESTABLISHED or CLOSE_WAIT
+           (tx_fin is only ever set by this FIN), and the table emits
+           [Out_send_fin] from exactly those states. *)
+        let outs =
+          match phase_of t conn with
+          | Some st -> snd (lstep t st Conn_state.Ev_app_close)
+          | None -> [ Conn_state.Out_send_fin ]
+        in
+        if List.mem Conn_state.Out_send_fin outs then
+          Datapath.cp_push t.dp { Meta.h_conn = conn; h_op = Meta.Fin }
 
 (* --- Congestion control ----------------------------------------------- *)
 
@@ -667,25 +713,38 @@ let iterate_flow t now (f : cc_flow) =
      entry, never a connection slot. *)
   if f.cf_closing then begin
     match Datapath.conn t.dp f.cf_conn with
-    | Some cs
-      when cs.Conn_state.proto.Conn_state.fin_acked
-           && cs.Conn_state.proto.Conn_state.rx_fin ->
-        (match t.guard with
-        | Some g when (Guard.config g).Config.g_time_wait > Sim.Time.zero ->
-            let snd_nxt =
-              Tcp.Seq32.add
-                (Conn_state.tx_seq_of_pos cs
-                   cs.Conn_state.proto.Conn_state.tx_tail_pos)
-                1
-            in
-            let rcv_nxt =
-              Tcp.Reassembly.next cs.Conn_state.proto.Conn_state.reasm
-            in
-            Guard.tw_add g ~now ~flow:cs.Conn_state.flow ~snd_nxt ~rcv_nxt
-        | _ -> ());
-        Datapath.remove_conn t.dp ~conn:f.cf_conn;
-        Hashtbl.remove t.flows f.cf_conn
-    | _ -> ()
+    | Some cs -> (
+        (* The table reclaims on [Ev_teardown] only from CLOSED
+           (fin_acked implies tx_fin, so CLOSED is exactly the old
+           fin_acked && rx_fin test), entering TIME_WAIT when a hold
+           is configured. *)
+        match
+          lstep t
+            (Conn_state.Phase (Conn_state.close_phase cs))
+            Conn_state.Ev_teardown
+        with
+        | Conn_state.Time_wait, _ ->
+            (match t.guard with
+            | Some g ->
+                let snd_nxt =
+                  Tcp.Seq32.add
+                    (Conn_state.tx_seq_of_pos cs
+                       cs.Conn_state.proto.Conn_state.tx_tail_pos)
+                    1
+                in
+                let rcv_nxt =
+                  Tcp.Reassembly.next cs.Conn_state.proto.Conn_state.reasm
+                in
+                Guard.tw_add g ~now ~flow:cs.Conn_state.flow ~snd_nxt
+                  ~rcv_nxt
+            | None -> ());
+            Datapath.remove_conn t.dp ~conn:f.cf_conn;
+            Hashtbl.remove t.flows f.cf_conn
+        | Conn_state.Reclaimed, _ ->
+            Datapath.remove_conn t.dp ~conn:f.cf_conn;
+            Hashtbl.remove t.flows f.cf_conn
+        | _ -> ())
+    | None -> ()
   end
   end
 
@@ -693,14 +752,13 @@ let iterate_flow t now (f : cc_flow) =
    state that stopped making progress. Scheduled only when the guard
    is on, so the default configuration adds zero engine events.
 
-   Only locally-closed connections ([tx_fin]) are candidates:
-   Established flows are the application's business however idle, and
-   so is Close_wait — the peer closed but the local app still owns the
-   socket (no TCP timer covers that state). Of the candidates,
-   Fin_wait_2 (our FIN acked, peer's never arrives) is an orphan —
-   the app already closed, every byte was delivered — so it is
-   reclaimed quietly; Fin_wait_1/Closing with the FIN unacked past the
-   idle window means a vanished peer, a genuine abort. *)
+   Which states are reapable, which are exempt (Established: the
+   application's business however idle; Close_wait: the peer closed
+   but the local app still owns the socket — no TCP timer covers it),
+   and which reclaims are quiet orphans (Fin_wait_2/Closed: our FIN
+   acked, every byte delivered) versus genuine aborts
+   (Fin_wait_1/Closing: a vanished peer) is all [Conn_state.step]'s
+   [Ev_reap_idle] row — the reaper just applies the table's verdict. *)
 let rec guard_loop t g () =
   let now = Sim.Engine.now t.engine in
   ignore (Guard.tw_reap g ~now);
@@ -711,12 +769,16 @@ let rec guard_loop t g () =
         (fun _ f acc ->
           match Datapath.conn t.dp f.cf_conn with
           | Some cs
-            when cs.Conn_state.proto.Conn_state.tx_fin
-                 && Conn_state.close_phase cs <> Conn_state.Established
-                 && Conn_state.close_phase cs <> Conn_state.Close_wait
-                 && now - cs.Conn_state.proto.Conn_state.last_progress
-                    > gc.Config.g_idle_timeout ->
-              (f, cs.Conn_state.proto.Conn_state.fin_acked) :: acc
+            when now - cs.Conn_state.proto.Conn_state.last_progress
+                 > gc.Config.g_idle_timeout -> (
+              match
+                lstep t
+                  (Conn_state.Phase (Conn_state.close_phase cs))
+                  Conn_state.Ev_reap_idle
+              with
+              | Conn_state.Reclaimed, outs ->
+                  (f, not (List.mem Conn_state.Out_notify_err outs)) :: acc
+              | _ -> acc)
           | _ -> acc)
         t.flows []
     in

@@ -169,6 +169,48 @@ let builtin_stages sb =
 let builtin_contracts () =
   List.map (fun s -> s.sg_contract) (builtin_stages no_sabotage)
 
+(* --- FlexProve extraction (static layer 0) --------------------------- *)
+
+(* Sabotage flags that change the as-built wiring or footprints map to
+   graph defects, so [flexlint graph --classify] can re-derive the
+   graph a sabotaged node actually runs. The contracts stay the
+   *declared* ones — [sb_no_lock] is precisely a stage whose
+   declaration says [Serial_conn] while the implementation takes no
+   lock, which the extraction models by patching the graph's domain,
+   not the contract. *)
+let defects_of_sabotage sb =
+  {
+    Graph_ir.d_no_lock = sb.sb_no_lock;
+    d_early_release = sb.sb_early_release;
+    d_preproc_reads_proto = sb.sb_preproc_reads_proto;
+    d_postproc_writes_conn = sb.sb_postproc_writes_conn;
+  }
+
+(* The two notify-ordering defects leave the declared dma→ctx ordered
+   completion edge intact — the defect is the implementation not
+   honoring its own declaration, which no analysis of the declared
+   wiring can see. FlexSan's happens-before layer catches them at
+   runtime; [flexlint graph --classify] reports them as dynamic-only
+   with these rationales rather than pretending coverage. *)
+let sabotage_dynamic_only =
+  [
+    ( "notify_before_payload",
+      "the declared dma->ctx ordered completion edge is intact; the \
+       defect is signalling before the DMA lands, visible only to \
+       FlexSan's happens-before layer at runtime" );
+    ( "skip_notify_dma",
+      "same declared edge; delivery skips the completion wait at \
+       runtime, so the wiring FlexProve sees is the sound one" );
+  ]
+
+let builtin_graph ?(sabotage = no_sabotage) ~config () =
+  Graph_ir.builtin
+    ~defects:(defects_of_sabotage sabotage)
+    ~config
+    ~contracts:
+      (List.map (fun s -> s.sg_contract) (builtin_stages sabotage))
+    ()
+
 type t = {
   engine : Sim.Engine.t;
   cfg : Config.t;
@@ -1936,6 +1978,17 @@ let create engine ~config:cfg ~fabric ~mac ~ip ?(ctx_queues = 4)
   (match Effects.check (List.map (fun s -> s.sg_contract) stages) with
   | Ok () -> ()
   | Error cs -> raise (Effects.Contract_violation cs));
+  (* Layer 0: FlexProve over the declared graph — whole-graph
+     interference, deadlock freedom of the credit/backpressure loops,
+     worst-case queue occupancy. Checked once per node on the wiring
+     the node *declares* (seeded as-built defects are FlexSan's and
+     [flexlint graph --classify]'s business), so an unsound
+     composition — a capacity that no longer covers a reorder buffer,
+     a credit loop without a drain — fails construction before any
+     FPC exists, at zero per-segment cost. *)
+  (match Prove.check_graph (builtin_graph ~config:cfg ()) with
+  | Ok _ -> ()
+  | Error fs -> raise (Prove.Graph_rejected fs));
   (* Layer 2 only makes sense for the parallel pipeline: the
      run-to-completion baseline serializes everything on one FPC, so
      whole-region accesses would be reported against replicas that

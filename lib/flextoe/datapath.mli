@@ -54,6 +54,22 @@ val builtin_contracts : unit -> Effects.contract list
 (** The healthy pipeline's effect contracts (what [flexlint san]
     checks statically without building a node). *)
 
+val builtin_graph : ?sabotage:sabotage -> config:Config.t -> unit -> Graph_ir.t
+(** FlexProve extraction of the built-in pipeline as actually wired
+    under [sabotage] (default healthy): stage slots from
+    [config.parallelism], queue capacities from [config.params] and
+    the ring sizes, batch degrees from [config.batch], the CP-queue
+    bound from [config.guard]. [flexlint graph] and the create-time
+    layer-0 check both go through this. *)
+
+val sabotage_dynamic_only : (string * string) list
+(** The sabotage variants no analysis of the declared wiring can see
+    (variant name, rationale): their declared ordering edge is intact
+    and the defect is the implementation not honoring it at runtime —
+    FlexSan's business. [flexlint graph --classify] requires every
+    {!sabotage_variants} entry to be statically caught or listed
+    here. *)
+
 val stages : t -> stage list
 
 val san : t -> San.t option

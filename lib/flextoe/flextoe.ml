@@ -6,6 +6,8 @@ module Protocol = Protocol
 module Sequencer = Sequencer
 module Scheduler = Scheduler
 module Effects = Effects
+module Graph_ir = Graph_ir
+module Prove = Prove
 module San = San
 module Guard = Guard
 module Datapath = Datapath

@@ -1,0 +1,125 @@
+(** FlexProve graph IR: an explicit typed model of the datapath.
+
+    The datapath's safety argument lives in its wiring — which stages
+    exist, what serializes them, which queues sit between them, which
+    credits gate them. [Datapath.create] builds that wiring
+    imperatively; this module states it as data so the FlexProve
+    passes ({!Prove}) can check an arbitrary stage graph, not just the
+    built-in one. {!builtin} is the extraction of the built-in
+    pipeline, parameterized by {!Config.t} (capacities, batch degrees,
+    guard bounds) and optionally by the as-built sabotage
+    {!defects}. *)
+
+type capacity = Bounded of int | Unbounded
+
+(** What happens when a queue is offered more than it can hold.
+    [Backpressure] blocks the producer (occupancy-safe, feeds the
+    deadlock pass); [Drop] sheds by a named policy (safe by design);
+    [Reject] means overflow would be a bug — the bounds pass must
+    prove worst-case occupancy fits the capacity. *)
+type overflow = Backpressure | Drop of string | Reject
+
+(** Worst-case-occupancy expressions, evaluated by the bounds pass
+    against the graph itself: [Slots s] is stage [s]'s concurrent
+    execution slots, [Tokens l] / [Cap l] the token count / capacity
+    of the edge labelled [l]. [Unbounded_by s] declares open-loop
+    inflow limited only by [s] — never acceptable on a [Reject]
+    queue. *)
+type bound =
+  | Const of int
+  | Slots of string
+  | Tokens of string
+  | Cap of string
+  | Sum of bound list
+  | Prod of bound list
+  | Min_of of bound list
+  | Unbounded_by of string
+
+type node = {
+  n_name : string;
+  n_contract : Effects.contract;
+  n_slots : int;  (** Concurrent execution slots (replicas × threads). *)
+  n_serialized_writes : bool;
+      (** Writes happen inside the serialization domain's critical
+          section; [false] models an early-release defect. *)
+}
+
+type edge_kind =
+  | Dataflow of { df_ordered : bool }
+      (** Work handed downstream; [df_ordered] = the hand-off
+          preserves completion order (FIFO / sequencer / waits for
+          DMA completion). *)
+  | Queue of {
+      q_capacity : capacity;
+      q_overflow : overflow;
+      q_batch : int;  (** Units coalesced per hand-off. *)
+      q_bound : bound;  (** Worst-case occupancy. *)
+    }
+  | Credit of { cr_tokens : int }
+      (** Backpressure loop: [src]'s execution is gated on tokens
+          that only [dst]'s progress returns. *)
+
+type edge = {
+  e_src : string;
+  e_dst : string;
+  e_label : string;
+  e_kind : edge_kind;
+  e_drain : string option;
+      (** For blocking edges: why the block always clears without
+          help from the blocked side (timer flush, unconditional
+          completion). [None] = clearing needs the far side to make
+          progress — such an edge cannot break a deadlock cycle. *)
+}
+
+type t = { g_name : string; g_nodes : node list; g_edges : edge list }
+
+val find_node : t -> string -> node option
+val find_edge : t -> string -> edge option
+val edge_capacity : edge -> capacity option
+val edge_tokens : edge -> int option
+
+val is_dataflow : edge -> bool
+(** Edges a unit of work actually travels (queues and dataflow, not
+    credit returns), used for ordering-path searches. *)
+
+val is_ordered : edge -> bool
+(** Does the edge preserve per-flow completion order? Queues are FIFO
+    by construction; dataflow edges declare it. *)
+
+val is_blocking : edge -> bool
+(** Blocking edges: the source can stall until the far side clears
+    them. These form the wait-for graph of the deadlock pass. *)
+
+(** The as-built defects that change the declared wiring or
+    footprints: the [Datapath.sabotage] flags minus the two notify
+    ordering defects, which leave the declared completion edge intact
+    and are detectable only by FlexSan at runtime. *)
+type defects = {
+  d_no_lock : bool;  (** Protocol stage loses its Serial_conn domain. *)
+  d_early_release : bool;
+      (** Protocol writes escape the per-conn critical section. *)
+  d_preproc_reads_proto : bool;
+  d_postproc_writes_conn : bool;
+}
+
+val no_defects : defects
+
+val builtin :
+  ?defects:defects ->
+  config:Config.t ->
+  contracts:Effects.contract list ->
+  unit ->
+  t
+(** Extraction of the built-in pipeline: mirrors the wiring of
+    [Datapath.create] — same stages and serialization domains as
+    [Datapath.builtin_stages], queue capacities from the same sources
+    ([Nfp.Params], the ATX/HC ring sizes, scheduler credits), batch
+    degrees from [Config.batch], CP-queue bound from [Config.guard].
+    Raises [Invalid_argument] if [contracts] lacks a builtin stage. *)
+
+val bound_to_string : bound -> string
+val capacity_to_string : capacity -> string
+
+val to_dot : t -> string
+(** Graphviz rendering: queues bold (capacity/batch), credits dashed,
+    draining edges dark green, early-release stages flagged. *)

@@ -1,0 +1,3 @@
+(* Shard 10: FlexProve — whole-graph static analysis (interference,
+   deadlock, queue bounds) and the teardown-FSM model check. *)
+let () = Alcotest.run "flextoe-prove" [ ("prove", Test_prove.suite) ]

@@ -1,0 +1,484 @@
+(* FlexProve tests: the Effects negative corpus (diagnostics must name
+   the right stage and region, and the atomic/partitioned escapes must
+   hold), the three graph passes on the real extracted pipeline and on
+   synthetic counterexample graphs, sabotage classification (every
+   seeded variant statically caught or explicitly dynamic-only), and
+   the teardown-FSM model check with its seeded mutations. *)
+
+module E = Flextoe.Effects
+module G = Flextoe.Graph_ir
+module P = Flextoe.Prove
+module C = Flextoe.Conn_state
+module D = Flextoe.Datapath
+module Config = Flextoe.Config
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let contract stage ?(reads = []) ?(writes = []) domain =
+  { E.c_stage = stage; c_reads = reads; c_writes = writes;
+    c_domain = domain }
+
+(* --- Effects negative corpus ----------------------------------------- *)
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  ln = 0 || go 0
+
+let expect_conflict name contracts ~stages ~obj =
+  match E.check contracts with
+  | Ok () -> Alcotest.failf "%s: overlap not detected" name
+  | Error cs ->
+      check_bool (name ^ ": conflict names the stages and region") true
+        (List.exists
+           (fun c ->
+             c.E.k_obj = obj
+             && List.mem c.E.k_stage1 stages
+             && List.mem c.E.k_stage2 stages)
+           cs);
+      (* The rendered diagnostic carries the same names. *)
+      let rendered = String.concat "; " (List.map E.conflict_to_string cs) in
+      List.iter
+        (fun s ->
+          check_bool (name ^ ": diagnostic names " ^ s) true
+            (contains rendered s))
+        stages;
+      check_bool
+        (name ^ ": diagnostic names " ^ E.obj_name obj)
+        true
+        (contains rendered (E.obj_name obj))
+
+let expect_clean name contracts =
+  match E.check contracts with
+  | Ok () -> ()
+  | Error cs ->
+      Alcotest.failf "%s: spurious conflict: %s" name
+        (String.concat "; " (List.map E.conflict_to_string cs))
+
+let test_effects_ww () =
+  expect_conflict "W/W unserialized"
+    [
+      contract "alpha" ~writes:[ E.Conn_proto ] E.Serial_none;
+      contract "beta" ~writes:[ E.Conn_proto ] E.Serial_none;
+    ]
+    ~stages:[ "alpha"; "beta" ] ~obj:E.Conn_proto
+
+let test_effects_wr_cross_domain () =
+  (* Different FIFO queues do not order each other. *)
+  expect_conflict "W/R across distinct queues"
+    [
+      contract "writer" ~writes:[ E.Reasm ] (E.Serial_queue "q-a");
+      contract "reader" ~reads:[ E.Reasm ] (E.Serial_queue "q-b");
+    ]
+    ~stages:[ "writer"; "reader" ] ~obj:E.Reasm;
+  (* Same queue: ordered, no conflict. *)
+  expect_clean "W/R within one queue"
+    [
+      contract "writer" ~writes:[ E.Reasm ] (E.Serial_queue "q");
+      contract "reader" ~reads:[ E.Reasm ] (E.Serial_queue "q");
+    ];
+  (* Distinct flow-group sequencers likewise do not order. *)
+  expect_conflict "W/W across distinct flow groups"
+    [
+      contract "fg1" ~writes:[ E.Conn_proto ] (E.Serial_flow_group "g-a");
+      contract "fg2" ~writes:[ E.Conn_proto ] (E.Serial_flow_group "g-b");
+    ]
+    ~stages:[ "fg1"; "fg2" ] ~obj:E.Conn_proto
+
+let test_effects_self_pair () =
+  (* A replicated unserialized stage races its own replicas. *)
+  (match
+     E.check [ contract "solo" ~writes:[ E.Conn_proto ] E.Serial_none ]
+   with
+  | Ok () -> Alcotest.fail "replica self-race not detected"
+  | Error cs ->
+      check_bool "self conflict names the stage twice" true
+        (List.exists
+           (fun c -> c.E.k_stage1 = "solo" && c.E.k_stage2 = "solo")
+           cs));
+  (* The per-conn lock covers the self-pair. *)
+  expect_clean "serialized self-pair"
+    [ contract "solo" ~writes:[ E.Conn_proto ] E.Serial_conn ]
+
+let test_effects_escapes () =
+  (* Atomic regions (counters, rings): concurrent writes are safe by
+     construction and must not be flagged. *)
+  expect_clean "atomic escape"
+    [
+      contract "a" ~writes:[ E.Conn_post; E.Global_stats ] E.Serial_none;
+      contract "b" ~writes:[ E.Conn_post; E.Global_stats ] E.Serial_none;
+    ];
+  (* Address-partitioned payload buffers: writer and reader touch
+     disjoint ranges; the pairwise layer must stay quiet (the graph
+     layer separately demands the ordered hand-off). *)
+  expect_clean "partitioned escape"
+    [
+      contract "w" ~writes:[ E.Rx_payload ] E.Serial_none;
+      contract "r" ~reads:[ E.Rx_payload ] E.Serial_none;
+    ]
+
+(* --- Graph passes: the real pipeline --------------------------------- *)
+
+let cfg ?(batch = 1) ?(guard = false) () =
+  {
+    Config.default with
+    Config.batch = Config.batch_of batch;
+    guard = (if guard then Config.guard_default else Config.guard_none);
+  }
+
+let test_builtin_graph_clean () =
+  List.iter
+    (fun batch ->
+      List.iter
+        (fun guard ->
+          match
+            P.check_graph (D.builtin_graph ~config:(cfg ~batch ~guard ()) ())
+          with
+          | Ok reports ->
+              check_int
+                (Printf.sprintf "three passes ran (batch=%d guard=%b)" batch
+                   guard)
+                3 (List.length reports)
+          | Error fs ->
+              Alcotest.failf "builtin graph rejected (batch=%d guard=%b): %s"
+                batch guard
+                (String.concat "; " (List.map P.finding_to_string fs)))
+        [ false; true ])
+    [ 1; 8; 16 ]
+
+let test_builtin_graph_dot () =
+  let dot = G.to_dot (D.builtin_graph ~config:Config.default ()) in
+  List.iter
+    (fun needle ->
+      check_bool ("dot mentions " ^ needle) true (contains dot needle))
+    [ "digraph"; "protocol"; "pcie-dma"; "nbi-pool"; "rx-gro" ]
+
+(* --- Sabotage classification ----------------------------------------- *)
+
+let test_sabotage_classification () =
+  let caught, missed =
+    List.partition
+      (fun (_, sb) ->
+        match
+          P.check_graph (D.builtin_graph ~sabotage:sb ~config:Config.default ())
+        with
+        | Error _ -> true
+        | Ok _ -> false)
+      D.sabotage_variants
+  in
+  check_bool
+    (Printf.sprintf "at least 5 of %d variants caught statically (got %d)"
+       (List.length D.sabotage_variants)
+       (List.length caught))
+    true
+    (List.length caught >= 5);
+  (* Every variant is either statically caught or explicitly declared
+     dynamic-only — no silent gaps. *)
+  List.iter
+    (fun (name, _) ->
+      check_bool (name ^ " is classified") true
+        (List.mem_assoc name D.sabotage_dynamic_only))
+    missed;
+  (* And the dynamic-only list is honest: nothing on it is actually
+     catchable (a variant both caught and tagged would mean the
+     rationale is stale). *)
+  List.iter
+    (fun (name, _) ->
+      check_bool (name ^ " on the dynamic-only list is indeed not caught")
+        true
+        (List.mem_assoc name (List.map (fun (n, _) -> (n, ())) missed |> fun l -> l)))
+    D.sabotage_dynamic_only
+
+let test_healthy_create_unaffected () =
+  (* The create-time layer-0 check runs on the declared graph; a
+     sabotaged build must still construct (FlexSan owns the as-built
+     defects at runtime), except bad_contract which layer 1 rejects. *)
+  let engine = Sim.Engine.create () in
+  let fabric = Netsim.Fabric.create engine () in
+  let sb = List.assoc "no_lock" D.sabotage_variants in
+  let dp =
+    D.create engine ~config:Config.default ~fabric ~mac:1 ~ip:0x0A000001
+      ~sabotage:sb ()
+  in
+  ignore dp
+
+(* --- Graph passes: synthetic counterexamples ------------------------- *)
+
+let node ?(slots = 2) ?(serialized = true) name c =
+  { G.n_name = name; n_contract = c; n_slots = slots;
+    n_serialized_writes = serialized }
+
+let idle name = contract name E.Serial_none
+
+let credit ?drain src dst label tokens =
+  { G.e_src = src; e_dst = dst; e_label = label;
+    e_kind = G.Credit { cr_tokens = tokens }; e_drain = drain }
+
+let flow ?(ordered = true) src dst label =
+  { G.e_src = src; e_dst = dst; e_label = label;
+    e_kind = G.Dataflow { df_ordered = ordered }; e_drain = None }
+
+let graph name nodes edges =
+  { G.g_name = name; g_nodes = nodes; g_edges = edges }
+
+let test_deadlock_cycle () =
+  let nodes = [ node "a" (idle "a"); node "b" (idle "b") ] in
+  (* a waits on credits only b returns, and vice versa: classic
+     two-party credit deadlock. *)
+  let dead =
+    graph "dead" nodes [ credit "a" "b" "ab" 4; credit "b" "a" "ba" 4 ]
+  in
+  (match P.check_graph dead with
+  | Ok _ -> Alcotest.fail "credit cycle without drain not detected"
+  | Error fs ->
+      check_bool "finding names the cycle" true
+        (List.exists
+           (fun f ->
+             f.P.f_pass = "deadlock" && contains f.P.f_subject "ab")
+           fs));
+  (* The same loop with one self-draining edge is sound. *)
+  let alive =
+    graph "alive" nodes
+      [ credit "a" "b" "ab" 4;
+        credit ~drain:"completion timer always returns tokens" "b" "a" "ba" 4 ]
+  in
+  match P.check_graph alive with
+  | Ok _ -> ()
+  | Error fs ->
+      Alcotest.failf "drained cycle spuriously rejected: %s"
+        (String.concat "; " (List.map P.finding_to_string fs))
+
+let test_bounds_overflow () =
+  let q bound cap =
+    {
+      G.e_src = "a";
+      e_dst = "b";
+      e_label = "q";
+      e_kind =
+        G.Queue
+          { q_capacity = cap; q_overflow = G.Reject; q_batch = 1;
+            q_bound = bound };
+      e_drain = None;
+    }
+  in
+  let nodes = [ node "a" (idle "a"); node "b" (idle "b") ] in
+  (match P.check_graph (graph "over" nodes [ q (G.Const 16) (G.Bounded 8) ]) with
+  | Ok _ -> Alcotest.fail "occupancy 16 > capacity 8 not detected"
+  | Error fs ->
+      check_bool "finding names the overflowing edge" true
+        (List.exists
+           (fun f ->
+             f.P.f_pass = "bounds" && f.P.f_subject = "q"
+             && contains f.P.f_detail "16"
+             && contains f.P.f_detail "8")
+           fs));
+  (* Unresolvable bound: references a credit edge that is not there. *)
+  (match
+     P.check_graph
+       (graph "dangling" nodes [ q (G.Tokens "nowhere") (G.Bounded 8) ])
+   with
+  | Ok _ -> Alcotest.fail "unresolvable bound not detected"
+  | Error fs ->
+      check_bool "finding says the bound is unprovable" true
+        (List.exists (fun f -> contains f.P.f_detail "nowhere") fs));
+  (* Open-loop inflow into a Reject queue is never provable. *)
+  (match
+     P.check_graph
+       (graph "open" nodes [ q (G.Unbounded_by "wire") G.Unbounded ])
+   with
+  | Ok _ -> Alcotest.fail "open-loop Reject queue not detected"
+  | Error _ -> ());
+  (* Fitting bound passes. *)
+  match P.check_graph (graph "fits" nodes [ q (G.Const 8) (G.Bounded 8) ]) with
+  | Ok _ -> ()
+  | Error fs ->
+      Alcotest.failf "fitting bound spuriously rejected: %s"
+        (String.concat "; " (List.map P.finding_to_string fs))
+
+let test_unrealized_domain () =
+  let g =
+    graph "dangling-domain"
+      [ node "a" (contract "a" ~writes:[ E.Conn_proto ]
+                    (E.Serial_queue "nowhere")) ]
+      []
+  in
+  match P.check_graph g with
+  | Ok _ -> Alcotest.fail "unrealized serialization domain not detected"
+  | Error fs ->
+      check_bool "finding names the domain" true
+        (List.exists
+           (fun f ->
+             f.P.f_pass = "interference" && contains f.P.f_detail "nowhere")
+           fs)
+
+let test_partitioned_handoff_needs_order () =
+  let w = node "w" (contract "w" ~writes:[ E.Rx_payload ] E.Serial_none) in
+  let r = node "r" (contract "r" ~reads:[ E.Rx_payload ] E.Serial_none) in
+  (* No path from writer to reader: the partitioned-region argument
+     has no ordering leg to stand on. *)
+  (match P.check_graph (graph "no-path" [ w; r ] []) with
+  | Ok _ -> Alcotest.fail "missing ordered hand-off not detected"
+  | Error fs ->
+      check_bool "finding names region and endpoints" true
+        (List.exists
+           (fun f ->
+             f.P.f_pass = "interference"
+             && contains f.P.f_subject "w->r"
+             && contains f.P.f_detail "rx-payload")
+           fs));
+  (* An ordered dataflow edge discharges the obligation... *)
+  (match P.check_graph (graph "path" [ w; r ] [ flow "w" "r" "wr" ]) with
+  | Ok _ -> ()
+  | Error fs ->
+      Alcotest.failf "ordered hand-off spuriously rejected: %s"
+        (String.concat "; " (List.map P.finding_to_string fs)));
+  (* ... an unordered one does not. *)
+  match
+    P.check_graph (graph "unordered" [ w; r ] [ flow ~ordered:false "w" "r" "wr" ])
+  with
+  | Ok _ -> Alcotest.fail "unordered hand-off accepted"
+  | Error _ -> ()
+
+(* --- Teardown FSM: the real table ------------------------------------ *)
+
+let modes = [ (false, false); (false, true); (true, false); (true, true) ]
+
+let test_fsm_real_table () =
+  List.iter
+    (fun (guard, tw) ->
+      match P.check_fsm ~guard ~tw () with
+      | Ok _notes -> ()
+      | Error c ->
+          Alcotest.failf "real table rejected (guard=%b tw=%b): %s" guard tw
+            (P.counterexample_to_string c))
+    modes
+
+let test_fsm_mutations_rejected () =
+  List.iter
+    (fun (name, step) ->
+      let rejected =
+        List.exists
+          (fun (guard, tw) ->
+            match P.check_fsm ~step ~guard ~tw () with
+            | Error _ -> true
+            | Ok _ -> false)
+          modes
+      in
+      check_bool ("mutation " ^ name ^ " rejected in some mode") true
+        rejected)
+    P.fsm_mutations;
+  (* The flagship mutation: dropping the TIME_WAIT re-ACK must come
+     back with a path-to-violation counterexample that walks into
+     TIME_WAIT. *)
+  let step = List.assoc "drop_tw_reack" P.fsm_mutations in
+  match P.check_fsm ~step ~guard:true ~tw:true () with
+  | Ok _ -> Alcotest.fail "drop_tw_reack not rejected"
+  | Error c ->
+      let s = P.counterexample_to_string c in
+      check_bool "counterexample walks to TIME_WAIT" true
+        (contains s "TIME_WAIT");
+      check_bool "counterexample shows the event path" true
+        (contains s "-->");
+      check_bool "counterexample starts at ESTABLISHED" true
+        (contains s "ESTABLISHED")
+
+(* Direction monotonicity, checked directly on the real table (the
+   checker tests the same property; this pins it independently of the
+   checker's own reachability logic). *)
+let closed_dirs = function
+  | C.Phase C.Established -> (false, false)
+  | C.Phase C.Fin_wait_1 | C.Phase C.Fin_wait_2 -> (true, false)
+  | C.Phase C.Close_wait -> (false, true)
+  | C.Phase C.Closing | C.Phase C.Closed -> (true, true)
+  | C.Time_wait | C.Reclaimed -> (true, true)
+
+let test_step_monotone () =
+  List.iter
+    (fun (guard, tw) ->
+      List.iter
+        (fun s ->
+          List.iter
+            (fun e ->
+              let s', _ = C.step ~guard ~tw s e in
+              let txc, rxc = closed_dirs s in
+              let txc', rxc' = closed_dirs s' in
+              check_bool
+                (Printf.sprintf "%s --%s--> %s keeps directions closed"
+                   (C.lifecycle_name s) (C.event_name e)
+                   (C.lifecycle_name s'))
+                true
+                ((not (txc && not txc')) && not (rxc && not rxc')))
+            C.all_events)
+        C.all_lifecycles)
+    modes
+
+let test_step_teardown_equivalence () =
+  (* The CP teardown poll acts exactly on fully-closed flows: only
+     [Phase Closed] moves (to TIME_WAIT or RECLAIMED), everything else
+     ignores the poll — the invariant the control-plane refactor onto
+     [step] relies on. *)
+  List.iter
+    (fun (guard, tw) ->
+      List.iter
+        (fun s ->
+          let s', outs = C.step ~guard ~tw s C.Ev_teardown in
+          match s with
+          | C.Phase C.Closed ->
+              check_bool "teardown frees datapath state" true
+                (List.mem C.Out_free outs);
+              check_bool "teardown parks iff tw" true
+                (s' = if tw then C.Time_wait else C.Reclaimed)
+          | C.Reclaimed ->
+              check_bool "reclaimed absorbs" true (s' = C.Reclaimed)
+          | _ ->
+              check_bool
+                (Printf.sprintf "teardown is a no-op on %s"
+                   (C.lifecycle_name s))
+                true
+                (s' = s && outs = []))
+        C.all_lifecycles)
+    modes
+
+let test_fsm_dot () =
+  let dot = P.fsm_dot ~guard:true ~tw:true () in
+  List.iter
+    (fun needle ->
+      check_bool ("fsm dot mentions " ^ needle) true (contains dot needle))
+    [ "digraph"; "ESTABLISHED"; "TIME_WAIT"; "RECLAIMED"; "tw_fin / reack" ]
+
+let suite =
+  [
+    Alcotest.test_case "effects: W/W unserialized" `Quick test_effects_ww;
+    Alcotest.test_case "effects: W/R cross-domain" `Quick
+      test_effects_wr_cross_domain;
+    Alcotest.test_case "effects: replica self-pair" `Quick
+      test_effects_self_pair;
+    Alcotest.test_case "effects: atomic/partitioned escapes" `Quick
+      test_effects_escapes;
+    Alcotest.test_case "graph: builtin clean at all degrees" `Quick
+      test_builtin_graph_clean;
+    Alcotest.test_case "graph: builtin DOT export" `Quick
+      test_builtin_graph_dot;
+    Alcotest.test_case "graph: sabotage classification" `Quick
+      test_sabotage_classification;
+    Alcotest.test_case "graph: sabotaged node still constructs" `Quick
+      test_healthy_create_unaffected;
+    Alcotest.test_case "graph: credit-cycle deadlock" `Quick
+      test_deadlock_cycle;
+    Alcotest.test_case "graph: queue-bound overflow" `Quick
+      test_bounds_overflow;
+    Alcotest.test_case "graph: unrealized domain" `Quick
+      test_unrealized_domain;
+    Alcotest.test_case "graph: partitioned hand-off ordering" `Quick
+      test_partitioned_handoff_needs_order;
+    Alcotest.test_case "fsm: real table passes all modes" `Quick
+      test_fsm_real_table;
+    Alcotest.test_case "fsm: seeded mutations rejected" `Quick
+      test_fsm_mutations_rejected;
+    Alcotest.test_case "fsm: step is direction-monotone" `Quick
+      test_step_monotone;
+    Alcotest.test_case "fsm: teardown equivalence" `Quick
+      test_step_teardown_equivalence;
+    Alcotest.test_case "fsm: DOT export" `Quick test_fsm_dot;
+  ]
