@@ -990,6 +990,215 @@ let fsm_cmd =
          ])
     Term.(const run_fsm $ fsm_mutate_t $ fsm_dot_t)
 
+(* --- infer: FlexInfer source-level effect inference ------------------- *)
+
+module I = Flextoe.Infer
+
+let flags_of_sb (sb : D.sabotage) =
+  List.filter
+    (fun n ->
+      match n with
+      | "sb_no_lock" -> sb.D.sb_no_lock
+      | "sb_early_release" -> sb.D.sb_early_release
+      | "sb_notify_before_payload" -> sb.D.sb_notify_before_payload
+      | "sb_skip_notify_dma" -> sb.D.sb_skip_notify_dma
+      | "sb_postproc_writes_conn" -> sb.D.sb_postproc_writes_conn
+      | "sb_preproc_reads_proto" -> sb.D.sb_preproc_reads_proto
+      | "sb_bad_contract" -> sb.D.sb_bad_contract
+      | _ -> false)
+    [
+      "sb_no_lock"; "sb_early_release"; "sb_notify_before_payload";
+      "sb_skip_notify_dma"; "sb_postproc_writes_conn";
+      "sb_preproc_reads_proto"; "sb_bad_contract";
+    ]
+
+(* The sabotage variants whose defect never shows in a stage's source
+   footprint: the code executed is access-identical to the healthy
+   build, only ordering/locking differs. FlexSan (or FlexProve's
+   graph extraction, for the lock variants) owns these. *)
+let infer_dynamic_only =
+  [
+    ( "no_lock",
+      "footprint-identical: the lock is skipped, not an access added; \
+       FlexProve's graph extraction catches the domain mismatch" );
+    ( "early_release",
+      "footprint-identical: same accesses, released too early; \
+       FlexProve/FlexSan territory" );
+    ( "notify_before_payload",
+      "footprint-identical: the notification is reordered, not a new \
+       access; FlexSan's happens-before layer at runtime" );
+    ( "skip_notify_dma",
+      "footprint-identical: the DMA-completion wait is dropped, the \
+       accesses are unchanged; dynamic-only" );
+  ]
+
+let infer_root root_opt =
+  match root_opt with
+  | Some r -> r
+  | None -> (
+      match I.find_root () with
+      | Some r -> r
+      | None ->
+          Format.printf
+            "FAIL infer                cannot find repository root \
+             (lib/flextoe/datapath.ml); pass --root@.";
+          exit 2)
+
+let print_findings fs =
+  List.iter (fun f -> Format.printf "%s@." (I.finding_to_string f)) fs
+
+let print_footprints fps =
+  List.iter
+    (fun (fp : I.footprint) ->
+      let names l =
+        String.concat ","
+          (List.map Flextoe.Effects.obj_name l)
+      in
+      Format.printf "     %-10s reads{%s} writes{%s}@." fp.I.fp_stage
+        (names fp.I.fp_reads) (names fp.I.fp_writes))
+    fps
+
+(* One sabotage variant: its source-level footprint (the analyzer
+   sees the sabotaged code via partial evaluation of the sb_* guards)
+   diffed against its declared contracts must yield findings — or the
+   variant must be tagged dynamic-only. *)
+let infer_classify_variant ~root (name, sb) =
+  match
+    I.infer_repo_diff ~flags:(flags_of_sb sb)
+      ~declared:(D.builtin_contracts_under sb) ~root ()
+  with
+  | Error e ->
+      Format.printf "FAIL infer:%-13s %s@." name e;
+      false
+  | Ok (_, findings) -> (
+      match (findings, List.assoc_opt name infer_dynamic_only) with
+      | f :: _, _ ->
+          Format.printf "OK   caught:%-13s %s@." name (I.finding_to_string f);
+          true
+      | [], Some why ->
+          Format.printf "OK   dynamic:%-12s %s@." name why;
+          true
+      | [], None ->
+          Format.printf
+            "FAIL unclassified:%-7s source footprint matches the declared \
+             contract yet the variant is not tagged dynamic-only@."
+            name;
+          false)
+
+let run_infer root_opt json footprints classify sabotage_v =
+  let root = infer_root root_opt in
+  match sabotage_v with
+  | Some v -> (
+      match List.assoc_opt v D.sabotage_variants with
+      | None ->
+          Format.printf
+            "FAIL sabotage             unknown variant %s (have: %s)@." v
+            (String.concat ", " (List.map fst D.sabotage_variants));
+          exit 2
+      | Some sb -> if not (infer_classify_variant ~root (v, sb)) then exit 1)
+  | None -> (
+      match I.analyze_repo ~declared:(D.builtin_contracts ()) ~root () with
+      | Error e ->
+          Format.printf "FAIL infer                %s@." e;
+          exit 2
+      | Ok r ->
+          (match json with
+          | Some path -> write_out path (Sim.Json.to_string (I.report_json r))
+          | None -> ());
+          if footprints then print_footprints r.I.rp_footprints;
+          print_findings r.I.rp_findings;
+          let clean = r.I.rp_findings = [] in
+          if clean then
+            Format.printf
+              "OK   infer                %d stages, %d files linted, %d \
+               exempted sites, 0 findings@."
+              (List.length r.I.rp_footprints)
+              r.I.rp_files_linted r.I.rp_seq32_exempted;
+          let classified =
+            if classify then
+              List.fold_left
+                (fun acc v -> infer_classify_variant ~root v && acc)
+                true D.sabotage_variants
+            else true
+          in
+          if not (clean && classified) then exit 1)
+
+let infer_root_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "root" ] ~docv:"DIR"
+        ~doc:
+          "Repository root containing lib/flextoe/datapath.ml (default: \
+           walk up from the working directory).")
+
+let infer_json_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:
+          "Write the full report (footprints, findings, lint counters) as \
+           JSON to $(docv) (- for stdout).")
+
+let infer_footprints_t =
+  Arg.(
+    value & flag
+    & info [ "print-footprints" ]
+        ~doc:"Print each stage's inferred read/write footprint.")
+
+let infer_classify_t =
+  Arg.(
+    value & flag
+    & info [ "classify" ]
+        ~doc:
+          "Additionally classify every seeded sabotage variant: its \
+           source-level footprint diff must yield findings, or the variant \
+           must be explicitly tagged dynamic-only; an unclassified variant \
+           fails.")
+
+let infer_sabotage_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "sabotage" ] ~docv:"VARIANT"
+        ~doc:
+          "Classify a single sabotage variant's source footprint instead \
+           of analyzing the clean tree.")
+
+let infer_cmd =
+  Cmd.v
+    (Cmd.info "infer" ~version
+       ~doc:
+         "FlexInfer: infer per-stage effect footprints from source and \
+          diff them against the declared contracts; Seq32 wrap-safety and \
+          stage-hygiene lints"
+       ~exits:exit_info
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Parses the real stage sources (compiler-libs Parsetree) and \
+              infers each pipeline stage's read/write footprint over the \
+              Effects regions: sanitizer witnesses plus known module \
+              operations, with same-file helper calls expanded \
+              transitively and Protocol/Control_plane calls crossing at \
+              most one module boundary. The inferred footprint is diffed \
+              against the declared contract — an undeclared access is an \
+              error (the contract FlexProve trusted is unsound), a \
+              declared-but-never-inferred access is a drift warning. Also \
+              lints lib/tcp and lib/flextoe for structural comparisons on \
+              Tcp.Seq32.t values (broken at the 2^32 wrap; annotate \
+              deliberate uses '(* flexinfer: seq32-exempt *)') and stage \
+              bodies for blocking calls and per-segment allocation. \
+              $(b,--classify) replays the sabotage corpus through the \
+              analyzer: source-visible defects must be caught here, the \
+              rest must be tagged dynamic-only.";
+         ])
+    Term.(
+      const run_infer $ infer_root_t $ infer_json_t $ infer_footprints_t
+      $ infer_classify_t $ infer_sabotage_t)
+
 let group =
   Cmd.group
     (Cmd.info "flexlint" ~version ~doc:"FlexTOE static checkers"
@@ -1005,6 +1214,9 @@ let group =
            `P
              "$(b,graph) — FlexProve whole-graph analysis: interference, \
               deadlock, queue bounds.";
+           `P
+             "$(b,infer) — FlexInfer source-level footprint inference vs \
+              declared contracts; Seq32 and hygiene lints.";
            `P "$(b,fsm) — teardown-FSM model check against RFC-793/6191.";
            `P "$(b,top) — rank a FlexScope metrics snapshot.";
            `P "$(b,trace-check) — validate a trace_event JSONL export.";
@@ -1016,8 +1228,8 @@ let group =
          ])
     ~default:verify_term
     [
-      verify_cmd; san_cmd; graph_cmd; fsm_cmd; top_cmd; trace_check_cmd;
-      fuzz_wire_cmd; churn_cmd;
+      verify_cmd; san_cmd; graph_cmd; infer_cmd; fsm_cmd; top_cmd;
+      trace_check_cmd; fuzz_wire_cmd; churn_cmd;
     ]
 
 let () =

@@ -270,7 +270,7 @@ let handle_syn t (frame : S.frame) =
         | None -> true
         | Some g ->
             if Guard.tw_syn_acceptable g ~flow ~isn:seg.S.seq then begin
-              (if Guard.tw_find g ~flow <> None then
+              (if Option.is_some (Guard.tw_find g ~flow) then
                  (* RFC 6191 recycle: the table confirms an acceptable
                     SYN releases the parked tuple. *)
                  match lstep t Conn_state.Time_wait Conn_state.Ev_tw_syn with

@@ -149,25 +149,29 @@ let builtin_stages sb =
     stage "gro" "gro" ~reads:[] ~writes:[] (Serial_flow_group "rx-gro");
     stage "protocol" "protocol"
       ~reads:[ Conn_db; Conn_pre; Conn_proto; Reasm; Conn_post ]
-      ~writes:[ Conn_proto; Reasm ] Serial_conn;
+      ~writes:[ Conn_proto; Reasm; Sched_state ] Serial_conn;
     stage "postproc" "postproc" ~reads:[ Conn_db ]
       ~writes:
         (if sb.sb_bad_contract then [ Conn_proto; Conn_post; Global_stats;
                                       Sched_state ]
          else [ Conn_post; Global_stats; Sched_state ])
       Serial_none;
-    stage "dma" "dma" ~reads:[ Conn_db; Conn_pre; Tx_payload ]
-      ~writes:[ Rx_payload ] (Serial_queue "pcie-dma");
-    stage "ctx" "ctx" ~reads:[ Rx_payload; Desc_ring ]
+    stage "dma" "dma" ~reads:[ Conn_db; Conn_post; Tx_payload ]
+      ~writes:[ Rx_payload; Global_stats; Sched_state ]
+      (Serial_queue "pcie-dma");
+    stage "ctx" "ctx" ~reads:[ Rx_payload; Desc_ring; Conn_db; Conn_post ]
       ~writes:[ Desc_ring ] (Serial_queue "ctx");
     stage "sched" "sch" ~reads:[ Sched_state ] ~writes:[ Sched_state ]
       Serial_none;
-    stage "nbi" "nbi" ~reads:[ Conn_pre ] ~writes:[]
-      (Serial_flow_group "tx-gro");
+    stage "nbi" "nbi" ~reads:[ Conn_pre; Conn_db ]
+      ~writes:[ Global_stats; Sched_state ] (Serial_flow_group "tx-gro");
   ]
 
 let builtin_contracts () =
   List.map (fun s -> s.sg_contract) (builtin_stages no_sabotage)
+
+let builtin_contracts_under sb =
+  List.map (fun s -> s.sg_contract) (builtin_stages sb)
 
 (* --- FlexProve extraction (static layer 0) --------------------------- *)
 
@@ -405,6 +409,8 @@ let conn_lock t idx =
   match Hashtbl.find_opt t.locks idx with
   | Some l -> l
   | None ->
+      (* Lazy once-per-connection lock init, amortized over the flow's
+         lifetime — not a per-segment allocation. flexinfer: alloc-exempt *)
       let l = { busy = false; waiters = Queue.create () } in
       Hashtbl.replace t.locks idx l;
       l

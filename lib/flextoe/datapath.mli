@@ -54,6 +54,12 @@ val builtin_contracts : unit -> Effects.contract list
 (** The healthy pipeline's effect contracts (what [flexlint san]
     checks statically without building a node). *)
 
+val builtin_contracts_under : sabotage -> Effects.contract list
+(** The contracts as declared under a sabotage variant — only
+    [sb_bad_contract] changes a declaration; the other defects lie in
+    the implementation, which is exactly what [flexlint infer]
+    diffs the declarations against. *)
+
 val builtin_graph : ?sabotage:sabotage -> config:Config.t -> unit -> Graph_ir.t
 (** FlexProve extraction of the built-in pipeline as actually wired
     under [sabotage] (default healthy): stage slots from

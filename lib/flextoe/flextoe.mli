@@ -29,6 +29,7 @@ module Scheduler = Scheduler
 module Effects = Effects
 module Graph_ir = Graph_ir
 module Prove = Prove
+module Infer = Infer
 module San = San
 module Guard = Guard
 module Datapath = Datapath

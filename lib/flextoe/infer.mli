@@ -1,0 +1,153 @@
+(** FlexInfer: source-level effect inference and wrap-safety lint.
+
+    Closes FlexProve's trusted-contract gap: {!Prove} proves the
+    pipeline interference-free over the {e declared}
+    {!Effects.contract}s, and nothing — until this module — checked
+    that the declarations describe what the stage code actually does.
+    FlexInfer parses the real sources with compiler-libs and runs
+    three analyses:
+
+    + {b Footprint inference} over the stage entry functions in
+      [datapath.ml]: a syntactic access-path walk recognizing both
+      sanitizer witnesses (calls carrying literal [Effects.<Obj>] +
+      [Effects.Read]/[Write] constructors) and known module
+      operations on tracked values (the connection table, partition
+      records, payload buffers, scheduler, ATX rings, reassembler).
+      Same-file helper calls expand transitively; calls into the
+      declared helper modules ([Protocol], [Control_plane]) cross at
+      most one module boundary; stage hand-offs never leak a callee
+      stage's footprint into the caller. The result is diffed
+      against the declared contracts.
+    + {b Seq32 wrap-safety lint}: rejects structural
+      comparison/[compare]/[min]/[max] on [Tcp.Seq32.t]-typed values
+      (an [int] alias — structural [<] breaks at the 2^32 wrap),
+      seeding types from [.mli] signatures and [.ml] type
+      declarations. [(* flexinfer: seq32-exempt *)] on the same or
+      preceding line exempts a deliberate use.
+    + {b Stage hygiene}: no blocking/I-O calls in stage bodies;
+      per-execution container allocation warns unless annotated
+      [(* flexinfer: alloc-exempt *)].
+
+    The analysis is deliberately syntactic (DESIGN.md §15 lists the
+    soundness caveats); it is a tripwire for contract rot, with
+    FlexSan layer 2 remaining the runtime authority. *)
+
+(** {1 Findings} *)
+
+type severity = Sev_error | Sev_warning
+
+val severity_name : severity -> string
+
+type finding = {
+  f_rule : string;
+      (** [undeclared-write], [undeclared-read], [contract-drift],
+          [seq32-structural-compare], [stage-blocking-call],
+          [stage-alloc], [missing-entry], [unknown-stage],
+          [parse-error]. *)
+  f_severity : severity;
+  f_stage : string option;
+  f_file : string;
+  f_line : int;
+  f_msg : string;
+}
+
+val finding_to_string : finding -> string
+val errors : finding list -> finding list
+
+(** {1 Footprint inference} *)
+
+type footprint = {
+  fp_stage : string;
+  fp_reads : Effects.obj list;
+  fp_writes : Effects.obj list;
+}
+
+val builtin_stage_map : (string * string list) list
+(** Contract stage name → entry functions in [datapath.ml] analyzed
+    as that stage's body. *)
+
+val builtin_excluded : string list
+(** Functions never expanded into any stage (the run-to-completion
+    baseline reuses stage helpers but belongs to no pipeline
+    stage). *)
+
+val infer_footprints :
+  ?flags:string list ->
+  dp_file:string ->
+  ?helper_files:(string * string) list ->
+  ?stage_map:(string * string list) list ->
+  ?excluded:string list ->
+  unit ->
+  ( footprint list
+    * finding list
+    * ((string * Effects.kind * Effects.obj) * (string * int)) list,
+    string )
+  result
+(** Parse [dp_file] and infer each stage's footprint. [flags] names
+    the sabotage record fields ([sb_*]) assumed true — the analyzer
+    partial-evaluates the [t.sabotage.sb_*] guards, so a clean run
+    (no flags) skips the sabotage blocks and a flagged run sees
+    them. [helper_files] maps module names ([Protocol], ...) to
+    their sources for the one-boundary call summaries. Returns
+    (footprints, hygiene/structural findings, first-occurrence
+    source location per (stage, kind, obj)) or a parse error. *)
+
+val diff_contracts :
+  declared:Effects.contract list ->
+  footprints:footprint list ->
+  locs:((string * Effects.kind * Effects.obj) * (string * int)) list ->
+  dp_file:string ->
+  finding list
+(** Inferred-but-undeclared write or read: error. Declared access
+    never inferred: warning (drift). Read conformance matches
+    FlexSan layer 2: a declared write covers reads of the same
+    object. *)
+
+(** {1 Seq32 lint} *)
+
+val lint_seq32 :
+  ?seed_paths:string list ->
+  files:string list ->
+  unit ->
+  finding list * int
+(** Lint [files]; seed Seq32-typed field names and function results
+    from [seed_paths] (defaults to the files plus their [.mli]s when
+    present). Returns the findings and the count of exempted
+    comparison sites. *)
+
+(** {1 Repository driver} *)
+
+type report = {
+  rp_footprints : footprint list;
+  rp_findings : finding list;
+  rp_seq32_exempted : int;
+  rp_files_linted : int;
+}
+
+val find_root : ?start:string -> unit -> string option
+(** Walk up from [start] (default: cwd) looking for
+    [lib/flextoe/datapath.ml]. *)
+
+val infer_repo_diff :
+  ?flags:string list ->
+  declared:Effects.contract list ->
+  root:string ->
+  unit ->
+  (footprint list * finding list, string) result
+(** Footprint inference + contract diff only (no Seq32 sweep) — the
+    per-sabotage-variant classification path. *)
+
+val analyze_repo :
+  ?flags:string list ->
+  declared:Effects.contract list ->
+  root:string ->
+  unit ->
+  (report, string) result
+(** The full FlexInfer run: footprint inference + contract diff over
+    the datapath, Seq32 lint over [lib/tcp] and [lib/flextoe]. *)
+
+(** {1 JSON} *)
+
+val finding_json : finding -> Sim.Json.t
+val footprint_json : footprint -> Sim.Json.t
+val report_json : report -> Sim.Json.t

@@ -6,7 +6,7 @@ type t = {
 let create ~next = { next; ooo = None }
 let next t = t.next
 let ooo_interval t = t.ooo
-let has_hole t = t.ooo <> None
+let has_hole t = Option.is_some t.ooo
 
 type outcome =
   | Accept of { trim : int; len : int; advance : int; filled_hole : bool }
@@ -73,13 +73,11 @@ let force_advance t n =
       t.next <- Seq32.max new_next iend;
       t.ooo <- None
   | _ -> t.next <- new_next);
-  if t.ooo = None then () else begin
-    (* Interval entirely behind the new head is stale. *)
-    match t.ooo with
-    | Some (istart, ilen) when Seq32.le (Seq32.add istart ilen) t.next ->
-        t.ooo <- None
-    | _ -> ()
-  end
+  (* Interval entirely behind the new head is stale. *)
+  match t.ooo with
+  | Some (istart, ilen) when Seq32.le (Seq32.add istart ilen) t.next ->
+      t.ooo <- None
+  | _ -> ()
 
 let pp fmt t =
   match t.ooo with

@@ -1,0 +1,4 @@
+(* Shard 11: FlexInfer — source-level effect inference vs the declared
+   contracts, the Seq32 wrap-safety lint, and the sabotage corpus at
+   source level. *)
+let () = Alcotest.run "flextoe-infer" [ ("infer", Test_infer.suite) ]

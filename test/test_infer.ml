@@ -1,0 +1,325 @@
+(* FlexInfer tests: a seeded-violation corpus over synthetic sources
+   (undeclared write, contract drift, wrap-unsafe compare, exempted
+   compare), the golden pin — the inferred-vs-declared diff over the
+   real datapath's builtin stages is empty — and the sabotage corpus:
+   the three contract defects must be caught at source level while the
+   ordering defects stay footprint-identical. *)
+
+module E = Flextoe.Effects
+module I = Flextoe.Infer
+module D = Flextoe.Datapath
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  ln = 0 || go 0
+
+let write_tmp suffix contents =
+  let path = Filename.temp_file "flexinfer_test" suffix in
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  path
+
+let with_tmp suffix contents k =
+  let path = write_tmp suffix contents in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> k path)
+
+let contract stage ?(reads = []) ?(writes = []) () =
+  { E.c_stage = stage; c_reads = reads; c_writes = writes;
+    c_domain = E.Serial_none }
+
+(* The repository root, from the test's working directory inside
+   _build (the dune stanza declares the source trees as deps, so the
+   real sources are present in the build sandbox). *)
+let root () =
+  match I.find_root () with
+  | Some r -> r
+  | None -> Alcotest.fail "repository root (lib/flextoe/datapath.ml) not found"
+
+(* --- Seeded corpus: footprint inference ------------------------------ *)
+
+(* A miniature stage whose body writes the protocol partition and a
+   stats counter, and reads the connection table — against a contract
+   that only admits the table read and the stats write. *)
+let mini_dp =
+  {|
+let stage_a t =
+  t.st_foo <- t.st_foo + 1;
+  match Hashtbl.find_opt t.conns 0 with
+  | Some cs -> cs.Conn_state.proto.Conn_state.snd_nxt <- 0
+  | None -> ()
+
+let stage_b t =
+  ignore (Hashtbl.find_opt t.conns 1)
+|}
+
+let infer_mini declared =
+  with_tmp ".ml" mini_dp (fun dp_file ->
+      match
+        I.infer_footprints ~dp_file
+          ~stage_map:[ ("alpha", [ "stage_a" ]); ("beta", [ "stage_b" ]) ]
+          ~excluded:[] ()
+      with
+      | Error e -> Alcotest.fail e
+      | Ok (footprints, findings, locs) ->
+          ( footprints,
+            findings,
+            I.diff_contracts ~declared ~footprints ~locs ~dp_file ))
+
+let test_undeclared_write () =
+  let declared =
+    [
+      contract "alpha" ~reads:[ E.Conn_db ] ~writes:[ E.Global_stats ] ();
+      contract "beta" ~reads:[ E.Conn_db ] ();
+    ]
+  in
+  let footprints, _, diff = infer_mini declared in
+  let alpha = List.find (fun f -> f.I.fp_stage = "alpha") footprints in
+  check_bool "alpha write footprint has conn.proto" true
+    (E.mem E.Conn_proto alpha.I.fp_writes);
+  check_bool "alpha read footprint has conn-db" true
+    (E.mem E.Conn_db alpha.I.fp_reads);
+  let errs = I.errors diff in
+  check_int "exactly one error" 1 (List.length errs);
+  let f = List.hd errs in
+  check_bool "rule is undeclared-write" true (f.I.f_rule = "undeclared-write");
+  check_bool "names the stage" true (f.I.f_stage = Some "alpha");
+  check_bool "names the region" true (contains f.I.f_msg "conn.proto");
+  check_bool "carries the source line" true (f.I.f_line > 0)
+
+let test_contract_drift () =
+  (* beta declares a payload read its body never performs. *)
+  let declared =
+    [
+      contract "alpha" ~reads:[ E.Conn_db ]
+        ~writes:[ E.Global_stats; E.Conn_proto ] ();
+      contract "beta" ~reads:[ E.Conn_db; E.Rx_payload ] ();
+    ]
+  in
+  let _, _, diff = infer_mini declared in
+  check_int "no errors" 0 (List.length (I.errors diff));
+  let drifts = List.filter (fun f -> f.I.f_rule = "contract-drift") diff in
+  check_int "exactly one drift warning" 1 (List.length drifts);
+  let f = List.hd drifts in
+  check_bool "drift is a warning" true (f.I.f_severity = I.Sev_warning);
+  check_bool "names beta" true (f.I.f_stage = Some "beta");
+  check_bool "names rx-payload" true (contains f.I.f_msg "rx-payload")
+
+let test_missing_entry () =
+  with_tmp ".ml" mini_dp (fun dp_file ->
+      match
+        I.infer_footprints ~dp_file
+          ~stage_map:[ ("alpha", [ "stage_gone" ]) ]
+          ~excluded:[] ()
+      with
+      | Error e -> Alcotest.fail e
+      | Ok (_, findings, _) ->
+          check_bool "missing entry reported" true
+            (List.exists (fun f -> f.I.f_rule = "missing-entry") findings))
+
+(* Sanitizer witnesses: the sa/San.access idiom carries the region as
+   literal constructors; the walker must pick the access up from the
+   call site even though the callee is opaque. *)
+let test_witness () =
+  let src =
+    {|
+let stage_w t =
+  sa t ~stage:"w" ~flow:0 Effects.Desc_ring Effects.Write
+|}
+  in
+  with_tmp ".ml" src (fun dp_file ->
+      match
+        I.infer_footprints ~dp_file
+          ~stage_map:[ ("w", [ "stage_w" ]) ]
+          ~excluded:[] ()
+      with
+      | Error e -> Alcotest.fail e
+      | Ok (footprints, _, _) ->
+          let fp = List.hd footprints in
+          check_bool "witness write recorded" true
+            (E.mem E.Desc_ring fp.I.fp_writes))
+
+(* --- Seeded corpus: Seq32 lint --------------------------------------- *)
+
+let seq32_src =
+  {|
+type t = { mutable nxt : Seq32.t; len : int }
+
+let bad a b = a.nxt < b.nxt
+
+let also_bad a b = compare a.nxt b.nxt
+
+let fine a b =
+  (* flexinfer: seq32-exempt *)
+  a.nxt = b.nxt
+
+let unrelated a b = a.len < b.len
+|}
+
+let test_seq32_lint () =
+  with_tmp ".ml" seq32_src (fun path ->
+      let findings, exempted = I.lint_seq32 ~files:[ path ] () in
+      check_int "two wrap-unsafe comparisons" 2 (List.length findings);
+      check_int "one exempted site" 1 exempted;
+      List.iter
+        (fun f ->
+          check_bool "rule" true (f.I.f_rule = "seq32-structural-compare");
+          check_bool "is an error" true (f.I.f_severity = I.Sev_error);
+          check_bool "names Seq32" true (contains f.I.f_msg "Seq32"))
+        findings;
+      (* int-typed fields of the same record don't taint. *)
+      check_bool "unrelated int compare untouched" true
+        (not (List.exists (fun f -> f.I.f_line = 12) findings)))
+
+(* Function-result seeding from an .mli signature. *)
+let test_seq32_mli_seed () =
+  let mli = write_tmp ".mli" "val head : int -> Tcp.Seq32.t\n" in
+  let modname =
+    String.capitalize_ascii
+      Filename.(remove_extension (basename mli))
+  in
+  let src =
+    Printf.sprintf "let f x y = %s.head x < %s.head y\n" modname modname
+  in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove mli with Sys_error _ -> ())
+    (fun () ->
+      with_tmp ".ml" src (fun path ->
+          let findings, _ =
+            I.lint_seq32 ~seed_paths:[ mli ] ~files:[ path ] ()
+          in
+          check_int "result-type taint flags the compare" 1
+            (List.length findings)))
+
+(* --- Golden pin: the real tree --------------------------------------- *)
+
+let test_golden_clean () =
+  match
+    I.infer_repo_diff ~declared:(D.builtin_contracts ()) ~root:(root ()) ()
+  with
+  | Error e -> Alcotest.fail e
+  | Ok (footprints, findings) ->
+      check_int "all builtin stages inferred"
+        (List.length (D.builtin_contracts ()))
+        (List.length footprints);
+      List.iter
+        (fun f -> Printf.printf "unexpected: %s\n" (I.finding_to_string f))
+        findings;
+      check_int "clean tree: empty inferred-vs-declared diff" 0
+        (List.length findings)
+
+let test_repo_seq32_clean () =
+  match
+    I.analyze_repo ~declared:(D.builtin_contracts ()) ~root:(root ()) ()
+  with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      check_int "no findings across lib/tcp + lib/flextoe" 0
+        (List.length r.I.rp_findings);
+      check_bool "linted a realistic file count" true (r.I.rp_files_linted > 20)
+
+(* --- Sabotage corpus at source level --------------------------------- *)
+
+let sabotage_diff name =
+  let sb = List.assoc name D.sabotage_variants in
+  let flags =
+    List.filter
+      (fun f -> f = "sb_" ^ name)
+      [
+        "sb_no_lock"; "sb_early_release"; "sb_notify_before_payload";
+        "sb_skip_notify_dma"; "sb_postproc_writes_conn";
+        "sb_preproc_reads_proto"; "sb_bad_contract";
+      ]
+  in
+  match
+    I.infer_repo_diff ~flags
+      ~declared:(D.builtin_contracts_under sb)
+      ~root:(root ()) ()
+  with
+  | Error e -> Alcotest.fail e
+  | Ok (_, findings) -> findings
+
+let test_catch_postproc_writes_conn () =
+  let findings = sabotage_diff "postproc_writes_conn" in
+  check_bool "undeclared conn.proto write caught" true
+    (List.exists
+       (fun f ->
+         f.I.f_rule = "undeclared-write"
+         && f.I.f_stage = Some "postproc"
+         && contains f.I.f_msg "conn.proto")
+       findings)
+
+let test_catch_preproc_reads_proto () =
+  let findings = sabotage_diff "preproc_reads_proto" in
+  check_bool "undeclared conn.proto read caught" true
+    (List.exists
+       (fun f ->
+         f.I.f_rule = "undeclared-read"
+         && f.I.f_stage = Some "preproc"
+         && contains f.I.f_msg "conn.proto")
+       findings)
+
+let test_catch_bad_contract () =
+  let findings = sabotage_diff "bad_contract" in
+  check_bool "phantom declared write drifts" true
+    (List.exists
+       (fun f ->
+         f.I.f_rule = "contract-drift"
+         && f.I.f_stage = Some "postproc"
+         && contains f.I.f_msg "conn.proto")
+       findings)
+
+(* The ordering defects change no access, so the source diff must stay
+   clean — they are FlexSan/FlexProve territory, and a finding here
+   would mean the analyzer is reading ghosts. *)
+let test_ordering_defects_footprint_identical () =
+  List.iter
+    (fun name ->
+      let findings = sabotage_diff name in
+      check_int (name ^ ": footprint-identical") 0 (List.length findings))
+    [ "no_lock"; "early_release"; "notify_before_payload"; "skip_notify_dma" ]
+
+(* --- JSON surface ----------------------------------------------------- *)
+
+let test_json_shape () =
+  match
+    I.analyze_repo ~declared:(D.builtin_contracts ()) ~root:(root ()) ()
+  with
+  | Error e -> Alcotest.fail e
+  | Ok r -> (
+      let j = I.report_json r in
+      match Sim.Json.of_string (Sim.Json.to_string j) with
+      | Error e -> Alcotest.fail ("report JSON does not round-trip: " ^ e)
+      | Ok j' -> (
+          match Sim.Json.member "footprints" j' with
+          | Some (Sim.Json.List fps) ->
+              check_int "footprints serialized"
+                (List.length r.I.rp_footprints)
+                (List.length fps)
+          | _ -> Alcotest.fail "footprints missing from report JSON"))
+
+let suite =
+  [
+    Alcotest.test_case "seeded: undeclared write" `Quick test_undeclared_write;
+    Alcotest.test_case "seeded: contract drift" `Quick test_contract_drift;
+    Alcotest.test_case "seeded: missing entry" `Quick test_missing_entry;
+    Alcotest.test_case "seeded: sanitizer witness" `Quick test_witness;
+    Alcotest.test_case "seeded: Seq32 lint + exemption" `Quick test_seq32_lint;
+    Alcotest.test_case "seeded: Seq32 .mli seeding" `Quick test_seq32_mli_seed;
+    Alcotest.test_case "golden: builtin diff empty" `Quick test_golden_clean;
+    Alcotest.test_case "golden: full repo lint clean" `Quick
+      test_repo_seq32_clean;
+    Alcotest.test_case "sabotage: postproc_writes_conn caught" `Quick
+      test_catch_postproc_writes_conn;
+    Alcotest.test_case "sabotage: preproc_reads_proto caught" `Quick
+      test_catch_preproc_reads_proto;
+    Alcotest.test_case "sabotage: bad_contract drift caught" `Quick
+      test_catch_bad_contract;
+    Alcotest.test_case "sabotage: ordering defects footprint-identical" `Quick
+      test_ordering_defects_footprint_identical;
+    Alcotest.test_case "json: report round-trips" `Quick test_json_shape;
+  ]
