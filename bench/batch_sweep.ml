@@ -16,8 +16,11 @@ open Common
 
 let degrees = [ 1; 2; 4; 8 ]
 
-let measure_degree b =
-  let w = mk_world ~seed:42L () in
+(* Build one batch-degree world on [w] (its own fabric, server and two
+   clients) and return the stats the caller will open a measurement
+   window on. Shared between the sequential sweep and the parallel
+   speedup gate, which runs all four degree worlds as cluster LPs. *)
+let build_degree w b =
   let config =
     {
       Flextoe.Config.default with
@@ -34,6 +37,11 @@ let measure_degree b =
       ~server_ip:ip_server ~server_port:11211 ~conns:16 ~pipeline:8
       ~key_bytes:32 ~value_bytes:32 ~set_ratio:0.1 ~stats ()
   done;
+  stats
+
+let measure_degree b =
+  let w = mk_world ~seed:42L () in
+  let stats = build_degree w b in
   measure w ~warmup:(Sim.Time.ms 8) ~window:(Sim.Time.ms 15) [ stats ];
   Host.Rpc.Stats.mops stats
 
@@ -54,6 +62,134 @@ let run () =
     (at 8 /. at 1);
   note "degree 1 is bit-identical to the unbatched seed pipeline;";
   note "gains come from amortized doorbells, GRO merges, ARX coalescing."
+
+(* --- PR9: conservative-parallel speedup -------------------------------- *)
+
+(* The four batch-degree worlds are independent (disjoint fabrics), so
+   they make an embarrassingly-parallel cluster: one LP per degree, no
+   channels. Running them under the conservative engine at domains=1
+   vs domains=8 gives a wall-clock speedup that is pure engine
+   overhead + scheduling — and because each LP is seeded and isolated,
+   the measured mOps must be BIT-IDENTICAL at every domain count.
+   Both are gated: determinism always, speedup against a threshold
+   scaled to the cores actually available. *)
+
+module Cl = Sim.Engine.Cluster
+
+let par_warmup = Sim.Time.ms 8
+let par_horizon = Sim.Time.ms 23 (* warmup + the 15 ms window *)
+
+let par_sweep ~domains =
+  let cl = Cl.create ~seed:9L ~domains () in
+  let stats =
+    List.map
+      (fun b ->
+        let lp = Cl.add_lp ~name:(Printf.sprintf "batch%d" b) ~seed:42L cl in
+        let w = { engine = lp; fabric = Netsim.Fabric.create lp () } in
+        let st = build_degree w b in
+        (* [measure]'s between-runs start_measuring is a solo-engine
+           idiom; under the cluster the window opens as an event. *)
+        Sim.Engine.schedule_at lp par_warmup (fun () ->
+            Host.Rpc.Stats.start_measuring st);
+        (b, st))
+      degrees
+  in
+  let t0 = Unix.gettimeofday () in
+  Cl.run ~until:par_horizon cl;
+  let wall = Unix.gettimeofday () -. t0 in
+  ( List.map (fun (b, st) -> (b, Host.Rpc.Stats.mops st)) stats,
+    wall,
+    Cl.workers_used cl )
+
+let write_par_json path ~cores ~workers ~wall1 ~walln ~speedup ~threshold
+    ~deterministic results =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc "{\n  \"experiment\": \"par_speedup_pr9\",\n";
+      output_string oc
+        "  \"workload\": \"4 kv batch-degree worlds as cluster LPs, seed \
+         42\",\n";
+      Printf.fprintf oc "  \"cores\": %d,\n" cores;
+      Printf.fprintf oc "  \"workers\": %d,\n" workers;
+      Printf.fprintf oc
+        "  \"wall_s\": { \"domains_1\": %.3f, \"domains_8\": %.3f },\n" wall1
+        walln;
+      Printf.fprintf oc "  \"speedup\": %.3f,\n" speedup;
+      Printf.fprintf oc "  \"threshold\": %.3f,\n" threshold;
+      Printf.fprintf oc "  \"deterministic\": %b,\n" deterministic;
+      output_string oc "  \"mops\": {\n";
+      List.iteri
+        (fun i (b, v) ->
+          Printf.fprintf oc "    \"%d\": %.4f%s\n" b v
+            (if i = List.length results - 1 then "" else ","))
+        results;
+      output_string oc "  }\n}\n")
+
+let par_results () =
+  let r1, wall1, _ = par_sweep ~domains:1 in
+  let rn, walln, workers = par_sweep ~domains:8 in
+  let deterministic =
+    List.for_all2 (fun (b, a) (b', c) -> b = b' && a = c) r1 rn
+  in
+  let cores = Domain.recommended_domain_count () in
+  let n_lps = List.length degrees in
+  let speedup = wall1 /. Float.max walln 1e-9 in
+  (* Ideal speedup is bounded by whichever is scarcest: requested
+     domains, physical cores, or the 4 LPs there are to spread. Gate
+     at 75% of that bound, capped at the 3x the issue asks for (on a
+     >=4-core box the bound is 4, so the gate is exactly 3x). *)
+  let w = min (min 8 cores) n_lps in
+  let threshold = Float.min 3.0 (0.75 *. float_of_int w) in
+  (r1, wall1, walln, workers, cores, deterministic, speedup, threshold)
+
+let print_par ~cores ~workers ~wall1 ~walln ~speedup ~threshold results =
+  columns (List.map (fun (b, _) -> Printf.sprintf "b=%d" b) results);
+  row_of_floats "mOps (par)" (List.map snd results);
+  Printf.printf
+    "  domains=1 %.2fs, domains=8 %.2fs -> %.2fx (threshold %.2fx; %d \
+     worker(s), %d core(s))\n"
+    wall1 walln speedup threshold workers cores
+
+let run_par () =
+  header "FlexPar speedup: 4 batch-degree worlds as conservative LPs";
+  let results, wall1, walln, workers, cores, deterministic, speedup, threshold
+      =
+    par_results ()
+  in
+  print_par ~cores ~workers ~wall1 ~walln ~speedup ~threshold results;
+  log_result ~experiment:"par"
+    "domains=8 runs the 4-LP cluster %.2fx faster than domains=1 \
+     (bit-identical mOps: %b)"
+    speedup deterministic;
+  note "each LP is an isolated seeded world: results are bit-identical";
+  note "across domain counts; only wall-clock changes."
+
+let par_gate ~baseline:_ ~out () =
+  header "FlexPar speedup gate";
+  let results, wall1, walln, workers, cores, deterministic, speedup, threshold
+      =
+    par_results ()
+  in
+  print_par ~cores ~workers ~wall1 ~walln ~speedup ~threshold results;
+  write_par_json out ~cores ~workers ~wall1 ~walln ~speedup ~threshold
+    ~deterministic results;
+  Printf.printf "wrote %s\n" out;
+  let ok = ref true in
+  if deterministic then
+    Printf.printf "OK   determinism          mOps bit-identical at domains=1 and 8\n"
+  else begin
+    Printf.printf "FAIL determinism          mOps differ across domain counts\n";
+    ok := false
+  end;
+  if speedup >= threshold then
+    Printf.printf "OK   speedup              %.2fx >= %.2fx\n" speedup threshold
+  else begin
+    Printf.printf "FAIL speedup              %.2fx < %.2fx\n" speedup threshold;
+    ok := false
+  end;
+  !ok
 
 (* --- JSON in/out ----------------------------------------------------- *)
 

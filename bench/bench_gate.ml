@@ -1,32 +1,40 @@
 (* CI entry point for the bench regression gates.
 
    Usage: bench_gate [GATE] [BASELINE.json] [OUT.json]
-   GATE is "batch" (PR5 batching sweep), "churn" (PR6 churn sweep) or
-   "all" (default when no arguments are given). Baseline/output
-   default to bench/BENCH_baseline_pr{5,6}.json and BENCH_pr{5,6}.json
+   GATE is "batch" (PR5 batching sweep), "churn" (PR6 churn sweep),
+   "par" (PR9 parallel speedup; needs no baseline) or "all" (default
+   when no arguments are given). Baseline/output default to
+   bench/BENCH_baseline_pr{5,6}.json and bench/BENCH_pr{5,6,9}.json
    per gate. Exit 0 when every requested gate holds, 1 otherwise.
 
    Back-compat: a first argument ending in ".json" is treated as the
    old [BASELINE OUT] form of the batch gate. *)
 
-let batch_defaults = ("bench/BENCH_baseline_pr5.json", "BENCH_pr5.json")
-let churn_defaults = ("bench/BENCH_baseline_pr6.json", "BENCH_pr6.json")
+let batch_defaults = ("bench/BENCH_baseline_pr5.json", "bench/BENCH_pr5.json")
+let churn_defaults = ("bench/BENCH_baseline_pr6.json", "bench/BENCH_pr6.json")
+let par_defaults = ("", "bench/BENCH_pr9.json")
 
 let run_gate name ~baseline ~out =
   let gate =
     match name with
     | "batch" -> Batch_sweep.gate
     | "churn" -> Churn.gate
+    | "par" -> Batch_sweep.par_gate
     | _ ->
-        Printf.eprintf "bench_gate: unknown gate %S (batch|churn|all)\n" name;
+        Printf.eprintf "bench_gate: unknown gate %S (batch|churn|par|all)\n"
+          name;
         exit 2
   in
   gate ~baseline ~out ()
 
+let defaults_for name =
+  match name with
+  | "churn" -> churn_defaults
+  | "par" -> par_defaults
+  | _ -> batch_defaults
+
 let run_with_defaults name =
-  let baseline, out =
-    match name with "churn" -> churn_defaults | _ -> batch_defaults
-  in
+  let baseline, out = defaults_for name in
   run_gate name ~baseline ~out
 
 let () =
@@ -42,11 +50,11 @@ let () =
     | [ _ ] | [ _; "all" ] ->
         let a = run_with_defaults "batch" in
         let b = run_with_defaults "churn" in
-        a && b
+        let c = run_with_defaults "par" in
+        a && b && c
     | [ _; name ] -> run_with_defaults name
     | [ _; name; baseline ] ->
-        run_gate name ~baseline ~out:(snd (
-          if name = "churn" then churn_defaults else batch_defaults))
+        run_gate name ~baseline ~out:(snd (defaults_for name))
     | _ :: name :: baseline :: out :: _ -> run_gate name ~baseline ~out
     | [] -> false
   in

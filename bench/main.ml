@@ -21,6 +21,7 @@ let experiments =
     ("table3", Table3.run);
     ("table4", Table4.run);
     ("batch", Batch_sweep.run);
+    ("par", Batch_sweep.run_par);
     ("prove", Prove_bench.run);
     ("ablations", Ablations.run);
     ("chaos", Chaos.run);

@@ -873,8 +873,11 @@ let graph_cmd =
               FlexProve passes: whole-graph interference — the transitive \
               generalization of the pairwise contract check in \
               $(b,flexlint san) — deadlock freedom of the \
-              credit/backpressure wait-for graph, and worst-case queue \
-              occupancy against configured capacities. The healthy matrix \
+              credit/backpressure wait-for graph, worst-case queue \
+              occupancy against configured capacities, and soundness of \
+              the LP partition for the parallel simulator (positive \
+              lookahead on cross-LP edges, serialization domains \
+              co-located). The healthy matrix \
               covers batch degrees 1, 8 and 16, each with FlexGuard off \
               and on. The same passes run at node construction; this \
               command is the offline/CI surface.";

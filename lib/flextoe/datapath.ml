@@ -1949,6 +1949,19 @@ let fpc_pools t =
       ("gro", -1, [| t.gro_fpc |]);
     ]
 
+(* The LP partition plan for this node, consistent with [fpc_pools]:
+   per-flow-group pools land on their island's LP, service pools
+   (island index -1) on the service LP. The host model is not an FPC
+   pool; partitioners place it on [Graph_ir.Lp_host] themselves. *)
+let lp_plan t =
+  List.map
+    (fun (name, island, _fpcs) ->
+      ( name,
+        island,
+        if island >= 0 then Graph_ir.Lp_island island else Graph_ir.Lp_service
+      ))
+    (fpc_pools t)
+
 let atx_rings t = t.atx
 
 (* --- Construction ----------------------------------------------------------- *)

@@ -258,6 +258,13 @@ val fpc_pools : t -> (string * int * Nfp.Fpc.t array) list
     service-island pools (dma, ctx, sch, gro) carry [-1]. Drives the
     {!Flexscope} utilization sampler. *)
 
+val lp_plan : t -> (string * int * Graph_ir.lp) list
+(** The LP partition plan for this node, consistent with
+    {!fpc_pools}: [(pool, island, lp)] where per-flow-group pools map
+    to [Graph_ir.Lp_island island] and service pools (island [-1]) to
+    [Graph_ir.Lp_service]. The host model is not an FPC pool;
+    partitioners place it on [Graph_ir.Lp_host] themselves. *)
+
 val atx_rings : t -> Meta.hc_desc Nfp.Ring.t array
 (** The per-context-queue ATX descriptor rings (queue-depth series in
     the profiler). *)

@@ -43,6 +43,23 @@ type bound =
   | Min_of of bound list
   | Unbounded_by of string
 
+(** Logical-process assignment for the parallel simulator's
+    partition: which LP a stage's executions live on. Per-flow-group
+    stages carry the island class [Lp_island g]; the graph's stage
+    nodes aggregate the per-group replicas, so the builtin extraction
+    uses the representative index 0 — two [Lp_island] stage nodes are
+    co-located exactly when flow-group steering keeps a segment's
+    processing inside one island, which is what the shared index
+    asserts. Service-island hardware (GRO sequencer, DMA, context
+    queues, scheduler, NBI) is [Lp_service]; libTOE and the
+    applications are [Lp_host]. *)
+type lp = Lp_host | Lp_service | Lp_island of int
+
+let lp_name = function
+  | Lp_host -> "host"
+  | Lp_service -> "service"
+  | Lp_island g -> "island" ^ string_of_int g
+
 type node = {
   n_name : string;
   n_contract : Effects.contract;
@@ -50,6 +67,7 @@ type node = {
   n_serialized_writes : bool;
       (** Writes happen inside the serialization domain's critical
           section; [false] models an early-release defect. *)
+  n_lp : lp;  (** Logical process this stage's executions live on. *)
 }
 
 type edge_kind =
@@ -78,6 +96,12 @@ type edge = {
           (timer flush, unconditional completion). [None] = clearing
           needs the far side to make progress — such an edge cannot
           break a deadlock cycle. *)
+  e_lookahead : Sim.Time.t;
+      (** Minimum hand-off latency of this edge: the conservative
+          parallel simulator may claim it as lookahead on the channel
+          realizing the edge. Must be positive on every cross-LP edge
+          (the partition pass checks this); [Sim.Time.zero] is fine —
+          and expected — on edges whose endpoints share an LP. *)
 }
 
 type t = { g_name : string; g_nodes : node list; g_edges : edge list }
@@ -113,6 +137,17 @@ let is_blocking e =
   | Credit _ -> true
   | Queue { q_overflow = Backpressure; _ } -> true
   | Queue _ | Dataflow _ -> false
+
+(** The LPs of an edge's endpoints, when both resolve. *)
+let edge_lps g e =
+  match (find_node g e.e_src, find_node g e.e_dst) with
+  | Some a, Some b -> Some (a.n_lp, b.n_lp)
+  | _ -> None
+
+(** Does the edge cross an LP boundary? [false] when an endpoint is
+    missing (well-formedness reports that separately). *)
+let is_cross_lp g e =
+  match edge_lps g e with Some (a, b) -> a <> b | None -> false
 
 (* --- Builtin-pipeline extraction -------------------------------------- *)
 
@@ -168,12 +203,13 @@ let builtin ?(defects = no_defects) ~config ~contracts () =
         { c with c_writes = Conn_proto :: c.c_writes }
     | _ -> c
   in
-  let node ?(serialized = true) name slots =
+  let node ?(serialized = true) name lp slots =
     {
       n_name = name;
       n_contract = patch name (contract name);
       n_slots = slots;
       n_serialized_writes = serialized;
+      n_lp = lp;
     }
   in
   let host =
@@ -191,36 +227,51 @@ let builtin ?(defects = no_defects) ~config ~contracts () =
         };
       n_slots = 4;
       n_serialized_writes = true;
+      n_lp = Lp_host;
     }
   in
+  (* Per-flow-group pipeline stages share the representative island
+     LP (flow-group steering keeps a segment inside one island);
+     service-island hardware lives on the service LP. Mirrors
+     [Datapath.fpc_pools]: preproc/protocol/postproc carry an island
+     index there, gro/dma/ctx/sched carry -1. *)
   let nodes =
     [
-      node "preproc" (max 1 (par.Config.preproc_replicas * groups) * threads);
-      node "gro" threads;
-      node "protocol"
+      node "preproc" (Lp_island 0)
+        (max 1 (par.Config.preproc_replicas * groups) * threads);
+      node "gro" Lp_service threads;
+      node "protocol" (Lp_island 0)
         ~serialized:(not defects.d_early_release)
         (max 1 par.Config.proto_replicas * groups * threads);
-      node "postproc" (max 1 (par.Config.postproc_replicas * groups) * threads);
-      node "dma" (max 1 par.Config.dma_replicas * threads);
-      node "ctx" (max 1 par.Config.ctx_replicas * threads);
-      node "sched" threads;
-      node "nbi" 1;
+      node "postproc" (Lp_island 0)
+        (max 1 (par.Config.postproc_replicas * groups) * threads);
+      node "dma" Lp_service (max 1 par.Config.dma_replicas * threads);
+      node "ctx" Lp_service (max 1 par.Config.ctx_replicas * threads);
+      node "sched" Lp_service threads;
+      node "nbi" Lp_service 1;
       host;
     ]
   in
-  let e ?drain src dst label kind =
-    { e_src = src; e_dst = dst; e_label = label; e_kind = kind;
-      e_drain = drain }
+  (* Cross-LP hand-off latencies, claimable as lookahead: an island
+     boundary costs at least one distributed-switch push into the
+     neighbour's CTM; host-bound notifications ride a PCIe
+     transaction; host doorbells a posted MMIO write. *)
+  let island_hop =
+    Sim.Time.Freq.cycles p.Nfp.Params.fpc_freq p.Nfp.Params.island_hop_cycles
   in
-  let flow ?(ordered = true) src dst label =
-    e src dst label (Dataflow { df_ordered = ordered })
+  let e ?drain ?(lookahead = Sim.Time.zero) src dst label kind =
+    { e_src = src; e_dst = dst; e_label = label; e_kind = kind;
+      e_drain = drain; e_lookahead = lookahead }
+  in
+  let flow ?(ordered = true) ?lookahead src dst label =
+    e ?lookahead src dst label (Dataflow { df_ordered = ordered })
   in
   let seg_credits = min 256 p.Nfp.Params.seg_buffers in
   let edges =
     [
       (* RX: wire → NBI buffer pool → preproc → flow-group sequencer
          (GRO) → protocol → postproc → payload DMA → notify. *)
-      e "nbi" "preproc" "nbi-pool"
+      e "nbi" "preproc" "nbi-pool" ~lookahead:island_hop
         (Queue
            {
              q_capacity = Bounded p.Nfp.Params.seg_buffers;
@@ -231,7 +282,7 @@ let builtin ?(defects = no_defects) ~config ~contracts () =
       (* The rx-gro sequencer's reorder buffer is unbounded in code;
          the bounds pass proves its occupancy is capped by the NBI
          pool (every queued summary pins a segment buffer). *)
-      e "preproc" "gro" "rx-gro"
+      e "preproc" "gro" "rx-gro" ~lookahead:island_hop
         (Queue
            {
              q_capacity = Unbounded;
@@ -239,9 +290,9 @@ let builtin ?(defects = no_defects) ~config ~contracts () =
              q_batch = b.Config.b_gro;
              q_bound = Cap "nbi-pool";
            });
-      flow "gro" "protocol" "rx-proto";
+      flow "gro" "protocol" "rx-proto" ~lookahead:island_hop;
       flow "protocol" "postproc" "rx-post";
-      flow "postproc" "dma" "payload-dma";
+      flow "postproc" "dma" "payload-dma" ~lookahead:island_hop;
       (* The PCIe DMA engine: per-queue in-flight window; issuing
          blocks when full, completions are unconditional and FIFO. *)
       e "dma" "dma" "pcie-dma"
@@ -261,11 +312,12 @@ let builtin ?(defects = no_defects) ~config ~contracts () =
              q_batch = b.Config.b_notify;
              q_bound = Const b.Config.b_notify;
            });
-      flow "ctx" "host" "arx-notify";
+      flow "ctx" "host" "arx-notify"
+        ~lookahead:p.Nfp.Params.pcie_base_latency;
       (* Control-path frames to the CP: unguarded they are bounded
          only by the NBI pool; FlexGuard bounds them explicitly and
          names the shed policy. *)
-      e "nbi" "host" "cp-queue"
+      e "nbi" "host" "cp-queue" ~lookahead:p.Nfp.Params.pcie_base_latency
         (Queue
            {
              q_capacity =
@@ -281,7 +333,7 @@ let builtin ?(defects = no_defects) ~config ~contracts () =
            });
       (* TX / HC: ATX doorbells → ctx drain (gated by the HC
          descriptor pool) → protocol → scheduler dispatch. *)
-      e "host" "ctx" "atx"
+      e "host" "ctx" "atx" ~lookahead:p.Nfp.Params.mmio_latency
         (Queue
            {
              q_capacity = Bounded 512;
@@ -289,11 +341,14 @@ let builtin ?(defects = no_defects) ~config ~contracts () =
              q_batch = b.Config.b_doorbell;
              q_bound = Cap "atx";
            });
-      e "ctx" "protocol" "hc-pool" (Credit { cr_tokens = 128 });
-      flow "ctx" "protocol" "hc-dispatch";
-      flow ~ordered:false "sched" "preproc" "tx-dispatch";
+      e "ctx" "protocol" "hc-pool" ~lookahead:island_hop
+        (Credit { cr_tokens = 128 });
+      flow "ctx" "protocol" "hc-dispatch" ~lookahead:island_hop;
+      flow ~ordered:false "sched" "preproc" "tx-dispatch"
+        ~lookahead:island_hop;
       e "sched" "nbi" "seg-credits" (Credit { cr_tokens = seg_credits });
-      flow ~ordered:false "postproc" "sched" "sched-update";
+      flow ~ordered:false "postproc" "sched" "sched-update"
+        ~lookahead:island_hop;
       (* TX reorder at the NBI: data descriptors are credit-gated,
          ACK egress is pinned to RX segments in flight. *)
       e "dma" "nbi" "tx-gro"
@@ -338,8 +393,8 @@ let to_dot g =
   List.iter
     (fun n ->
       let d = Effects.domain_name n.n_contract.Effects.c_domain in
-      pf "  \"%s\" [label=\"%s\\n%s | slots=%d%s\"];\n" n.n_name n.n_name d
-        n.n_slots
+      pf "  \"%s\" [label=\"%s\\n%s | slots=%d | lp=%s%s\"];\n" n.n_name
+        n.n_name d n.n_slots (lp_name n.n_lp)
         (if n.n_serialized_writes then "" else " | EARLY-RELEASE"))
     g.g_nodes;
   List.iter
@@ -357,6 +412,11 @@ let to_dot g =
               "bold" )
         | Credit c ->
             (Printf.sprintf "%s credits=%d" e.e_label c.cr_tokens, "dashed")
+      in
+      let label =
+        if e.e_lookahead > Sim.Time.zero then
+          Format.asprintf "%s la=%a" label Sim.Time.pp e.e_lookahead
+        else label
       in
       pf "  \"%s\" -> \"%s\" [label=\"%s\", style=%s%s];\n" e.e_src e.e_dst
         (dot_escape label) style

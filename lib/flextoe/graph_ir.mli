@@ -35,6 +35,18 @@ type bound =
   | Min_of of bound list
   | Unbounded_by of string
 
+(** Logical-process assignment for the parallel simulator's
+    partition ({!Sim.Engine.Cluster}): which LP a stage's executions
+    live on. Per-flow-group pipeline stages carry the island class
+    [Lp_island g] — the builtin extraction uses the representative
+    index 0, asserting that flow-group steering keeps a segment's
+    pipeline processing inside one island. Service-island hardware
+    (GRO sequencer, DMA, context queues, scheduler, NBI) is
+    [Lp_service]; libTOE and the applications are [Lp_host]. *)
+type lp = Lp_host | Lp_service | Lp_island of int
+
+val lp_name : lp -> string
+
 type node = {
   n_name : string;
   n_contract : Effects.contract;
@@ -42,6 +54,7 @@ type node = {
   n_serialized_writes : bool;
       (** Writes happen inside the serialization domain's critical
           section; [false] models an early-release defect. *)
+  n_lp : lp;  (** Logical process this stage's executions live on. *)
 }
 
 type edge_kind =
@@ -69,6 +82,12 @@ type edge = {
           help from the blocked side (timer flush, unconditional
           completion). [None] = clearing needs the far side to make
           progress — such an edge cannot break a deadlock cycle. *)
+  e_lookahead : Sim.Time.t;
+      (** Minimum hand-off latency of this edge: the conservative
+          parallel simulator may claim it as lookahead on the channel
+          realizing the edge. The partition pass requires it positive
+          on every cross-LP edge; [Sim.Time.zero] is expected on
+          edges whose endpoints share an LP. *)
 }
 
 type t = { g_name : string; g_nodes : node list; g_edges : edge list }
@@ -89,6 +108,13 @@ val is_ordered : edge -> bool
 val is_blocking : edge -> bool
 (** Blocking edges: the source can stall until the far side clears
     them. These form the wait-for graph of the deadlock pass. *)
+
+val edge_lps : t -> edge -> (lp * lp) option
+(** The LPs of an edge's endpoints, when both resolve. *)
+
+val is_cross_lp : t -> edge -> bool
+(** Does the edge cross an LP boundary? [false] when an endpoint is
+    missing (well-formedness reports that separately). *)
 
 (** The as-built defects that change the declared wiring or
     footprints: the [Datapath.sabotage] flags minus the two notify

@@ -1,6 +1,6 @@
 (** FlexProve: whole-graph static analysis over the {!Graph_ir}.
 
-    Four passes, each a pure function of the IR:
+    Five passes, each a pure function of the IR:
 
     - {!interference}: the whole-graph generalization of the pairwise
       {!Effects.check} — computes which stage executions may happen in
@@ -14,11 +14,17 @@
     - {!bounds}: worst-case occupancy of every queue, evaluated from
       the graph's own slots/tokens/capacities, must fit the configured
       capacity wherever overflow would be a bug;
+    - {!partition}: the LP partition is sound for conservative
+      parallel simulation — every cross-LP edge carries a positive
+      lookahead (a zero-lookahead boundary would stall the
+      null-message protocol), and stages that share a serialization
+      domain are co-located on one LP (a critical section cannot span
+      logical processes);
     - {!check_fsm}: exhaustive model check of the shared teardown
       transition table ({!Conn_state.step}) against the RFC-793/6191
       teardown spec, producing a path-to-violation counterexample.
 
-    [Datapath.create] runs the three graph passes once per node (after
+    [Datapath.create] runs the four graph passes once per node (after
     the pairwise {!Effects.check}) and raises {!Graph_rejected} on any
     finding, so an unsound composition fails before any FPC is wired —
     and at zero per-segment cost. *)
@@ -361,9 +367,90 @@ let bounds (g : G.t) : report =
     r_findings = findings;
   }
 
+(* --- Pass 4: partition soundness --------------------------------------- *)
+
+(* The conservative parallel simulator maps each node's LP onto a
+   Cluster LP and each cross-LP edge onto a channel whose lookahead is
+   the edge's declared minimum hand-off latency. Two obligations make
+   that mapping sound:
+
+   (a) every cross-LP edge needs [e_lookahead > 0] — a channel's
+       lookahead is what lets the receiving LP execute ahead of the
+       sender; a zero-lookahead boundary forces lockstep and, in a
+       cycle, stalls the null-message protocol entirely;
+
+   (b) stages whose contracts share a serialization domain must live
+       on the same LP — the critical section realizing the domain is
+       LP-local state, it cannot span domains of the OCaml runtime.
+       (Early-release sabotage is irrelevant here: the *claim* of a
+       shared domain already implies shared placement.) *)
+let partition (g : G.t) : report =
+  let fail subject detail =
+    { f_pass = "partition"; f_subject = subject; f_detail = detail }
+  in
+  (* Unknown endpoints are already reported by the interference pass's
+     well-formedness prelude; [edge_lps] returns [None] for them, so
+     this pass just skips such edges. *)
+  let cross = List.filter (fun e -> G.is_cross_lp g e) g.G.g_edges in
+  let zero_lookahead =
+    List.filter_map
+      (fun e ->
+        if e.G.e_lookahead > Sim.Time.zero then None
+        else
+          match G.edge_lps g e with
+          | Some (a, b) ->
+              Some
+                (fail e.G.e_label
+                   (Printf.sprintf
+                      "cross-LP edge %s -> %s (%s -> %s) has no positive \
+                       lookahead: the conservative channel cannot make \
+                       progress guarantees"
+                      e.G.e_src e.G.e_dst (G.lp_name a) (G.lp_name b)))
+          | None -> None)
+      cross
+  in
+  let rec pairs = function
+    | [] -> []
+    | n :: rest -> List.map (fun m -> (n, m)) rest @ pairs rest
+  in
+  let split_domains =
+    List.filter_map
+      (fun ((a : G.node), (b : G.node)) ->
+        if
+          E.serialized_together a.G.n_contract b.G.n_contract
+          && a.G.n_lp <> b.G.n_lp
+        then
+          Some
+            (fail
+               (a.G.n_name ^ "/" ^ b.G.n_name)
+               (Printf.sprintf
+                  "stages share serialization domain %s but live on \
+                   different LPs (%s vs %s): a critical section cannot \
+                   span logical processes"
+                  (E.domain_name a.G.n_contract.E.c_domain)
+                  (G.lp_name a.G.n_lp) (G.lp_name b.G.n_lp)))
+        else None)
+      (pairs g.G.g_nodes)
+  in
+  let lps =
+    List.sort_uniq compare (List.map (fun n -> n.G.n_lp) g.G.g_nodes)
+  in
+  {
+    r_pass = "partition";
+    r_notes =
+      [
+        Printf.sprintf
+          "%d LP(s), %d cross-LP edge(s) with positive lookahead, \
+           serialization domains co-located"
+          (List.length lps)
+          (List.length cross);
+      ];
+    r_findings = zero_lookahead @ split_domains;
+  }
+
 (* --- Graph driver ------------------------------------------------------ *)
 
-let graph_reports g = [ interference g; deadlock g; bounds g ]
+let graph_reports g = [ interference g; deadlock g; bounds g; partition g ]
 let reports_ok rs = List.for_all (fun r -> r.r_findings = []) rs
 let report_findings rs = List.concat_map (fun r -> r.r_findings) rs
 

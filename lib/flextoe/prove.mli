@@ -1,16 +1,19 @@
 (** FlexProve: whole-graph static analysis of the datapath.
 
-    Three graph passes over the {!Graph_ir} — whole-graph interference
+    Four graph passes over the {!Graph_ir} — whole-graph interference
     (the transitive generalization of the pairwise {!Effects.check}),
-    deadlock freedom of the credit/backpressure wait-for graph, and
-    worst-case queue occupancy against configured capacities — plus an
-    exhaustive model check of the shared teardown transition table
-    ({!Conn_state.step}) against an RFC-793/6191 spec.
+    deadlock freedom of the credit/backpressure wait-for graph,
+    worst-case queue occupancy against configured capacities, and
+    soundness of the LP partition for conservative parallel simulation
+    (positive lookahead on every cross-LP edge, serialization domains
+    co-located) — plus an exhaustive model check of the shared
+    teardown transition table ({!Conn_state.step}) against an
+    RFC-793/6191 spec.
 
     [Datapath.create] runs the graph passes once per node and raises
     {!Graph_rejected} on any finding, so an unsound composition fails
     before any FPC is wired — at zero per-segment cost. [flexlint
-    graph] and [flexlint fsm] expose all four passes offline. *)
+    graph] and [flexlint fsm] expose all five passes offline. *)
 
 type finding = { f_pass : string; f_subject : string; f_detail : string }
 
@@ -45,14 +48,22 @@ val bounds : Graph_ir.t -> report
 
 val eval_bound : Graph_ir.t -> Graph_ir.bound -> (int, string) result
 
+val partition : Graph_ir.t -> report
+(** Soundness of the LP partition for the conservative parallel
+    simulator ({!Sim.Engine.Cluster}): every cross-LP edge must carry
+    a positive [e_lookahead] (the channel realizing it cannot
+    guarantee progress otherwise), and stages whose contracts share a
+    serialization domain must be assigned the same LP — a critical
+    section cannot span logical processes. *)
+
 val graph_reports : Graph_ir.t -> report list
-(** The three graph passes, in order. *)
+(** The four graph passes, in order. *)
 
 val reports_ok : report list -> bool
 val report_findings : report list -> finding list
 
 val check_graph : Graph_ir.t -> (report list, finding list) result
-(** All three passes; [Error] carries every finding. *)
+(** All four passes; [Error] carries every finding. *)
 
 (** {1 Teardown FSM model check} *)
 

@@ -5,22 +5,28 @@ type shaping = {
 }
 
 type t = {
-  engine : Sim.Engine.t;
+  engine : Sim.Engine.t;  (* home engine: every classic-mode port *)
   switch_latency : Sim.Time.t;
-  rng : Sim.Rng.t;
+  seed : int64;
+  rng : Sim.Rng.t;  (* classic-mode loss draws (at forward time) *)
   mutable loss : float;
   mutable ports : port list;
   by_mac : (int, port) Hashtbl.t;
   by_ip : (int, port) Hashtbl.t;
-  mutable delivered : int;
+  (* Classic mode draws loss and routes at the switch, where there is
+     no port context; these two stay fabric-global there. *)
   mutable dropped_loss : int;
-  mutable dropped_queue : int;
   mutable dropped_unroutable : int;
-  mutable ecn_marked : int;
+  (* Partitioned mode: one conservative channel per ordered pair of
+     distinct port-home LPs, keyed by (src LP id, dst LP id), with
+     the switch latency as lookahead. *)
+  mutable partitioned : bool;
+  channels : (int * int, Sim.Engine.Cluster.channel) Hashtbl.t;
 }
 
 and port = {
   fabric : t;
+  home : Sim.Engine.t;  (* home LP: serialisation + delivery run here *)
   mac : int;
   ip : int;
   rate_gbps : float;
@@ -31,6 +37,14 @@ and port = {
   mutable shaping : shaping option;
   mutable tx_fault : fault_hook option;
   mutable rx_fault : fault_hook option;
+  (* Per-port statistics: bumped on the port's home LP, summed by the
+     fabric-wide accessors (identical totals in classic mode). *)
+  mutable p_delivered : int;
+  mutable p_dropped_queue : int;
+  mutable p_ecn_marked : int;
+  mutable p_dropped_loss : int;  (* partitioned: drawn at the source *)
+  mutable p_dropped_unroutable : int;  (* partitioned: routed at the source *)
+  p_rng : Sim.Rng.t;  (* partitioned-mode loss draws, keyed by mac *)
 }
 
 (* A fault hook intercepts a frame and decides its fate by invoking
@@ -42,24 +56,28 @@ let create engine ?(switch_latency = Sim.Time.us 1) ?(seed = 42L) () =
   {
     engine;
     switch_latency;
+    seed;
     rng = Sim.Rng.create seed;
     loss = 0.;
     ports = [];
     by_mac = Hashtbl.create 16;
     by_ip = Hashtbl.create 16;
-    delivered = 0;
     dropped_loss = 0;
-    dropped_queue = 0;
     dropped_unroutable = 0;
-    ecn_marked = 0;
+    partitioned = false;
+    channels = Hashtbl.create 16;
   }
 
 let set_loss t p = t.loss <- p
 
-let add_port t ?(rate_gbps = 40.0) ~mac ~ip ~rx () =
+let add_port t ?engine ?(rate_gbps = 40.0) ~mac ~ip ~rx () =
+  if t.partitioned then
+    invalid_arg "Fabric.add_port: fabric is already partitioned";
+  let engine = match engine with Some e -> e | None -> t.engine in
   let port =
     {
       fabric = t;
+      home = engine;
       mac;
       ip;
       rate_gbps;
@@ -70,12 +88,39 @@ let add_port t ?(rate_gbps = 40.0) ~mac ~ip ~rx () =
       shaping = None;
       tx_fault = None;
       rx_fault = None;
+      p_delivered = 0;
+      p_dropped_queue = 0;
+      p_ecn_marked = 0;
+      p_dropped_loss = 0;
+      p_dropped_unroutable = 0;
+      p_rng = Sim.Rng.stream ~seed:t.seed ~key:mac;
     }
   in
   t.ports <- port :: t.ports;
   Hashtbl.replace t.by_mac mac port;
   Hashtbl.replace t.by_ip ip port;
   port
+
+let partition t ~cluster =
+  if t.partitioned then invalid_arg "Fabric.partition: already partitioned";
+  t.partitioned <- true;
+  List.iter
+    (fun (src : port) ->
+      List.iter
+        (fun (dst : port) ->
+          if src.home != dst.home then begin
+            let key =
+              (Sim.Engine.Local.id src.home, Sim.Engine.Local.id dst.home)
+            in
+            if not (Hashtbl.mem t.channels key) then
+              Hashtbl.replace t.channels key
+                (Sim.Engine.Cluster.channel cluster ~src:src.home
+                   ~dst:dst.home ~min_latency:t.switch_latency)
+          end)
+        t.ports)
+    t.ports
+
+let partitioned t = t.partitioned
 
 let shape_port _t port ~rate_gbps ~queue_bytes ~ecn_threshold_bytes =
   port.shaping <- Some { rate_gbps; queue_bytes; ecn_threshold_bytes }
@@ -90,8 +135,9 @@ let wire_time ~rate_gbps ~bytes =
 let rx_into (dst : port) frame =
   match dst.rx_fault with None -> dst.rx frame | Some hook -> hook frame dst.rx
 
-let deliver t (dst : port) frame =
-  let now = Sim.Engine.now t.engine in
+(* Runs on the destination port's home LP. *)
+let deliver _t (dst : port) frame =
+  let now = Sim.Engine.now dst.home in
   let bytes = Tcp.Segment.frame_wire_len frame in
   match dst.shaping with
   | None ->
@@ -99,12 +145,12 @@ let deliver t (dst : port) frame =
       let ser = wire_time ~rate_gbps:dst.rate_gbps ~bytes in
       let start = max now dst.egress_free in
       dst.egress_free <- start + ser;
-      Sim.Engine.schedule_at t.engine dst.egress_free (fun () ->
-          t.delivered <- t.delivered + 1;
+      Sim.Engine.schedule_at dst.home dst.egress_free (fun () ->
+          dst.p_delivered <- dst.p_delivered + 1;
           rx_into dst frame)
   | Some s ->
       if dst.egress_queued + bytes > s.queue_bytes then
-        t.dropped_queue <- t.dropped_queue + 1
+        dst.p_dropped_queue <- dst.p_dropped_queue + 1
       else begin
         let frame =
           if
@@ -112,7 +158,7 @@ let deliver t (dst : port) frame =
             && (frame.Tcp.Segment.ecn = Tcp.Segment.Ect0
                || frame.Tcp.Segment.ecn = Tcp.Segment.Ect1)
           then begin
-            t.ecn_marked <- t.ecn_marked + 1;
+            dst.p_ecn_marked <- dst.p_ecn_marked + 1;
             { frame with Tcp.Segment.ecn = Tcp.Segment.Ce }
           end
           else frame
@@ -121,36 +167,57 @@ let deliver t (dst : port) frame =
         let ser = wire_time ~rate_gbps:s.rate_gbps ~bytes in
         let start = max now dst.egress_free in
         dst.egress_free <- start + ser;
-        Sim.Engine.schedule_at t.engine dst.egress_free (fun () ->
+        Sim.Engine.schedule_at dst.home dst.egress_free (fun () ->
             dst.egress_queued <- dst.egress_queued - bytes;
-            t.delivered <- t.delivered + 1;
+            dst.p_delivered <- dst.p_delivered + 1;
             rx_into dst frame)
       end
 
+let route t frame =
+  match Hashtbl.find_opt t.by_mac frame.Tcp.Segment.dst_mac with
+  | Some p -> Some p
+  | None -> Hashtbl.find_opt t.by_ip frame.Tcp.Segment.seg.dst_ip
+
+(* Classic mode: the switch forwards at arrival time on the shared
+   engine — loss draw, then routing, then delivery. *)
 let forward t frame =
   if t.loss > 0. && Sim.Rng.bool t.rng t.loss then
     t.dropped_loss <- t.dropped_loss + 1
-  else begin
-    let dst_mac = frame.Tcp.Segment.dst_mac in
-    let dst =
-      match Hashtbl.find_opt t.by_mac dst_mac with
-      | Some p -> Some p
-      | None -> Hashtbl.find_opt t.by_ip frame.Tcp.Segment.seg.dst_ip
-    in
-    match dst with
+  else
+    match route t frame with
     | None -> t.dropped_unroutable <- t.dropped_unroutable + 1
     | Some p -> deliver t p frame
-  end
 
 let transmit_clean port frame =
   let t = port.fabric in
-  let now = Sim.Engine.now t.engine in
+  let now = Sim.Engine.now port.home in
   let bytes = Tcp.Segment.frame_wire_len frame in
   let ser = wire_time ~rate_gbps:port.rate_gbps ~bytes in
   let start = max now port.tx_free in
   port.tx_free <- start + ser;
   let arrival = port.tx_free + t.switch_latency in
-  Sim.Engine.schedule_at t.engine arrival (fun () -> forward t frame)
+  if not t.partitioned then
+    Sim.Engine.schedule_at port.home arrival (fun () -> forward t frame)
+  else if t.loss > 0. && Sim.Rng.bool port.p_rng t.loss then
+    (* Partitioned mode: the loss draw moves to the source port's own
+       stream (keyed by mac) and routing happens at transmit time —
+       the switch tables are immutable once partitioned, and the
+       destination LP must be known to pick the channel. *)
+    port.p_dropped_loss <- port.p_dropped_loss + 1
+  else
+    match route t frame with
+    | None -> port.p_dropped_unroutable <- port.p_dropped_unroutable + 1
+    | Some dst ->
+        if dst.home == port.home then
+          Sim.Engine.schedule_at port.home arrival (fun () ->
+              deliver t dst frame)
+        else
+          let key =
+            (Sim.Engine.Local.id port.home, Sim.Engine.Local.id dst.home)
+          in
+          let ch = Hashtbl.find t.channels key in
+          Sim.Engine.Cluster.send ch ~at:arrival (fun () ->
+              deliver t dst frame)
 
 let transmit port frame =
   match port.tx_fault with
@@ -162,8 +229,17 @@ let set_rx_fault port hook = port.rx_fault <- hook
 
 let port_mac p = p.mac
 let port_ip p = p.ip
-let delivered t = t.delivered
-let dropped_loss t = t.dropped_loss
-let dropped_queue t = t.dropped_queue
-let dropped_unroutable t = t.dropped_unroutable
-let ecn_marked t = t.ecn_marked
+let port_engine p = p.home
+
+let sum_ports t f = List.fold_left (fun acc p -> acc + f p) 0 t.ports
+let delivered t = sum_ports t (fun p -> p.p_delivered)
+
+let dropped_loss t =
+  t.dropped_loss + sum_ports t (fun p -> p.p_dropped_loss)
+
+let dropped_queue t = sum_ports t (fun p -> p.p_dropped_queue)
+
+let dropped_unroutable t =
+  t.dropped_unroutable + sum_ports t (fun p -> p.p_dropped_unroutable)
+
+let ecn_marked t = sum_ports t (fun p -> p.p_ecn_marked)

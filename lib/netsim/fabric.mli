@@ -8,7 +8,18 @@
     experiment, Table 4).
 
     Frames are delivered to the destination port's receive callback at
-    the virtual time the last byte arrives. *)
+    the virtual time the last byte arrives.
+
+    The fabric can run {e partitioned} for the parallel simulator:
+    each port names a home engine (its node's LP) and {!partition}
+    builds one conservative channel per ordered pair of distinct port
+    LPs, with the switch's forwarding latency as the lookahead — the
+    physical justification being that no frame crosses the switch in
+    less than its store-and-forward time. In partitioned mode the
+    loss draw moves to the source port's own RNG stream (keyed by
+    MAC) and routing happens at transmit time; the classic
+    single-engine path is byte-identical to the unpartitioned
+    fabric. *)
 
 type t
 
@@ -24,6 +35,7 @@ val set_loss : t -> float -> unit
 
 val add_port :
   t ->
+  ?engine:Sim.Engine.t ->
   ?rate_gbps:float ->
   mac:int ->
   ip:int ->
@@ -31,7 +43,18 @@ val add_port :
   unit ->
   port
 (** Attach a NIC port. [rate_gbps] (default 40.0) bounds both ingress
-    and egress serialisation. *)
+    and egress serialisation. [engine] (default: the fabric's own) is
+    the port's home LP: serialisation state, shaping and the receive
+    callback live there. Raises [Invalid_argument] once the fabric is
+    partitioned. *)
+
+val partition : t -> cluster:Sim.Engine.Cluster.t -> unit
+(** Enter partitioned mode: create a {!Sim.Engine.Cluster.channel}
+    (lookahead = the switch latency) for every ordered pair of
+    distinct port home-LPs. All ports must already be attached, and
+    every port engine must be an LP of [cluster]. *)
+
+val partitioned : t -> bool
 
 val shape_port :
   t -> port -> rate_gbps:float -> queue_bytes:int -> ecn_threshold_bytes:int
@@ -63,7 +86,11 @@ val set_rx_fault : port -> fault_hook option -> unit
 val port_mac : port -> int
 val port_ip : port -> int
 
-(** Fabric-wide statistics. *)
+val port_engine : port -> Sim.Engine.t
+(** The port's home LP. *)
+
+(** Fabric-wide statistics (summed over ports; in partitioned mode
+    read them only while the cluster is not running). *)
 
 val delivered : t -> int
 val dropped_loss : t -> int

@@ -1,22 +1,89 @@
 type handle = Event_queue.handle
 
+(* An engine is one logical process (LP): a private event wheel, a
+   private clock, a private RNG stream. A solo engine ([create]) is an
+   LP with no cluster attached and behaves exactly like the historical
+   single-threaded event loop. Cluster LPs ([Cluster.add_lp]) are
+   driven by [Cluster.run] under the conservative (Chandy-Misra-Bryant
+   null-message) protocol: cross-LP messages travel on channels with a
+   declared positive [min_latency] (the lookahead), and each LP only
+   executes events strictly below the minimum lower-bound-on-timestamp
+   (lbts) promised by its input channels. *)
 type t = {
+  lp_id : int;
+  lp_name : string;
   mutable clock : Time.t;
   queue : (unit -> unit) Event_queue.t;
-  root_rng : Rng.t;
+  lp_rng : Rng.t;
   mutable processed : int;
+  cluster : cluster option;  (* [None] = solo engine *)
+  mutable inputs : channel list;
+  mutable outputs : channel list;
+  mutable worker : int;
+  mutable lp_done : bool;  (* no more work below this run's horizon *)
 }
 
-let create ?(seed = 1L) () =
+and channel = {
+  ch_id : int;
+  ch_src : t;
+  ch_dst : t;
+  ch_latency : Time.t;
+  ch_mu : Mutex.t;
+  (* In-flight messages, newest first; drained by the destination's
+     worker into its wheel at slice start. Protected by [ch_mu]. *)
+  mutable ch_pending : (Time.t * (unit -> unit)) list;
+  (* The source's promise: no future arrival on this channel will be
+     timestamped below [ch_lbts]. Monotone. Protected by [ch_mu], and
+     always read in the same critical section that drains
+     [ch_pending] — otherwise a message sent between the drain and
+     the read could be missed while the horizon advances past it. *)
+  mutable ch_lbts : Time.t;
+  mutable ch_sent : int;
+  mutable ch_delivered : int;
+  (* Smallest observed (arrival - source clock at send): the slack
+     the lookahead claim actually had. [max_int] until the first
+     send. *)
+  mutable ch_min_slack : Time.t;
+}
+
+and cluster = {
+  cl_seed : int64;
+  mutable cl_domains : int;
+  mutable cl_lps : t list;  (* reverse creation order *)
+  mutable cl_channels : channel list;
+  mutable cl_next_lp : int;
+  mutable cl_next_ch : int;
+  cl_mu : Mutex.t;
+  cl_cond : Condition.t;
+  (* Bumped (under [cl_mu], with a broadcast) whenever any channel
+     state changes; blocked workers re-evaluate their horizons when
+     it moves. *)
+  mutable cl_epoch : int;
+  mutable cl_running : bool;
+  mutable cl_workers : int;  (* workers used by the last run *)
+  mutable cl_poison : exn option;
+}
+
+let mk_lp ~id ~name ~rng ~cluster =
   {
+    lp_id = id;
+    lp_name = name;
     clock = Time.zero;
     queue = Event_queue.create ();
-    root_rng = Rng.create seed;
+    lp_rng = rng;
     processed = 0;
+    cluster;
+    inputs = [];
+    outputs = [];
+    worker = 0;
+    lp_done = false;
   }
 
+let create ?(seed = 1L) () =
+  mk_lp ~id:0 ~name:"main" ~rng:(Rng.create seed) ~cluster:None
+
 let now t = t.clock
-let rng t = t.root_rng
+let rng t = t.lp_rng
 
 let schedule_at t time k =
   if time < t.clock then
@@ -35,7 +102,13 @@ let schedule_cancellable t delay k =
 
 let cancel t h = Event_queue.cancel t.queue h
 
+let solo_only t op =
+  if t.cluster <> None then
+    invalid_arg ("Engine." ^ op ^ ": engine is a cluster LP; drive it with \
+                  Engine.Cluster.run")
+
 let step t =
+  solo_only t "step";
   match Event_queue.pop t.queue with
   | None -> false
   | Some (time, k) ->
@@ -45,6 +118,7 @@ let step t =
       true
 
 let run ?until ?max_events t =
+  solo_only t "run";
   let continue () =
     (match max_events with Some m -> t.processed < m | None -> true)
     &&
@@ -54,7 +128,12 @@ let run ?until ?max_events t =
     | Some u, Some next -> next <= u
   in
   while continue () do
-    ignore (step t)
+    match Event_queue.pop t.queue with
+    | None -> ()
+    | Some (time, k) ->
+        t.clock <- max t.clock time;
+        t.processed <- t.processed + 1;
+        k ()
   done;
   match until with
   | Some u when t.clock < u -> t.clock <- u
@@ -62,3 +141,307 @@ let run ?until ?max_events t =
 
 let events_processed t = t.processed
 let pending t = Event_queue.length t.queue
+
+module Local = struct
+  let id t = t.lp_id
+  let name t = t.lp_name
+  let now = now
+  let rng t = t.lp_rng
+  let schedule_at = schedule_at
+  let schedule = schedule
+  let schedule_cancellable = schedule_cancellable
+  let cancel = cancel
+  let events_processed = events_processed
+  let pending = pending
+end
+
+module Cluster = struct
+  type lp = t
+  type nonrec channel = channel
+  type t = cluster
+
+  let create ?(seed = 1L) ?(domains = 1) () =
+    if domains < 1 then invalid_arg "Cluster.create: domains < 1";
+    {
+      cl_seed = seed;
+      cl_domains = domains;
+      cl_lps = [];
+      cl_channels = [];
+      cl_next_lp = 0;
+      cl_next_ch = 0;
+      cl_mu = Mutex.create ();
+      cl_cond = Condition.create ();
+      cl_epoch = 0;
+      cl_running = false;
+      cl_workers = 0;
+      cl_poison = None;
+    }
+
+  let domains cl = cl.cl_domains
+
+  let set_domains cl n =
+    if n < 1 then invalid_arg "Cluster.set_domains: domains < 1";
+    cl.cl_domains <- n
+
+  let not_running cl op =
+    if cl.cl_running then
+      invalid_arg ("Cluster." ^ op ^ ": cluster is running")
+
+  let add_lp ?name ?seed cl =
+    not_running cl "add_lp";
+    let id = cl.cl_next_lp in
+    cl.cl_next_lp <- id + 1;
+    let name =
+      match name with Some n -> n | None -> "lp" ^ string_of_int id
+    in
+    (* An explicit seed gives the exact stream a solo engine created
+       with that seed would have — the golden worlds rely on this —
+       while the default derives a stream from (cluster seed, LP id)
+       that is independent of creation interleaving. *)
+    let rng =
+      match seed with
+      | Some s -> Rng.create s
+      | None -> Rng.stream ~seed:cl.cl_seed ~key:id
+    in
+    let lp = mk_lp ~id ~name ~rng ~cluster:(Some cl) in
+    cl.cl_lps <- lp :: cl.cl_lps;
+    lp
+
+  let lps cl = List.rev cl.cl_lps
+
+  let member cl lp =
+    match lp.cluster with Some c -> c == cl | None -> false
+
+  let channel cl ~src ~dst ~min_latency =
+    not_running cl "channel";
+    if min_latency <= 0 then
+      invalid_arg "Cluster.channel: min_latency (lookahead) must be positive";
+    if src == dst then invalid_arg "Cluster.channel: src = dst";
+    if not (member cl src && member cl dst) then
+      invalid_arg "Cluster.channel: LP belongs to a different cluster";
+    let ch =
+      {
+        ch_id = cl.cl_next_ch;
+        ch_src = src;
+        ch_dst = dst;
+        ch_latency = min_latency;
+        ch_mu = Mutex.create ();
+        ch_pending = [];
+        ch_lbts = src.clock + min_latency;
+        ch_sent = 0;
+        ch_delivered = 0;
+        ch_min_slack = max_int;
+      }
+    in
+    cl.cl_next_ch <- cl.cl_next_ch + 1;
+    cl.cl_channels <- ch :: cl.cl_channels;
+    src.outputs <- ch :: src.outputs;
+    dst.inputs <- ch :: dst.inputs;
+    ch
+
+  let latency ch = ch.ch_latency
+  let channel_src ch = ch.ch_src
+  let channel_dst ch = ch.ch_dst
+
+  let bump_epoch cl =
+    Mutex.lock cl.cl_mu;
+    cl.cl_epoch <- cl.cl_epoch + 1;
+    Condition.broadcast cl.cl_cond;
+    Mutex.unlock cl.cl_mu
+
+  let send ch ~at k =
+    let src = ch.ch_src in
+    if at < src.clock + ch.ch_latency then
+      invalid_arg
+        (Format.asprintf
+           "Cluster.send: arrival %a violates the declared lookahead \
+            (source now %a, min latency %a)"
+           Time.pp at Time.pp src.clock Time.pp ch.ch_latency);
+    Mutex.lock ch.ch_mu;
+    ch.ch_pending <- (at, k) :: ch.ch_pending;
+    ch.ch_sent <- ch.ch_sent + 1;
+    if at - src.clock < ch.ch_min_slack then
+      ch.ch_min_slack <- at - src.clock;
+    Mutex.unlock ch.ch_mu;
+    match src.cluster with Some cl -> bump_epoch cl | None -> ()
+
+  let channel_sent ch = ch.ch_sent
+  let channel_delivered ch = ch.ch_delivered
+
+  let min_slack ch =
+    if ch.ch_min_slack = max_int then None else Some ch.ch_min_slack
+
+  (* Drain every input channel into the wheel and compute the safe
+     horizon: the minimum lbts over the inputs. Each drain reads the
+     channel's pending list and its lbts in one critical section. The
+     wheel entries carry (major 0, minor ch_id), so at equal
+     timestamps channel messages execute before local events, in
+     channel-id order, and within a channel in FIFO order — all
+     independent of when this drain happened to run. *)
+  let drain_inputs lp =
+    List.fold_left
+      (fun acc ch ->
+        Mutex.lock ch.ch_mu;
+        let pend = ch.ch_pending in
+        if pend <> [] then begin
+          ch.ch_pending <- [];
+          ch.ch_delivered <- ch.ch_delivered + List.length pend
+        end;
+        let lb = ch.ch_lbts in
+        Mutex.unlock ch.ch_mu;
+        List.iter
+          (fun (at, k) ->
+            Event_queue.push_keyed lp.queue at ~major:0 ~minor:ch.ch_id k)
+          (List.rev pend);
+        min acc lb)
+      max_int lp.inputs
+
+  (* One scheduling slice of one LP: drain inputs, execute everything
+     strictly below the horizon (and at or below [until]), then
+     re-announce this LP's output guarantees. Returns whether any
+     progress was made. Only ever called by the LP's owning worker. *)
+  let slice cl ~until lp =
+    if lp.lp_done then false
+    else begin
+      let horizon = drain_inputs lp in
+      let limit =
+        min (if horizon = max_int then max_int else horizon - 1) until
+      in
+      let progressed = ref false in
+      let continue () =
+        match Event_queue.peek_time lp.queue with
+        | Some next -> next <= limit
+        | None -> false
+      in
+      while continue () do
+        match Event_queue.pop lp.queue with
+        | None -> ()
+        | Some (time, k) ->
+            lp.clock <- max lp.clock time;
+            lp.processed <- lp.processed + 1;
+            k ();
+            progressed := true
+      done;
+      (* The earliest virtual time at which this LP could still
+         execute anything: its next local event or the first instant
+         an input could deliver. Any future send leaves at or after
+         this, so (earliest + latency) is a sound, monotone output
+         promise. *)
+      let earliest =
+        match Event_queue.peek_time lp.queue with
+        | Some nt -> min nt horizon
+        | None -> horizon
+      in
+      if earliest > until then begin
+        lp.lp_done <- true;
+        if lp.clock < until then lp.clock <- until;
+        progressed := true
+      end;
+      let changed = ref false in
+      List.iter
+        (fun ch ->
+          let v =
+            if lp.lp_done || earliest >= max_int - ch.ch_latency then max_int
+            else earliest + ch.ch_latency
+          in
+          Mutex.lock ch.ch_mu;
+          if v > ch.ch_lbts then begin
+            ch.ch_lbts <- v;
+            changed := true
+          end;
+          Mutex.unlock ch.ch_mu)
+        lp.outputs;
+      if !changed then bump_epoch cl;
+      !progressed
+    end
+
+  let poison cl e =
+    Mutex.lock cl.cl_mu;
+    if cl.cl_poison = None then cl.cl_poison <- Some e;
+    cl.cl_epoch <- cl.cl_epoch + 1;
+    Condition.broadcast cl.cl_cond;
+    Mutex.unlock cl.cl_mu
+
+  let worker_loop cl ~until my_lps =
+    let all_done () = List.for_all (fun lp -> lp.lp_done) my_lps in
+    let rec go () =
+      if cl.cl_poison = None && not (all_done ()) then begin
+        Mutex.lock cl.cl_mu;
+        let epoch0 = cl.cl_epoch in
+        Mutex.unlock cl.cl_mu;
+        let progressed =
+          List.fold_left
+            (fun acc lp -> slice cl ~until lp || acc)
+            false my_lps
+        in
+        if not progressed then begin
+          (* Nothing safe to run: sleep until some channel's promise
+             moves. The LP holding the globally minimal next event is
+             always able to progress (every input promise exceeds its
+             own earliest time by at least one positive lookahead), so
+             the cluster as a whole never sleeps forever. *)
+          Mutex.lock cl.cl_mu;
+          while cl.cl_epoch = epoch0 && cl.cl_poison = None do
+            Condition.wait cl.cl_cond cl.cl_mu
+          done;
+          Mutex.unlock cl.cl_mu
+        end;
+        go ()
+      end
+    in
+    go ()
+
+  let run ~until cl =
+    not_running cl "run";
+    cl.cl_running <- true;
+    cl.cl_poison <- None;
+    let lps = List.rev cl.cl_lps in
+    List.iter (fun lp -> lp.lp_done <- false) lps;
+    (* Re-arm every channel's promise at its conservative floor for
+       this run: the source cannot send an arrival below its current
+       clock plus the lookahead. *)
+    List.iter
+      (fun ch ->
+        Mutex.lock ch.ch_mu;
+        ch.ch_lbts <- ch.ch_src.clock + ch.ch_latency;
+        Mutex.unlock ch.ch_mu)
+      cl.cl_channels;
+    (* Workers are additionally capped at the host's core count:
+       oversubscribed domains only add stop-the-world GC barrier
+       stalls (every domain must reach the barrier, but the scheduler
+       runs them one at a time). Worker count never affects results —
+       the merge order is fixed by (time, kind, channel id, seq). *)
+    let n_workers =
+      max 1
+        (min cl.cl_domains
+           (min (List.length lps) (Domain.recommended_domain_count ())))
+    in
+    cl.cl_workers <- n_workers;
+    List.iteri (fun i lp -> lp.worker <- i mod n_workers) lps;
+    let mine w = List.filter (fun lp -> lp.worker = w) lps in
+    let guarded w () =
+      try worker_loop cl ~until (mine w) with e -> poison cl e
+    in
+    if n_workers = 1 then guarded 0 ()
+    else begin
+      let others =
+        Array.init (n_workers - 1) (fun i -> Domain.spawn (guarded (i + 1)))
+      in
+      guarded 0 ();
+      Array.iter Domain.join others
+    end;
+    cl.cl_running <- false;
+    match cl.cl_poison with
+    | Some e ->
+        cl.cl_poison <- None;
+        raise e
+    | None -> ()
+
+  let workers_used cl = cl.cl_workers
+
+  let gvt cl =
+    List.fold_left (fun acc lp -> min acc lp.clock) max_int cl.cl_lps
+
+  let events_processed cl =
+    List.fold_left (fun acc lp -> acc + lp.processed) 0 cl.cl_lps
+end

@@ -1,9 +1,27 @@
 (** The discrete-event simulation engine.
 
-    A single global virtual clock and an event loop. All hardware and
-    software actors in the model (FPCs, DMA engines, links, host
-    cores, applications) schedule continuation callbacks on one
-    engine. Execution is single-threaded and deterministic. *)
+    An engine is one {e logical process} (LP): a private event wheel,
+    a private virtual clock and a private deterministic RNG stream.
+
+    Used solo ({!create}), it is the historical single-threaded event
+    loop: all actors in the model schedule continuation callbacks on
+    one engine and execution is sequential and deterministic.
+
+    Under {!Cluster}, several LPs run concurrently on OCaml 5 domains
+    with a conservative (lookahead-based, null-message) protocol:
+    cross-LP messages travel on {!Cluster.channel}s that declare a
+    positive minimum latency, and an LP only executes events strictly
+    below the minimum arrival time its input channels can still
+    produce. Because every LP sees its channel messages merged into
+    its wheel in a fixed order — (time, then channel id, then
+    per-channel FIFO), with channel messages ahead of same-instant
+    local events — results are bit-identical for any number of
+    domains, including [domains = 1], which degenerates to the
+    sequential loop.
+
+    Stage and actor code should confine itself to the {!Local}
+    surface; partition construction and the run loop belong to the
+    coordinator via {!Cluster}. *)
 
 type t
 
@@ -11,15 +29,21 @@ type handle
 (** A cancellable scheduled callback. *)
 
 val create : ?seed:int64 -> unit -> t
-(** [create ~seed ()] is a fresh engine at time zero with a
+(** [create ~seed ()] is a fresh solo engine at time zero with a
     deterministic root RNG ([seed] defaults to [1L]). *)
 
 val now : t -> Time.t
 (** Current virtual time. *)
 
 val rng : t -> Rng.t
-(** The engine's root RNG. Actors needing independent streams should
-    {!Rng.split} it at construction time. *)
+[@@ocaml.deprecated
+  "use Engine.Local.rng, this engine's per-LP stream. Direct root-RNG \
+   access predates the parallel engine: draws from a shared root made \
+   streams depend on global draw order, which cannot be reproduced \
+   across domain interleavings. Local.rng returns the same generator \
+   for a solo engine (existing seeds and traces are unaffected); \
+   cluster LPs get a stream derived from (cluster seed, LP id)."]
+(** The engine's root RNG. Deprecated — see the migration note. *)
 
 val schedule_at : t -> Time.t -> (unit -> unit) -> unit
 (** [schedule_at t time k] runs [k] at absolute [time]. Scheduling in
@@ -38,12 +62,126 @@ val cancel : t -> handle -> unit
 val run : ?until:Time.t -> ?max_events:int -> t -> unit
 (** Run the event loop until the queue empties, [until] is reached
     (events at later times stay queued), or [max_events] callbacks
-    have run. *)
+    have run. Solo engines only; driving a cluster LP directly raises
+    [Invalid_argument] — use {!Cluster.run}. *)
 
 val step : t -> bool
-(** Run a single event; [false] if the queue was empty. *)
+(** Run a single event; [false] if the queue was empty. Solo engines
+    only, like {!run}. *)
 
 val events_processed : t -> int
 
 val pending : t -> int
 (** Number of events currently queued. *)
+
+(** The per-LP scheduling surface — the only part of the engine stage
+    and actor code may touch. Everything here acts on the calling
+    LP's private state and is safe exactly because of that
+    confinement: an LP's wheel, clock and RNG are only ever accessed
+    by the domain currently running that LP. *)
+module Local : sig
+  val id : t -> int
+  (** LP id: 0 for a solo engine, creation order within a cluster. *)
+
+  val name : t -> string
+
+  val now : t -> Time.t
+
+  val rng : t -> Rng.t
+  (** This LP's deterministic stream. For a solo engine this is the
+      root stream seeded at {!create} (so existing worlds reproduce
+      their traces bit-for-bit); for a cluster LP created without an
+      explicit seed it is {!Rng.stream} keyed by (cluster seed,
+      LP id), independent of domain interleaving. Actors needing
+      their own streams should {!Rng.split} it at construction
+      time. *)
+
+  val schedule_at : t -> Time.t -> (unit -> unit) -> unit
+  val schedule : t -> Time.t -> (unit -> unit) -> unit
+  val schedule_cancellable : t -> Time.t -> (unit -> unit) -> handle
+  val cancel : t -> handle -> unit
+  val events_processed : t -> int
+  val pending : t -> int
+end
+
+(** The coordinator surface: partition construction (LPs and the
+    channels between them, each with its declared lookahead) and the
+    parallel run loop. *)
+module Cluster : sig
+  type lp = t
+  (** A logical process is just an engine. *)
+
+  type channel
+  (** A unidirectional cross-LP message channel with a declared
+      minimum latency (its lookahead). *)
+
+  type t
+  (** A partition: LPs plus channels plus the worker configuration. *)
+
+  val create : ?seed:int64 -> ?domains:int -> unit -> t
+  (** [create ~seed ~domains ()] is an empty partition. [domains]
+      (default 1) bounds the worker domains used by {!run}; the
+      actual worker count is [min domains (number of LPs)], further
+      capped at [Domain.recommended_domain_count ()] (oversubscribing
+      cores only buys GC-barrier stalls). Results never depend on
+      [domains]. *)
+
+  val domains : t -> int
+  val set_domains : t -> int -> unit
+
+  val add_lp : ?name:string -> ?seed:int64 -> t -> lp
+  (** Add an LP. With an explicit [seed] its stream is exactly the
+      stream of a solo engine created with that seed (the golden
+      worlds rely on this); by default the stream is {!Rng.stream}
+      derived from the cluster seed and the LP id. Raises
+      [Invalid_argument] while the cluster is running. *)
+
+  val lps : t -> lp list
+  (** In creation order. *)
+
+  val channel : t -> src:lp -> dst:lp -> min_latency:Time.t -> channel
+  (** Declare that [src] may send events to [dst], always at least
+      [min_latency] in [src]'s future. The bound is the conservative
+      protocol's lookahead and must be positive (a zero-latency
+      cross-LP edge would serialize the two LPs); violating it in
+      {!send} raises [Invalid_argument], as does a non-positive
+      [min_latency], [src == dst], or an LP from another cluster. *)
+
+  val send : channel -> at:Time.t -> (unit -> unit) -> unit
+  (** [send ch ~at k] delivers [k] into the destination LP's wheel at
+      absolute time [at]. Must be called from the source LP (i.e.
+      from within one of its events, or before the run starts), with
+      [at >= Local.now src + latency ch]. *)
+
+  val latency : channel -> Time.t
+  val channel_src : channel -> lp
+  val channel_dst : channel -> lp
+
+  val channel_sent : channel -> int
+  val channel_delivered : channel -> int
+  (** Messages handed to the destination's wheel so far. *)
+
+  val min_slack : channel -> Time.t option
+  (** Smallest observed (arrival - source clock at send) over all
+      sends, i.e. the slack the declared lookahead actually had.
+      [None] before the first send. Always [>= latency ch]. *)
+
+  val run : until:Time.t -> t -> unit
+  (** Advance every LP to [until] (events at exactly [until]
+      included, like the solo {!run}). Uses up to [domains] worker
+      domains; with one worker (or one LP) this is the sequential
+      loop. Re-runnable with a larger [until] to continue — warmup /
+      measurement-window phasing works as it does on a solo engine.
+      An exception raised by an event is re-raised here after all
+      workers have stopped. *)
+
+  val workers_used : t -> int
+  (** Worker domains used by the last {!run}. *)
+
+  val gvt : t -> Time.t
+  (** Global virtual time: the minimum LP clock ([until] after a
+      completed {!run}). *)
+
+  val events_processed : t -> int
+  (** Total over all LPs. *)
+end

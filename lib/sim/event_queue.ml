@@ -1,7 +1,23 @@
 type handle = int
 
-type 'a entry = { time : Time.t; seq : int; id : handle; value : 'a }
-(* [id] is -1 for events that cannot be cancelled. *)
+type 'a entry = {
+  time : Time.t;
+  major : int;
+  minor : int;
+  seq : int;
+  id : handle;
+  value : 'a;
+}
+(* [id] is -1 for events that cannot be cancelled.
+
+   Entries order by (time, major, minor, seq). Plain pushes use
+   rank (1, 0), so among themselves they keep the historical
+   (time, insertion-seq) order. The parallel engine inserts cross-LP
+   channel deliveries with [push_keyed] at major 0 and minor = the
+   channel id: at equal timestamps, channel messages run before local
+   events, ordered across channels by channel id and within a channel
+   by FIFO arrival — none of which depends on when the scheduler
+   happened to drain them into the wheel. *)
 
 type 'a t = {
   mutable heap : 'a entry option array;
@@ -22,7 +38,12 @@ let create () =
     live = 0;
   }
 
-let entry_lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let entry_lt a b =
+  a.time < b.time
+  || (a.time = b.time
+     && (a.major < b.major
+        || (a.major = b.major
+           && (a.minor < b.minor || (a.minor = b.minor && a.seq < b.seq)))))
 
 let get q i =
   match q.heap.(i) with
@@ -58,22 +79,25 @@ let grow q =
   Array.blit q.heap 0 heap 0 q.size;
   q.heap <- heap
 
-let push_entry q time value id =
+let push_entry q time ~major ~minor value id =
   if q.size = Array.length q.heap then grow q;
-  let e = { time; seq = q.next_seq; id; value } in
+  let e = { time; major; minor; seq = q.next_seq; id; value } in
   q.next_seq <- q.next_seq + 1;
   q.heap.(q.size) <- Some e;
   q.size <- q.size + 1;
   q.live <- q.live + 1;
   sift_up q (q.size - 1)
 
-let push q time value = push_entry q time value (-1)
+let push q time value = push_entry q time ~major:1 ~minor:0 value (-1)
+
+let push_keyed q time ~major ~minor value =
+  push_entry q time ~major ~minor value (-1)
 
 let push_cancellable q time value =
   let id = q.next_id in
   q.next_id <- id + 1;
   Hashtbl.replace q.live_handles id ();
-  push_entry q time value id;
+  push_entry q time ~major:1 ~minor:0 value id;
   id
 
 let cancel q h =

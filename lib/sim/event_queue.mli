@@ -14,6 +14,16 @@ val create : unit -> 'a t
 val push : 'a t -> Time.t -> 'a -> unit
 (** [push q time v] schedules [v] at [time]. *)
 
+val push_keyed : 'a t -> Time.t -> major:int -> minor:int -> 'a -> unit
+(** [push_keyed q time ~major ~minor v] schedules [v] with an explicit
+    tie-break rank: entries order by (time, major, minor, insertion
+    seq), and {!push} uses rank (1, 0). The parallel engine inserts
+    cross-LP channel deliveries at [major = 0] with [minor] set to the
+    channel id, so at equal timestamps channel messages run before
+    local events, in channel-id order — an order independent of when
+    the scheduler drained them into the wheel, which is what makes
+    multi-domain runs bit-reproducible. *)
+
 val push_cancellable : 'a t -> Time.t -> 'a -> handle
 (** Like {!push} but returns a handle for {!cancel}. *)
 

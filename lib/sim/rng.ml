@@ -13,6 +13,21 @@ let next64 t =
 
 let split t = create (next64 t)
 
+(* The splitmix64 finalizer alone: a bijective mixer, used to derive
+   statistically independent stream seeds from (seed, key) pairs. *)
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let stream ~seed ~key =
+  if key < 0 then invalid_arg "Rng.stream: negative key";
+  create
+    (mix64
+       (Int64.add seed
+          (Int64.mul (Int64.of_int (key + 1)) 0x9E3779B97F4A7C15L)))
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: non-positive bound";
   let mask = Int64.to_int (Int64.shift_right_logical (next64 t) 2) in

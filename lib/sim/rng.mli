@@ -14,6 +14,15 @@ val split : t -> t
 (** [split t] is a new generator whose stream is independent of
     subsequent draws from [t] (seeded from [t]'s next output). *)
 
+val stream : seed:int64 -> key:int -> t
+(** [stream ~seed ~key] is a generator derived purely from the
+    [(seed, key)] pair — unlike {!split} it consumes no state, so the
+    resulting stream does not depend on how many draws (or splits)
+    happened before it was created. The parallel engine keys each
+    logical process's stream by its LP id this way, making RNG draws
+    independent of domain interleaving. Raises [Invalid_argument] on
+    a negative [key]. *)
+
 val next64 : t -> int64
 (** Next raw 64-bit output. *)
 

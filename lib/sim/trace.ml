@@ -21,6 +21,19 @@ type t = {
   mutable next_sub_id : int;
   mutable sink_sub : subscription option;  (* the set_sink shim's handle *)
   mutable n_enabled : int;
+  mutable shards : shard list;  (* reverse creation order *)
+}
+
+(* A per-domain bounded buffer of tracepoint hits. Counter bumps and
+   subscriber deliveries are deferred to [sync] so concurrent LPs
+   never touch the shared registry state. *)
+and shard = {
+  sh_id : int;
+  sh_capacity : int;
+  mutable sh_buf : (point * event * int) list;  (* newest first, + gseq *)
+  mutable sh_len : int;
+  mutable sh_gseq : int;
+  mutable sh_dropped : int;
 }
 
 let create () =
@@ -31,6 +44,7 @@ let create () =
     next_sub_id = 0;
     sink_sub = None;
     n_enabled = 0;
+    shards = [];
   }
 
 let register t ~group name =
@@ -108,3 +122,64 @@ let hit t p ~now ~conn ~arg =
 let hits p = p.count
 let points t = List.rev t.order
 let reset_counts t = List.iter (fun p -> p.count <- 0) t.order
+
+(* --- Domain-safe shards ------------------------------------------------ *)
+
+let shard t ?(capacity = 65_536) ~id () =
+  let sh =
+    {
+      sh_id = id;
+      sh_capacity = capacity;
+      sh_buf = [];
+      sh_len = 0;
+      sh_gseq = 0;
+      sh_dropped = 0;
+    }
+  in
+  t.shards <- sh :: t.shards;
+  sh
+
+let shard_id sh = sh.sh_id
+let shard_pending sh = sh.sh_len
+let shard_dropped sh = sh.sh_dropped
+
+let shard_hit sh p ~now ~conn ~arg =
+  if p.on then begin
+    if sh.sh_len < sh.sh_capacity then begin
+      let ev = { time = now; point_name = point_name p; conn; arg } in
+      sh.sh_buf <- (p, ev, sh.sh_gseq) :: sh.sh_buf;
+      sh.sh_gseq <- sh.sh_gseq + 1;
+      sh.sh_len <- sh.sh_len + 1
+    end
+    else sh.sh_dropped <- sh.sh_dropped + 1
+  end
+
+(* Merge at a sync point: counter bumps and subscriber deliveries for
+   every buffered hit, in (time, gseq, shard id) order — fixed by the
+   LPs' deterministic executions, not by domain interleaving.
+   Subscriptions themselves are untouched: the same handles observe
+   sharded and unsharded hits alike. *)
+let sync t =
+  let entries =
+    List.concat_map
+      (fun sh ->
+        let es = List.rev_map (fun (p, ev, g) -> (sh.sh_id, p, ev, g)) sh.sh_buf in
+        sh.sh_buf <- [];
+        sh.sh_len <- 0;
+        es)
+      (List.rev t.shards)
+  in
+  let entries =
+    List.stable_sort
+      (fun (id1, _, ev1, g1) (id2, _, ev2, g2) ->
+        match compare ev1.time ev2.time with
+        | 0 -> (
+            match compare g1 g2 with 0 -> compare id1 id2 | c -> c)
+        | c -> c)
+      entries
+  in
+  List.iter
+    (fun (_, p, ev, _) ->
+      p.count <- p.count + 1;
+      match t.subs with [] -> () | _ -> deliver t p ev)
+    entries

@@ -77,3 +77,33 @@ val hits : point -> int
 
 val points : t -> point list
 val reset_counts : t -> unit
+
+(** {1 Domain-safe shards}
+
+    In a parallel run, LPs must not bump shared hit counters or call
+    subscribers from their own domains. A {!shard} is a per-domain
+    bounded buffer of hits; {!sync}, called by the coordinator at a
+    sync point (all workers stopped), applies counter bumps and
+    delivers the buffered events to the ordinary {!subscribe}
+    handles in (time, gseq, shard id) order — deterministic at any
+    domain count. Existing subscriptions need no change. *)
+
+type shard
+
+val shard : t -> ?capacity:int -> id:int -> unit -> shard
+(** [capacity] (default 65536) bounds buffered hits; excess hits are
+    counted in {!shard_dropped}, never silently lost. *)
+
+val shard_id : shard -> int
+
+val shard_hit : shard -> point -> now:Time.t -> conn:int -> arg:int -> unit
+(** Like {!hit}, but buffered: no counter bump, no delivery, until
+    {!sync}. [now] is the owning LP's clock. *)
+
+val shard_pending : shard -> int
+val shard_dropped : shard -> int
+
+val sync : t -> unit
+(** Merge every shard created on this registry: bump hit counters and
+    deliver buffered events to subscribers in (time, gseq, shard id)
+    order, emptying the buffers. *)

@@ -1,0 +1,4 @@
+(* FlexPar shard: golden worlds bit-identical across domain counts,
+   conservative-channel properties, partitioned-fabric determinism,
+   domain-safe Scope/Trace shard merges. *)
+let () = Alcotest.run "flextoe-par" [ ("par", Test_par.suite) ]

@@ -1,0 +1,457 @@
+(* FlexPar determinism shard (PR9): the conservative parallel engine
+   must be invisible in the results.
+
+   - The golden echo and kv worlds run as LPs of one cluster at
+     domains = 1, 2, 4 and 8 and must reproduce the pinned sequential
+     seed digests bit-for-bit at batch=1 (strict digests include the
+     per-LP processed-event count), stay self-consistent at batch=8,
+     and stay FlexSan-clean at domains=1.
+
+   - Channel properties: positive lookahead enforced at construction
+     and on every send, per-channel FIFO + channel-id merge order at
+     equal timestamps, min_slack never below the declared latency.
+
+   - The partitioned fabric delivers a byte- and time-identical trace
+     at every domain count, equal to the classic single-engine fabric.
+
+   - Scope/Trace shard merges are independent of cross-shard
+     interleaving. *)
+
+module Cl = Sim.Engine.Cluster
+module W = Golden_worlds
+
+let check_str = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let md5 = W.md5
+let domain_counts = [ 1; 2; 4; 8 ]
+
+(* --- Golden worlds under the cluster ---------------------------------- *)
+
+(* Echo and kv as two LPs of one cluster: no channel connects them (the
+   worlds are self-contained two-node simulations), so this exercises
+   the scheduler — worker assignment, horizons with no inputs, the
+   run-to-until barrier — while the digests pin that none of it leaks
+   into results. *)
+let run_worlds ~domains ~batch ?(scope = false) ?(san = false) () =
+  let cl = Cl.create ~seed:7L ~domains () in
+  let echo_lp = Cl.add_lp ~name:"echo" ~seed:W.echo_seed cl in
+  let kv_lp = Cl.add_lp ~name:"kv" ~seed:W.kv_seed cl in
+  let fin_echo = W.setup_echo ~batch ~scope ~san ~engine:echo_lp () in
+  let fin_kv = W.setup_kv ~batch ~scope ~san ~engine:kv_lp () in
+  Cl.run ~until:(Sim.Time.ms 10) cl;
+  check_int "gvt reached until" (Sim.Time.ms 10) (Cl.gvt cl);
+  (fin_echo (), fin_kv ())
+
+let test_golden_bit_identical_across_domains () =
+  List.iter
+    (fun domains ->
+      let echo, kv = run_worlds ~domains ~batch:1 () in
+      check_str
+        (Printf.sprintf "echo strict digest at domains=%d" domains)
+        W.seed_echo_strict echo.W.strict_digest;
+      check_str
+        (Printf.sprintf "echo payload digest at domains=%d" domains)
+        W.seed_echo_payload echo.W.payload_digest;
+      check_str
+        (Printf.sprintf "kv strict digest at domains=%d" domains)
+        W.seed_kv_strict kv.W.strict_digest;
+      check_str
+        (Printf.sprintf "kv payload digest at domains=%d" domains)
+        W.seed_kv_payload kv.W.payload_digest)
+    domain_counts
+
+let test_golden_metrics_across_domains () =
+  List.iter
+    (fun domains ->
+      let echo, _ = run_worlds ~domains ~batch:1 ~scope:true () in
+      check_str
+        (Printf.sprintf "echo metrics digest at domains=%d" domains)
+        W.seed_echo_metrics echo.W.metrics_digest;
+      check_str
+        (Printf.sprintf "echo payload under profiling at domains=%d" domains)
+        W.seed_echo_payload echo.W.payload_digest)
+    domain_counts
+
+let test_golden_batched_across_domains () =
+  (* batch=8 digests are not pinned (batching legitimately changes
+     timing); what must hold is equality across domain counts. *)
+  let ref_echo, ref_kv = run_worlds ~domains:1 ~batch:8 () in
+  List.iter
+    (fun domains ->
+      let echo, kv = run_worlds ~domains ~batch:8 () in
+      check_str
+        (Printf.sprintf "echo batch=8 strict digest at domains=%d" domains)
+        ref_echo.W.strict_digest echo.W.strict_digest;
+      check_str
+        (Printf.sprintf "kv batch=8 strict digest at domains=%d" domains)
+        ref_kv.W.strict_digest kv.W.strict_digest)
+    (List.tl domain_counts)
+
+let test_flexsan_clean_under_cluster () =
+  List.iter
+    (fun batch ->
+      let echo, _ = run_worlds ~domains:1 ~batch ~san:true () in
+      check_int
+        (Printf.sprintf "FlexSan clean under cluster at batch=%d" batch)
+        0 echo.W.races)
+    [ 1; 8 ]
+
+let test_phased_run_continues () =
+  (* Cluster.run is re-runnable with a larger [until]: warmup /
+     measurement phasing must not perturb the digests. *)
+  let cl = Cl.create ~seed:7L ~domains:2 () in
+  let echo_lp = Cl.add_lp ~name:"echo" ~seed:W.echo_seed cl in
+  let kv_lp = Cl.add_lp ~name:"kv" ~seed:W.kv_seed cl in
+  let fin_echo = W.setup_echo ~engine:echo_lp () in
+  let fin_kv = W.setup_kv ~engine:kv_lp () in
+  Cl.run ~until:(Sim.Time.ms 5) cl;
+  Cl.run ~until:(Sim.Time.ms 10) cl;
+  let echo = fin_echo () and kv = fin_kv () in
+  check_str "phased echo strict digest" W.seed_echo_strict
+    echo.W.strict_digest;
+  check_str "phased kv strict digest" W.seed_kv_strict kv.W.strict_digest
+
+(* --- Channel properties ------------------------------------------------ *)
+
+let expect_invalid name f =
+  match f () with
+  | _ -> Alcotest.failf "%s: Invalid_argument expected" name
+  | exception Invalid_argument _ -> ()
+
+let test_channel_validation () =
+  let cl = Cl.create () in
+  let a = Cl.add_lp ~name:"a" cl in
+  let b = Cl.add_lp ~name:"b" cl in
+  expect_invalid "zero lookahead" (fun () ->
+      Cl.channel cl ~src:a ~dst:b ~min_latency:Sim.Time.zero);
+  expect_invalid "negative lookahead" (fun () ->
+      Cl.channel cl ~src:a ~dst:b ~min_latency:(-5));
+  expect_invalid "self channel" (fun () ->
+      Cl.channel cl ~src:a ~dst:a ~min_latency:(Sim.Time.ns 10));
+  let other = Cl.create () in
+  let c = Cl.add_lp other in
+  expect_invalid "foreign LP" (fun () ->
+      Cl.channel cl ~src:a ~dst:c ~min_latency:(Sim.Time.ns 10));
+  let ch = Cl.channel cl ~src:a ~dst:b ~min_latency:(Sim.Time.ns 100) in
+  expect_invalid "send below lookahead" (fun () ->
+      Cl.send ch ~at:(Sim.Time.ns 50) (fun () -> ()));
+  expect_invalid "solo run on a cluster LP" (fun () -> Sim.Engine.run a);
+  expect_invalid "solo step on a cluster LP" (fun () ->
+      ignore (Sim.Engine.step a))
+
+let test_merge_order_deterministic () =
+  (* At one timestamp the destination must execute: channel messages
+     before local events, channels in id order, FIFO within a
+     channel — the total order the determinism argument rests on. *)
+  let cl = Cl.create () in
+  let a = Cl.add_lp ~name:"a" cl in
+  let b = Cl.add_lp ~name:"b" cl in
+  let ch0 = Cl.channel cl ~src:a ~dst:b ~min_latency:(Sim.Time.ns 100) in
+  let ch1 = Cl.channel cl ~src:a ~dst:b ~min_latency:(Sim.Time.ns 100) in
+  let log = ref [] in
+  let tag s () = log := s :: !log in
+  Sim.Engine.schedule_at b (Sim.Time.ns 500) (tag "local");
+  (* Sends in an order adversarial to the expectation: ch1 first,
+     then ch0 twice (FIFO within ch0). *)
+  Cl.send ch1 ~at:(Sim.Time.ns 500) (tag "ch1");
+  Cl.send ch0 ~at:(Sim.Time.ns 500) (tag "ch0-first");
+  Cl.send ch0 ~at:(Sim.Time.ns 500) (tag "ch0-second");
+  Cl.run ~until:(Sim.Time.us 1) cl;
+  Alcotest.(check (list string))
+    "channel-id order, FIFO within, locals last"
+    [ "ch0-first"; "ch0-second"; "ch1"; "local" ]
+    (List.rev !log);
+  check_int "ch0 sent" 2 (Cl.channel_sent ch0);
+  check_int "ch0 delivered" 2 (Cl.channel_delivered ch0);
+  (match Cl.min_slack ch0 with
+  | Some s ->
+      check_bool "min_slack >= latency" true (s >= Cl.latency ch0)
+  | None -> Alcotest.fail "min_slack unset after sends");
+  check_int "observed slack is the send slack" (Sim.Time.ns 500)
+    (Option.get (Cl.min_slack ch1))
+
+(* Pseudo-random send schedule: whatever the offsets, every observed
+   slack stays >= the declared lookahead and every message arrives
+   exactly once, in timestamp order. *)
+let test_slack_property () =
+  let cl = Cl.create () in
+  let a = Cl.add_lp ~name:"a" cl in
+  let b = Cl.add_lp ~name:"b" cl in
+  let la = Sim.Time.ns 250 in
+  let ch = Cl.channel cl ~src:a ~dst:b ~min_latency:la in
+  let rng = Sim.Rng.create 99L in
+  let arrivals = ref [] in
+  let n = 200 in
+  (* A self-rescheduling sender event on [a]: each firing sends one
+     message with a random extra slack. *)
+  let sent = ref 0 in
+  let rec sender () =
+    if !sent < n then begin
+      incr sent;
+      let extra = Sim.Rng.int rng 500 in
+      Cl.send ch
+        ~at:(Sim.Engine.Local.now a + la + extra)
+        (fun () -> arrivals := Sim.Engine.Local.now b :: !arrivals);
+      Sim.Engine.Local.schedule a (1 + Sim.Rng.int rng 300) sender
+    end
+  in
+  Sim.Engine.Local.schedule a 0 sender;
+  Cl.run ~until:(Sim.Time.ms 1) cl;
+  check_int "all messages delivered" n (List.length !arrivals);
+  check_int "sent counter" n (Cl.channel_sent ch);
+  check_int "delivered counter" n (Cl.channel_delivered ch);
+  let slack = Option.get (Cl.min_slack ch) in
+  check_bool "min slack >= declared lookahead" true (slack >= la);
+  let sorted = List.sort compare !arrivals in
+  check_bool "arrivals executed in timestamp order" true
+    (List.rev !arrivals = sorted)
+
+(* --- Ping-pong determinism across domains ------------------------------ *)
+
+(* Two LPs exchanging a token through channels with different
+   lookaheads, plus same-instant local ticks on both sides. The
+   per-LP observation logs (each written only by its owning LP) must
+   be identical at every domain count. *)
+let pingpong ~domains =
+  let cl = Cl.create ~seed:11L ~domains () in
+  let a = Cl.add_lp ~name:"a" cl in
+  let b = Cl.add_lp ~name:"b" cl in
+  let ab = Cl.channel cl ~src:a ~dst:b ~min_latency:(Sim.Time.ns 100) in
+  let ba = Cl.channel cl ~src:b ~dst:a ~min_latency:(Sim.Time.ns 150) in
+  let log_a = Buffer.create 1024 and log_b = Buffer.create 1024 in
+  let rounds = 200 in
+  let rec on_b n =
+    Buffer.add_string log_b (Printf.sprintf "b:%d@%d\n" n (Sim.Engine.now b));
+    if n < rounds then
+      Cl.send ba
+        ~at:(Sim.Engine.now b + Sim.Time.ns 150)
+        (fun () -> on_a (n + 1))
+  and on_a n =
+    Buffer.add_string log_a (Printf.sprintf "a:%d@%d\n" n (Sim.Engine.now a));
+    if n < rounds then
+      Cl.send ab
+        ~at:(Sim.Engine.now a + Sim.Time.ns 100)
+        (fun () -> on_b (n + 1))
+  in
+  Cl.send ab ~at:(Sim.Time.ns 100) (fun () -> on_b 0);
+  (* Local ticks colliding with deliveries. *)
+  let rec tick lp buf () =
+    Buffer.add_string buf (Printf.sprintf "tick@%d\n" (Sim.Engine.now lp));
+    if Sim.Engine.now lp < Sim.Time.us 40 then
+      Sim.Engine.Local.schedule lp (Sim.Time.ns 125) (tick lp buf)
+  in
+  Sim.Engine.Local.schedule a 0 (tick a log_a);
+  Sim.Engine.Local.schedule b 0 (tick b log_b);
+  Cl.run ~until:(Sim.Time.us 100) cl;
+  ( md5 (Buffer.contents log_a ^ Buffer.contents log_b),
+    Cl.events_processed cl,
+    Cl.workers_used cl )
+
+let test_pingpong_across_domains () =
+  let ref_digest, ref_events, _ = pingpong ~domains:1 in
+  check_bool "made progress" true (ref_events > 400);
+  List.iter
+    (fun domains ->
+      let digest, events, workers = pingpong ~domains in
+      check_str
+        (Printf.sprintf "ping-pong trace at domains=%d" domains)
+        ref_digest digest;
+      check_int
+        (Printf.sprintf "events processed at domains=%d" domains)
+        ref_events events;
+      check_bool "workers bounded by LPs" true (workers <= 2))
+    (List.tl domain_counts)
+
+(* --- Partitioned fabric ------------------------------------------------ *)
+
+let mk_frame ?(payload = 100) ~src ~dst () =
+  let seg =
+    Tcp.Segment.make
+      ~payload:(Bytes.make payload 'x')
+      ~src_ip:src ~dst_ip:dst ~src_port:1 ~dst_port:2 ~seq:0 ~ack_seq:0 ()
+  in
+  Tcp.Segment.make_frame ~src_mac:src ~dst_mac:dst seg
+
+(* Bidirectional traffic between two ports; each port records every
+   delivery as (port, home-LP time, wire length) into its own buffer.
+   [mk_engines] yields the two home engines and a run function, so the
+   same world runs classic (both ports on one solo engine) or
+   partitioned (one LP each). *)
+let fabric_trace ~mk_engines () =
+  let ea, eb, run, partition = mk_engines () in
+  let fab = Netsim.Fabric.create ea () in
+  let bufs = [| Buffer.create 1024; Buffer.create 1024 |] in
+  let record i home frame =
+    Buffer.add_string bufs.(i)
+      (Printf.sprintf "%d@%d:%d\n" i (Sim.Engine.now home)
+         (Tcp.Segment.frame_wire_len frame))
+  in
+  let pa =
+    Netsim.Fabric.add_port fab ~engine:ea ~mac:1 ~ip:1
+      ~rx:(fun f -> record 0 ea f)
+      ()
+  in
+  let pb =
+    Netsim.Fabric.add_port fab ~engine:eb ~mac:2 ~ip:2
+      ~rx:(fun f -> record 1 eb f)
+      ()
+  in
+  partition fab;
+  for k = 0 to 39 do
+    Sim.Engine.schedule_at ea
+      (Sim.Time.us (1 + (3 * k / 2)))
+      (fun () ->
+        Netsim.Fabric.transmit pa
+          (mk_frame ~payload:(64 + (16 * (k mod 8))) ~src:1 ~dst:2 ()))
+  done;
+  for k = 0 to 29 do
+    Sim.Engine.schedule_at eb
+      (Sim.Time.us (1 + (2 * k)))
+      (fun () ->
+        Netsim.Fabric.transmit pb
+          (mk_frame ~payload:(128 + (32 * (k mod 4))) ~src:2 ~dst:1 ()))
+  done;
+  run ();
+  ( md5 (Buffer.contents bufs.(0) ^ Buffer.contents bufs.(1)),
+    Netsim.Fabric.delivered fab )
+
+let classic_engines () =
+  let e = Sim.Engine.create ~seed:5L () in
+  (e, e, (fun () -> Sim.Engine.run ~until:(Sim.Time.ms 1) e), fun _ -> ())
+
+let cluster_engines ~domains () =
+  let cl = Cl.create ~seed:5L ~domains () in
+  let ea = Cl.add_lp ~name:"a" cl in
+  let eb = Cl.add_lp ~name:"b" cl in
+  ( ea,
+    eb,
+    (fun () -> Cl.run ~until:(Sim.Time.ms 1) cl),
+    fun fab -> Netsim.Fabric.partition fab ~cluster:cl )
+
+let test_partitioned_fabric_matches_classic () =
+  let classic_digest, classic_delivered =
+    fabric_trace ~mk_engines:classic_engines ()
+  in
+  check_int "classic delivers everything" 70 classic_delivered;
+  List.iter
+    (fun domains ->
+      let digest, delivered =
+        fabric_trace ~mk_engines:(cluster_engines ~domains) ()
+      in
+      check_int
+        (Printf.sprintf "partitioned delivers everything at domains=%d"
+           domains)
+        70 delivered;
+      check_str
+        (Printf.sprintf
+           "partitioned trace identical to classic at domains=%d" domains)
+        classic_digest digest)
+    domain_counts
+
+let test_fabric_partition_freezes_ports () =
+  let cl = Cl.create () in
+  let ea = Cl.add_lp cl in
+  let eb = Cl.add_lp cl in
+  let fab = Netsim.Fabric.create ea () in
+  ignore
+    (Netsim.Fabric.add_port fab ~engine:ea ~mac:1 ~ip:1 ~rx:(fun _ -> ()) ());
+  ignore
+    (Netsim.Fabric.add_port fab ~engine:eb ~mac:2 ~ip:2 ~rx:(fun _ -> ()) ());
+  check_bool "not partitioned yet" false (Netsim.Fabric.partitioned fab);
+  Netsim.Fabric.partition fab ~cluster:cl;
+  check_bool "partitioned" true (Netsim.Fabric.partitioned fab);
+  expect_invalid "add_port after partition" (fun () ->
+      Netsim.Fabric.add_port fab ~engine:ea ~mac:3 ~ip:3 ~rx:(fun _ -> ()) ());
+  expect_invalid "partition twice" (fun () ->
+      Netsim.Fabric.partition fab ~cluster:cl)
+
+(* --- Scope / Trace shard merges ---------------------------------------- *)
+
+let test_scope_shard_merge_deterministic () =
+  let digest_of fill =
+    let e = Sim.Engine.create () in
+    let sc = Sim.Scope.create ~mode:Sim.Scope.Metrics_only e in
+    let s0 = Sim.Scope.Shard.create ~id:0 () in
+    let s1 = Sim.Scope.Shard.create ~id:1 () in
+    fill s0 s1;
+    Sim.Scope.Shard.merge sc [ s0; s1 ];
+    check_int "shard 0 drained" 0 (Sim.Scope.Shard.pending s0);
+    md5 (Sim.Json.to_string (Sim.Scope.metrics sc))
+  in
+  let module S = Sim.Scope.Shard in
+  (* Same per-shard operation sequences, opposite cross-shard
+     interleavings: the merge must not care. *)
+  let d1 =
+    digest_of (fun s0 s1 ->
+        S.record s0 ~now:(Sim.Time.ns 10) "h" 5;
+        S.count s1 ~now:(Sim.Time.ns 10) ~name:"c" ();
+        S.record s0 ~now:(Sim.Time.ns 20) "h" 7;
+        S.sample s1 ~now:(Sim.Time.ns 30) ~series:"s" ~value:1.5)
+  in
+  let d2 =
+    digest_of (fun s0 s1 ->
+        S.count s1 ~now:(Sim.Time.ns 10) ~name:"c" ();
+        S.sample s1 ~now:(Sim.Time.ns 30) ~series:"s" ~value:1.5;
+        S.record s0 ~now:(Sim.Time.ns 10) "h" 5;
+        S.record s0 ~now:(Sim.Time.ns 20) "h" 7)
+  in
+  check_str "merge independent of cross-shard interleaving" d1 d2;
+  (* Bounded: overflow is counted, never silently lost. *)
+  let s = S.create ~capacity:2 ~id:3 () in
+  S.record s ~now:Sim.Time.zero "h" 1;
+  S.record s ~now:Sim.Time.zero "h" 2;
+  S.record s ~now:Sim.Time.zero "h" 3;
+  check_int "capacity respected" 2 (S.pending s);
+  check_int "overflow counted" 1 (S.dropped s)
+
+let test_trace_shard_merge_deterministic () =
+  let t = Sim.Trace.create () in
+  let p = Sim.Trace.register t ~group:"g" "p" in
+  ignore (Sim.Trace.enable t ());
+  let seen = ref [] in
+  ignore (Sim.Trace.subscribe t (fun ev -> seen := ev.Sim.Trace.arg :: !seen));
+  let s0 = Sim.Trace.shard t ~id:0 () in
+  let s1 = Sim.Trace.shard t ~id:1 () in
+  (* Arrival order adversarial to the merged order: the sync must
+     deliver by (time, then shard-local sequence, then shard id). *)
+  Sim.Trace.shard_hit s1 p ~now:(Sim.Time.ns 20) ~conn:1 ~arg:1;
+  Sim.Trace.shard_hit s0 p ~now:(Sim.Time.ns 10) ~conn:0 ~arg:2;
+  Sim.Trace.shard_hit s0 p ~now:(Sim.Time.ns 20) ~conn:0 ~arg:3;
+  check_int "buffered, not delivered" 0 (Sim.Trace.hits p);
+  Sim.Trace.sync t;
+  check_int "hit counters bumped at sync" 3 (Sim.Trace.hits p);
+  Alcotest.(check (list int))
+    "delivery order (time, gseq, shard)" [ 2; 1; 3 ] (List.rev !seen);
+  check_int "shards drained" 0
+    (Sim.Trace.shard_pending s0 + Sim.Trace.shard_pending s1)
+
+let suite =
+  [
+    Alcotest.test_case "golden worlds bit-identical at domains=1,2,4,8"
+      `Quick test_golden_bit_identical_across_domains;
+    Alcotest.test_case "golden metrics digest across domains" `Quick
+      test_golden_metrics_across_domains;
+    Alcotest.test_case "golden batch=8 equal across domains" `Quick
+      test_golden_batched_across_domains;
+    Alcotest.test_case "FlexSan clean under cluster" `Quick
+      test_flexsan_clean_under_cluster;
+    Alcotest.test_case "phased run continues bit-identically" `Quick
+      test_phased_run_continues;
+    Alcotest.test_case "channel validation" `Quick test_channel_validation;
+    Alcotest.test_case "same-instant merge order" `Quick
+      test_merge_order_deterministic;
+    Alcotest.test_case "slack property under random sends" `Quick
+      test_slack_property;
+    Alcotest.test_case "ping-pong identical across domains" `Quick
+      test_pingpong_across_domains;
+    Alcotest.test_case "partitioned fabric = classic fabric" `Quick
+      test_partitioned_fabric_matches_classic;
+    Alcotest.test_case "fabric partition freezes ports" `Quick
+      test_fabric_partition_freezes_ports;
+    Alcotest.test_case "scope shard merge deterministic" `Quick
+      test_scope_shard_merge_deterministic;
+    Alcotest.test_case "trace shard merge deterministic" `Quick
+      test_trace_shard_merge_deterministic;
+  ]

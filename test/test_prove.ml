@@ -1,6 +1,6 @@
 (* FlexProve tests: the Effects negative corpus (diagnostics must name
    the right stage and region, and the atomic/partitioned escapes must
-   hold), the three graph passes on the real extracted pipeline and on
+   hold), the four graph passes on the real extracted pipeline and on
    synthetic counterexample graphs, sabotage classification (every
    seeded variant statically caught or explicitly dynamic-only), and
    the teardown-FSM model check with its seeded mutations. *)
@@ -137,9 +137,9 @@ let test_builtin_graph_clean () =
           with
           | Ok reports ->
               check_int
-                (Printf.sprintf "three passes ran (batch=%d guard=%b)" batch
+                (Printf.sprintf "four passes ran (batch=%d guard=%b)" batch
                    guard)
-                3 (List.length reports)
+                4 (List.length reports)
           | Error fs ->
               Alcotest.failf "builtin graph rejected (batch=%d guard=%b): %s"
                 batch guard
@@ -205,19 +205,21 @@ let test_healthy_create_unaffected () =
 
 (* --- Graph passes: synthetic counterexamples ------------------------- *)
 
-let node ?(slots = 2) ?(serialized = true) name c =
+let node ?(slots = 2) ?(serialized = true) ?(lp = G.Lp_service) name c =
   { G.n_name = name; n_contract = c; n_slots = slots;
-    n_serialized_writes = serialized }
+    n_serialized_writes = serialized; n_lp = lp }
 
 let idle name = contract name E.Serial_none
 
-let credit ?drain src dst label tokens =
+let credit ?drain ?(lookahead = Sim.Time.zero) src dst label tokens =
   { G.e_src = src; e_dst = dst; e_label = label;
-    e_kind = G.Credit { cr_tokens = tokens }; e_drain = drain }
+    e_kind = G.Credit { cr_tokens = tokens }; e_drain = drain;
+    e_lookahead = lookahead }
 
-let flow ?(ordered = true) src dst label =
+let flow ?(ordered = true) ?(lookahead = Sim.Time.zero) src dst label =
   { G.e_src = src; e_dst = dst; e_label = label;
-    e_kind = G.Dataflow { df_ordered = ordered }; e_drain = None }
+    e_kind = G.Dataflow { df_ordered = ordered }; e_drain = None;
+    e_lookahead = lookahead }
 
 let graph name nodes edges =
   { G.g_name = name; g_nodes = nodes; g_edges = edges }
@@ -260,6 +262,7 @@ let test_bounds_overflow () =
           { q_capacity = cap; q_overflow = G.Reject; q_batch = 1;
             q_bound = bound };
       e_drain = None;
+      e_lookahead = Sim.Time.zero;
     }
   in
   let nodes = [ node "a" (idle "a"); node "b" (idle "b") ] in
@@ -339,6 +342,65 @@ let test_partitioned_handoff_needs_order () =
   with
   | Ok _ -> Alcotest.fail "unordered hand-off accepted"
   | Error _ -> ()
+
+(* --- Partition pass: synthetic counterexamples ----------------------- *)
+
+let test_partition_zero_lookahead () =
+  let a = node ~lp:(G.Lp_island 0) "a" (idle "a") in
+  let b = node ~lp:G.Lp_service "b" (idle "b") in
+  (* A cross-LP hand-off with no declared minimum latency: the
+     conservative channel realizing it could never let the receiver
+     run ahead. *)
+  (match P.check_graph (graph "zero-la" [ a; b ] [ flow "a" "b" "ab" ]) with
+  | Ok _ -> Alcotest.fail "zero-lookahead cross-LP edge not detected"
+  | Error fs ->
+      check_bool "finding names the edge and both LPs" true
+        (List.exists
+           (fun f ->
+             f.P.f_pass = "partition" && f.P.f_subject = "ab"
+             && contains f.P.f_detail "island0"
+             && contains f.P.f_detail "service")
+           fs));
+  (* A positive lookahead discharges the obligation... *)
+  (match
+     P.check_graph
+       (graph "pos-la" [ a; b ]
+          [ flow ~lookahead:(Sim.Time.ns 125) "a" "b" "ab" ])
+   with
+  | Ok _ -> ()
+  | Error fs ->
+      Alcotest.failf "positive-lookahead edge spuriously rejected: %s"
+        (String.concat "; " (List.map P.finding_to_string fs)));
+  (* ... and co-located endpoints need none. *)
+  let b' = node ~lp:(G.Lp_island 0) "b" (idle "b") in
+  match P.check_graph (graph "same-lp" [ a; b' ] [ flow "a" "b" "ab" ]) with
+  | Ok _ -> ()
+  | Error fs ->
+      Alcotest.failf "same-LP zero-lookahead edge spuriously rejected: %s"
+        (String.concat "; " (List.map P.finding_to_string fs))
+
+let test_partition_split_domain () =
+  (* Two stages sharing a per-connection critical section cannot live
+     on different LPs — the lock is LP-local state. *)
+  let a = node ~lp:(G.Lp_island 0) "a" (contract "a" E.Serial_conn) in
+  let b = node ~lp:(G.Lp_island 1) "b" (contract "b" E.Serial_conn) in
+  (match P.check_graph (graph "split" [ a; b ] []) with
+  | Ok _ -> Alcotest.fail "split serialization domain not detected"
+  | Error fs ->
+      check_bool "finding names the pair and the domain" true
+        (List.exists
+           (fun f ->
+             f.P.f_pass = "partition" && contains f.P.f_subject "a/b"
+             && contains f.P.f_detail "island0"
+             && contains f.P.f_detail "island1")
+           fs));
+  (* Same pair co-located is sound. *)
+  let b' = node ~lp:(G.Lp_island 0) "b" (contract "b" E.Serial_conn) in
+  match P.check_graph (graph "colocated" [ a; b' ] []) with
+  | Ok _ -> ()
+  | Error fs ->
+      Alcotest.failf "co-located domain spuriously rejected: %s"
+        (String.concat "; " (List.map P.finding_to_string fs))
 
 (* --- Teardown FSM: the real table ------------------------------------ *)
 
@@ -472,6 +534,10 @@ let suite =
       test_unrealized_domain;
     Alcotest.test_case "graph: partitioned hand-off ordering" `Quick
       test_partitioned_handoff_needs_order;
+    Alcotest.test_case "graph: cross-LP edge needs lookahead" `Quick
+      test_partition_zero_lookahead;
+    Alcotest.test_case "graph: serialization domain split across LPs" `Quick
+      test_partition_split_domain;
     Alcotest.test_case "fsm: real table passes all modes" `Quick
       test_fsm_real_table;
     Alcotest.test_case "fsm: seeded mutations rejected" `Quick
