@@ -14,7 +14,7 @@ let experiments =
     ("fig11", Fig11.run);
     ("fig12", Fig12.run);
     ("fig13", Fig13.run);
-    ("fig14", Fig14.run);
+    ("fig14", (fun () -> Fig14.run ()));
     ("fig15", Fig15.run);
     ("fig16", Fig16.run);
     ("table2", Table2.run);
@@ -26,6 +26,7 @@ let experiments =
     ("ablations", Ablations.run);
     ("chaos", Chaos.run);
     ("churn", Churn.run);
+    ("scale", Scale_sweep.run);
     ("micro", Microbench.run);
   ]
 

@@ -1008,11 +1008,12 @@ let flags_of_sb (sb : D.sabotage) =
       | "sb_postproc_writes_conn" -> sb.D.sb_postproc_writes_conn
       | "sb_preproc_reads_proto" -> sb.D.sb_preproc_reads_proto
       | "sb_bad_contract" -> sb.D.sb_bad_contract
+      | "sb_mis_steer" -> sb.D.sb_mis_steer
       | _ -> false)
     [
       "sb_no_lock"; "sb_early_release"; "sb_notify_before_payload";
       "sb_skip_notify_dma"; "sb_postproc_writes_conn";
-      "sb_preproc_reads_proto"; "sb_bad_contract";
+      "sb_preproc_reads_proto"; "sb_bad_contract"; "sb_mis_steer";
     ]
 
 (* The sabotage variants whose defect never shows in a stage's source
@@ -1033,6 +1034,10 @@ let infer_dynamic_only =
     ( "skip_notify_dma",
       "footprint-identical: the DMA-completion wait is dropped, the \
        accesses are unchanged; dynamic-only" );
+    ( "mis_steer",
+      "footprint-identical: the declared per-flow-group wiring is \
+       intact, the defect is runtime indexing of a neighbor shard's \
+       caches; the steering self-check and FlexSan own it" );
   ]
 
 let infer_root root_opt =

@@ -127,6 +127,34 @@ let guard_default =
     g_evict_caches = true;
   }
 
+(** FlexScale: sharded flow-group pipelines (DESIGN.md §17). Off by
+    default ([scale_none]) — the sharded code paths are never entered
+    and behavior is bit-identical to the single-pipeline datapath.
+    With [s_on] and [s_shards = 1] the sharded wiring is exercised but
+    degenerates to the same single EMEM cache and steering, which the
+    golden-trace gate pins bit-for-bit. *)
+type scale = {
+  s_on : bool;  (** Master enable; false = single-pipeline wiring. *)
+  s_shards : int;
+      (** Replicated protocol-stage pipelines; flow groups steer to
+          shard [fg mod s_shards]. *)
+  s_emem_flows : int;
+      (** EMEM capacity-pressure model: connections resident before
+          per-flow state overflows the cached working set and misses
+          start paying the full DRAM penalty; 0 disables pressure
+          accounting. *)
+  s_pin_hot : bool;
+      (** Never silently evict an Established flow's hot EMEM-cache
+          state: hot entries are pinned and eviction prefers cold
+          (closing/TIME_WAIT) state. *)
+}
+
+let scale_none =
+  { s_on = false; s_shards = 1; s_emem_flows = 0; s_pin_hot = false }
+
+let scale_of n =
+  { s_on = true; s_shards = max 1 n; s_emem_flows = 0; s_pin_hot = true }
+
 type congestion_control = Dctcp | Timely | Cc_none
 
 type scope_mode = Scope_off | Scope_metrics | Scope_full
@@ -157,6 +185,7 @@ type t = {
       (** How long a partial batch (GRO window, doorbell ring, ARX
           accumulator) may be held before a timer flushes it. *)
   guard : guard;  (** FlexGuard overload control ([guard_none] off). *)
+  scale : scale;  (** FlexScale sharding ([scale_none] off). *)
 }
 
 let default_costs =
@@ -253,6 +282,7 @@ let default =
     batch = batch_none;
     batch_delay = Sim.Time.us 1;
     guard = guard_env;
+    scale = scale_none;
   }
 
 let with_parallelism t p = { t with parallelism = p }

@@ -144,6 +144,39 @@ val guard_default : guard
     1 ms backing off to 8 ms, 10 ms TIME_WAIT (max 4096 entries),
     20 ms idle reap, CP queue bound 64, RST on, cache eviction on. *)
 
+(** FlexScale: sharded flow-group pipelines (DESIGN.md §17). Per-flow
+    state is sharded across [s_shards] replicated protocol-stage
+    pipelines keyed by the flow-group hash; each shard owns its own
+    CAM/CLS/EMEM-cache slice and runs as its own FlexPar LP. With
+    {!scale_none} (the default) the sharded code paths are never
+    entered; with [s_on] and [s_shards = 1] the sharded wiring is
+    exercised but bit-identical to the single pipeline (the
+    golden-trace gate pins this). *)
+type scale = {
+  s_on : bool;  (** Master enable. *)
+  s_shards : int;
+      (** Replicated protocol-stage pipelines; flow group [fg] steers
+          to shard [fg mod s_shards] — a pure function of the 4-tuple,
+          so a flow never migrates shards mid-life. *)
+  s_emem_flows : int;
+      (** EMEM capacity-pressure model: connections whose 108 B state
+          fits the cached working set; past it, misses pay the full
+          DRAM penalty (extra cycles grow with overcommit).
+          0 disables pressure accounting. *)
+  s_pin_hot : bool;
+      (** Never silently evict an Established flow's hot EMEM-cache
+          state: hot entries are pinned, eviction prefers cold
+          (closing/TIME_WAIT) state, and a forced pinned eviction is
+          counted loudly rather than silent. *)
+}
+
+val scale_none : scale
+(** Sharding off: bit-identical to the single-pipeline datapath. *)
+
+val scale_of : int -> scale
+(** [scale_of n] enables sharding with [n] shards (clamped to >= 1)
+    and hot-state pinning; pressure accounting stays off. *)
+
 type congestion_control = Dctcp | Timely | Cc_none
 
 (** FlexScope profiling level. [Scope_off] leaves every data-path
@@ -212,6 +245,8 @@ type t = {
           accumulator) may be held before a timer flushes it. *)
   guard : guard;
       (** FlexGuard overload control ({!guard_none} by default). *)
+  scale : scale;
+      (** FlexScale sharding ({!scale_none} by default). *)
 }
 
 val default : t

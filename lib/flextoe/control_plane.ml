@@ -62,9 +62,14 @@ type t = {
   mutable on_rate_change : conn:int -> bps:int -> unit;
   mutable conn_limit : int option;
   mutable partitions : (int * int * int) list;  (* lo, hi, app *)
+  shard_installed : int array;
+      (* FlexScale: installed connections per shard group (length 1
+         when unsharded). Per-shard admission splits [g_max_conns]
+         across shards with this global accounting. *)
 }
 
 let active_flows t = Hashtbl.length t.flows
+let shard_conns t = Array.copy t.shard_installed
 let gcount t name = match t.guard with Some g -> Guard.count g name | None -> ()
 
 (* Teardown decisions go through the shared pure transition table
@@ -123,18 +128,23 @@ let ctl_frame t ?win ~flow ~seq ~ack_seq ~flags ~mss () =
 let finalize t ?remote_win (p : pending) k =
   let idx = Datapath.alloc_conn_idx t.dp in
   let flow = p.p_flow in
+  let fg =
+    Tcp.Flow.flow_group flow
+      ~groups:t.cfg.Config.parallelism.Config.flow_groups
+  in
   let cs =
     Conn_state.create ~idx ~flow
       ~peer_mac:(mac_of_ip flow.Tcp.Flow.remote_ip)
-      ~flow_group:
-        (Tcp.Flow.flow_group flow
-           ~groups:t.cfg.Config.parallelism.Config.flow_groups)
+      ~flow_group:fg
       ~tx_isn:p.p_our_isn ~rx_isn:p.p_peer_isn ?remote_win ~opaque:idx
       ~ctx_id:p.p_ctx ~rx_buf_bytes:t.cfg.Config.rx_buf_bytes
       ~tx_buf_bytes:t.cfg.Config.tx_buf_bytes ()
   in
   cs.Conn_state.proto.Conn_state.last_progress <- Sim.Engine.now t.engine;
   Datapath.install_conn t.dp cs ~k:(fun () ->
+      (let n = Array.length t.shard_installed in
+       if n > 1 then
+         t.shard_installed.(fg mod n) <- t.shard_installed.(fg mod n) + 1);
       Hashtbl.replace t.flows idx
         {
           cf_conn = idx;
@@ -170,6 +180,37 @@ let at_connection_limit t =
          simultaneous SYNs would blow past it. *)
       Hashtbl.length t.flows + Tcp.Flow.Tbl.length t.pending >= l
   | None -> false
+
+(* FlexScale per-shard admission: the global [g_max_conns] budget is
+   split evenly (ceiling) across shard groups, so one shard's flash
+   crowd cannot consume the entire connection table and starve flows
+   steered to the other shards. The global [admission_full] check
+   stays in force; this only tightens it per shard. *)
+let shard_admission_full t flow =
+  let n = Array.length t.shard_installed in
+  if n <= 1 then false
+  else
+    match t.guard with
+    | None -> false
+    | Some g ->
+        let gc = Guard.config g in
+        gc.Config.g_max_conns > 0
+        && t.shard_installed.(Flow_group.shard_of_config t.cfg flow)
+           >= (gc.Config.g_max_conns + n - 1) / n
+
+(* Drop an installed connection: release the datapath state and the
+   CC record, and return the shard's admission slot. Every removal
+   path funnels through here so [shard_installed] cannot drift. *)
+let forget_flow t ~conn =
+  (let n = Array.length t.shard_installed in
+   if n > 1 then
+     match Datapath.conn t.dp conn with
+     | Some cs ->
+         let s = cs.Conn_state.pre.Conn_state.flow_group mod n in
+         t.shard_installed.(s) <- max 0 (t.shard_installed.(s) - 1)
+     | None -> ());
+  Datapath.remove_conn t.dp ~conn;
+  Hashtbl.remove t.flows conn
 
 let reserve_ports t ~lo ~hi ~app =
   t.partitions <- (lo, hi, app) :: t.partitions
@@ -315,6 +356,10 @@ let handle_syn t (frame : S.frame) =
              first) is the only safe move — a cookie would only defer
              the failure past the handshake. *)
           gcount t "shed_admission"
+        else if shard_admission_full t flow then
+          (* The target shard's slice of the table is full even though
+             the global budget is not: shed rather than imbalance. *)
+          gcount t "shed_admission_shard"
         else if backlog_full then begin
           match t.guard with
           | Some g when (Guard.config g).Config.g_syn_cookies ->
@@ -438,10 +483,7 @@ let abort_on_rst t ~conn =
   in
   if List.mem Conn_state.Out_notify_err outs then
     Datapath.notify_abort t.dp ~conn;
-  if List.mem Conn_state.Out_free outs then begin
-    Datapath.remove_conn t.dp ~conn;
-    Hashtbl.remove t.flows conn
-  end
+  if List.mem Conn_state.Out_free outs then forget_flow t ~conn
 
 let control_rx t (frame : S.frame) =
   let seg = frame.S.seg in
@@ -507,6 +549,8 @@ let control_rx t (frame : S.frame) =
                  re-checked here: cookies defer the table commitment
                  to this point. *)
               if at_connection_limit t then gcount t "shed_admission"
+              else if shard_admission_full t flow then
+                gcount t "shed_admission_shard"
               else
                 match listener with
                 | Some (win, on_accept) ->
@@ -660,8 +704,7 @@ let iterate_flow t now (f : cc_flow) =
       if f.cf_retries >= t.cfg.Config.max_rto_retries then begin
         t.rto_aborts <- t.rto_aborts + 1;
         Datapath.notify_abort t.dp ~conn:f.cf_conn;
-        Datapath.remove_conn t.dp ~conn:f.cf_conn;
-        Hashtbl.remove t.flows f.cf_conn;
+        forget_flow t ~conn:f.cf_conn;
         true
       end
       else begin
@@ -738,11 +781,8 @@ let iterate_flow t now (f : cc_flow) =
                 Guard.tw_add g ~now ~flow:cs.Conn_state.flow ~snd_nxt
                   ~rcv_nxt
             | None -> ());
-            Datapath.remove_conn t.dp ~conn:f.cf_conn;
-            Hashtbl.remove t.flows f.cf_conn
-        | Conn_state.Reclaimed, _ ->
-            Datapath.remove_conn t.dp ~conn:f.cf_conn;
-            Hashtbl.remove t.flows f.cf_conn
+            forget_flow t ~conn:f.cf_conn
+        | Conn_state.Reclaimed, _ -> forget_flow t ~conn:f.cf_conn
         | _ -> ())
     | None -> ()
   end
@@ -789,8 +829,7 @@ let rec guard_loop t g () =
           Guard.count g "reaped_idle";
           Datapath.notify_abort t.dp ~conn:f.cf_conn
         end;
-        Datapath.remove_conn t.dp ~conn:f.cf_conn;
-        Hashtbl.remove t.flows f.cf_conn)
+        forget_flow t ~conn:f.cf_conn)
       stale
   end;
   Sim.Engine.schedule t.engine gc.Config.g_reap_interval (guard_loop t g)
@@ -831,6 +870,8 @@ let create engine ~config ~datapath ~core () =
       on_rate_change = (fun ~conn:_ ~bps:_ -> ());
       conn_limit = None;
       partitions = [];
+      shard_installed =
+        Array.make (Flow_group.shards_of config.Config.scale) 0;
     }
   in
   Datapath.set_control_rx datapath (control_rx t);

@@ -76,6 +76,13 @@ val listener_paused : t -> port:int -> bool
 
 val active_flows : t -> int
 
+val shard_conns : t -> int array
+(** Installed connections per FlexScale shard group (a copy; length 1
+    when sharding is off). Per-shard admission sheds a SYN — counted
+    as [shed_admission_shard] — once its shard reaches its even slice
+    (ceiling) of [g_max_conns], while the global admission check stays
+    in force. *)
+
 val retransmit_timeouts : t -> int
 (** Timeout-triggered go-back-N retransmissions issued so far. *)
 

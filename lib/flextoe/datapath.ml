@@ -32,6 +32,7 @@ type stats = {
   gro_reordered : int;
   egress_reordered : int;
   dma_bytes : int;
+  rx_completed : int;
 }
 
 (* What leaves through the NBI, in egress-sequencer order. *)
@@ -102,6 +103,8 @@ type sabotage = {
   sb_postproc_writes_conn : bool;  (** Post-processor pokes proto state. *)
   sb_preproc_reads_proto : bool;  (** Pre-processor peeks at proto state. *)
   sb_bad_contract : bool;  (** Post-processor declares a proto write. *)
+  sb_mis_steer : bool;
+      (** Protocol stage indexes a neighbor flow group's caches/FPCs. *)
 }
 
 let no_sabotage =
@@ -113,6 +116,7 @@ let no_sabotage =
     sb_postproc_writes_conn = false;
     sb_preproc_reads_proto = false;
     sb_bad_contract = false;
+    sb_mis_steer = false;
   }
 
 let sabotage_variants =
@@ -127,6 +131,7 @@ let sabotage_variants =
     ("preproc_reads_proto",
      { no_sabotage with sb_preproc_reads_proto = true });
     ("bad_contract", { no_sabotage with sb_bad_contract = true });
+    ("mis_steer", { no_sabotage with sb_mis_steer = true });
   ]
 
 (* The built-in pipeline's effect contracts (§3.2's disjointness
@@ -147,9 +152,13 @@ let builtin_stages sb =
     stage "preproc" "preproc" ~reads:[ Conn_db ] ~writes:[ Global_stats ]
       Serial_none;
     stage "gro" "gro" ~reads:[] ~writes:[] (Serial_flow_group "rx-gro");
+    (* Global_stats: the FlexScale steering self-check counter
+       (st_cross_shard) is bumped from protocol-stage state accesses;
+       the region is atomic, so the declaration costs no static
+       freedom. *)
     stage "protocol" "protocol"
       ~reads:[ Conn_db; Conn_pre; Conn_proto; Reasm; Conn_post ]
-      ~writes:[ Conn_proto; Reasm; Sched_state ] Serial_conn;
+      ~writes:[ Conn_proto; Reasm; Sched_state; Global_stats ] Serial_conn;
     stage "postproc" "postproc" ~reads:[ Conn_db ]
       ~writes:
         (if sb.sb_bad_contract then [ Conn_proto; Conn_post; Global_stats;
@@ -205,6 +214,11 @@ let sabotage_dynamic_only =
     ( "skip_notify_dma",
       "same declared edge; delivery skips the completion wait at \
        runtime, so the wiring FlexProve sees is the sound one" );
+    ( "mis_steer",
+      "the declared per-flow-group wiring is intact; the defect is the \
+       implementation indexing a neighbor group's caches and FPC pool \
+       at runtime, caught by the datapath's steering self-check and \
+       FlexSan" );
   ]
 
 let builtin_graph ?(sabotage = no_sabotage) ~config () =
@@ -252,7 +266,12 @@ type t = {
   pre_lookup_cache : Nfp.Direct_cache.t;
   proto_cam : unit Nfp.Cam.t array;  (* presence-only caches *)
   fg_cls : Nfp.Direct_cache.t array;
-  emem_lru : Nfp.Lru.t;
+  emem_lru : Nfp.Lru.t array;  (* per shard; length 1 when unsharded *)
+  (* FlexScale: shard count for the replicated protocol-stage
+     pipelines ([Config.scale]; 1 = unsharded), plus the shared-EMEM
+     capacity-pressure model behind the per-shard caches. *)
+  shards : int;
+  emem_pressure : Nfp.Memory.Pressure.t option;
   (* Ordering *)
   rx_gro : Meta.rx_summary Sequencer.t;
   tx_gro : egress Sequencer.t;
@@ -283,6 +302,8 @@ type t = {
   mutable st_drop : int;
   mutable st_drop_csum : int;
   mutable st_fretx : int;
+  mutable st_rx_done : int;  (* RX segments fully processed by the DMA stage *)
+  mutable st_cross_shard : int;  (* steering self-check trips (mis-steer) *)
 }
 
 let engine t = t.engine
@@ -452,6 +473,31 @@ let release t idx =
 
 (* --- State-access cost model (§4.1 caching) ----------------------- *)
 
+(* The effective flow group a protocol-stage access indexes with. The
+   steering invariant is that this equals the group pinned in the
+   connection's pre state; [sb_mis_steer] breaks it for every odd
+   connection index, modelling a steering bug that sends a flow to a
+   neighbor group's caches and FPC pool. *)
+let steer_fg t ~idx ~fg =
+  if t.sabotage.sb_mis_steer && idx land 1 = 1 then
+    (fg + 1) mod Array.length t.proto_cam
+  else fg
+
+(* Steering self-check: the per-flow-group serialization argument (and
+   at scale, shard disjointness) rests on every state access using the
+   pinned group. A mismatch is counted and surfaced to FlexSan as an
+   access from an undeclared "shard-steer" stage — a contract breach,
+   exactly what touching another shard's partition means. *)
+let steer_check t ~idx ~fg ~fg_eff =
+  if fg_eff <> fg then begin
+    t.st_cross_shard <- t.st_cross_shard + 1;
+    match t.san with
+    | None -> ()
+    | Some s ->
+        San.access s ~stage:"shard-steer" ~flow:idx ~obj:Effects.Conn_proto
+          Effects.Read
+  end
+
 let proto_state_phases t conn_state =
   let open Nfp.Fpc in
   if not (pipelined t) then
@@ -460,16 +506,40 @@ let proto_state_phases t conn_state =
   else begin
     let idx = conn_state.Conn_state.idx in
     let fg = conn_state.Conn_state.pre.Conn_state.flow_group in
-    let cam = t.proto_cam.(fg) in
+    let fg_eff = steer_fg t ~idx ~fg in
+    steer_check t ~idx ~fg ~fg_eff;
+    (* Hot-state pinning (scale mode): an Established flow's CAM/EMEM$
+       entries are sticky — eviction pressure from churn takes cold
+       (handshake / TIME_WAIT) entries first. *)
+    let pin =
+      t.cfg.Config.scale.Config.s_on
+      && t.cfg.Config.scale.Config.s_pin_hot
+      && Conn_state.close_phase conn_state = Conn_state.Established
+    in
+    let cam = t.proto_cam.(fg_eff) in
     match Nfp.Cam.find cam idx with
     | Some () -> [ Mem Nfp.Memory.Local ]
     | None ->
-        ignore (Nfp.Cam.insert cam idx ());
-        if Nfp.Direct_cache.access t.fg_cls.(fg) idx then
+        ignore (Nfp.Cam.insert ~pin cam idx ());
+        if Nfp.Direct_cache.access t.fg_cls.(fg_eff) idx then
           [ Mem Nfp.Memory.Cls ]
-        else if Nfp.Lru.access t.emem_lru idx then
-          [ Mem Nfp.Memory.Emem_cached ]
-        else [ Mem Nfp.Memory.Emem ]
+        else begin
+          let lru = t.emem_lru.(fg_eff mod Array.length t.emem_lru) in
+          if Nfp.Lru.access ~pin lru idx then [ Mem Nfp.Memory.Emem_cached ]
+          else
+            (* Full miss: a DRAM walk, plus the overcommit penalty once
+               resident per-flow state exceeds the EMEM cache's working
+               set (zero at or below capacity). *)
+            match t.emem_pressure with
+            | None -> [ Mem Nfp.Memory.Emem ]
+            | Some pr ->
+                let extra =
+                  Nfp.Memory.Pressure.extra_miss_cycles pr
+                    t.cfg.Config.params
+                in
+                if extra = 0 then [ Mem Nfp.Memory.Emem ]
+                else [ Mem Nfp.Memory.Emem; Compute extra ]
+        end
   end
 
 let preproc_lookup_phases t hash =
@@ -481,7 +551,8 @@ let preproc_lookup_phases t hash =
 
 let proto_fpc_for t cs =
   let fg = cs.Conn_state.pre.Conn_state.flow_group in
-  let pool = t.proto_fpcs.(fg) in
+  let fg_eff = steer_fg t ~idx:cs.Conn_state.idx ~fg in
+  let pool = t.proto_fpcs.(fg_eff mod Array.length t.proto_fpcs) in
   pool.(cs.Conn_state.idx mod Array.length pool)
 
 (* Round-robin pools *)
@@ -519,6 +590,10 @@ let conn_of_flow t flow =
 
 let active_conns t = Hashtbl.length t.conns
 
+let conn_state_bytes =
+  Conn_state.state_bytes_pre + Conn_state.state_bytes_proto
+  + Conn_state.state_bytes_post
+
 let install_conn t cs ~k =
   (* CP writes ~108 B of state across PCIe. *)
   Nfp.Dma.issue t.dma ~queue:1 ~bytes:128 (fun () ->
@@ -526,6 +601,9 @@ let install_conn t cs ~k =
       let flow = cs.Conn_state.flow in
       Nfp.Lookup.add t.conn_db ~hash:(Tcp.Flow.hash flow) flow
         cs.Conn_state.idx;
+      (match t.emem_pressure with
+      | Some pr -> Nfp.Memory.Pressure.install pr ~bytes:conn_state_bytes
+      | None -> ());
       (* Fresh connection: drop any shadow state a previous occupant
          of this index left behind. *)
       (match t.san with
@@ -542,15 +620,23 @@ let remove_conn t ~conn =
       let flow = cs.Conn_state.flow in
       Nfp.Lookup.remove t.conn_db ~hash:(Tcp.Flow.hash flow) flow;
       Scheduler.forget t.sch ~conn;
+      let fg = cs.Conn_state.pre.Conn_state.flow_group in
+      (match t.emem_pressure with
+      | Some pr ->
+          Nfp.Memory.Pressure.remove pr ~bytes:conn_state_bytes;
+          (* A departing flow's pins must not outlive it, or pinned
+             corpses eventually force hot-state evictions. *)
+          Nfp.Cam.unpin t.proto_cam.(fg) conn;
+          Nfp.Lru.unpin t.emem_lru.(fg mod Array.length t.emem_lru) conn
+      | None -> ());
       (* Under churn a dead connection's cache lines are pure poison:
          invalidate its CAM/CLS/EMEM entries so short-lived flows
          cannot crowd out the working set of established ones. *)
       (match t.guard with
       | Some g when (Guard.config g).Config.g_evict_caches ->
-          let fg = cs.Conn_state.pre.Conn_state.flow_group in
           Nfp.Cam.remove t.proto_cam.(fg) conn;
           Nfp.Direct_cache.invalidate t.fg_cls.(fg) conn;
-          Nfp.Lru.remove t.emem_lru conn;
+          Nfp.Lru.remove t.emem_lru.(fg mod Array.length t.emem_lru) conn;
           Guard.count g "evicted_cache"
       | _ -> ());
       (match t.san with
@@ -919,6 +1005,10 @@ let dma_stage t (w : dma_work) =
       sa t ~stage:"dma" ~flow:w.dw_conn Effects.Conn_db Effects.Read;
       let cs = conn t w.dw_conn in
       let finish () =
+        (* An RX segment's datapath work ends here (notification and
+           egress are downstream of this point): the open-loop scale
+           sweep polls this counter for completion. *)
+        if w.dw_gseq >= 0 then t.st_rx_done <- t.st_rx_done + 1;
         (* Notification and ACK leave only after payload DMA (§3.1.3:
            neither host nor peer may learn of data that has not landed
            in the receive buffer). *)
@@ -1885,6 +1975,7 @@ let stats t =
     gro_reordered = Sequencer.reordered t.rx_gro;
     egress_reordered = Sequencer.reordered t.tx_gro;
     dma_bytes = Nfp.Dma.bytes_transferred t.dma;
+    rx_completed = t.st_rx_done;
   }
 
 let all_fpcs t =
@@ -1916,11 +2007,40 @@ let cache_stats t =
              Nfp.Direct_cache.misses c ))
          t.fg_cls)
   in
+  let emems =
+    if Array.length t.emem_lru = 1 then
+      [ ("emem$", Nfp.Lru.hits t.emem_lru.(0), Nfp.Lru.misses t.emem_lru.(0)) ]
+    else
+      Array.to_list
+        (Array.mapi
+           (fun i l ->
+             (Printf.sprintf "emem$%d" i, Nfp.Lru.hits l, Nfp.Lru.misses l))
+           t.emem_lru)
+  in
   (("pre-lookup", Nfp.Direct_cache.hits t.pre_lookup_cache,
     Nfp.Direct_cache.misses t.pre_lookup_cache)
    :: cams)
   @ clss
-  @ [ ("emem$", Nfp.Lru.hits t.emem_lru, Nfp.Lru.misses t.emem_lru) ]
+  @ emems
+
+(* --- FlexScale observability ------------------------------------------ *)
+
+let shards t = t.shards
+let cross_shard_accesses t = t.st_cross_shard
+
+let emem_bytes_per_flow t =
+  match t.emem_pressure with
+  | None -> 0
+  | Some pr -> Nfp.Memory.Pressure.bytes_per_flow pr
+
+let emem_resident_flows t =
+  match t.emem_pressure with
+  | None -> 0
+  | Some pr -> Nfp.Memory.Pressure.flows pr
+
+let pinned_evictions t =
+  Array.fold_left (fun n c -> n + Nfp.Cam.pinned_evictions c) 0 t.proto_cam
+  + Array.fold_left (fun n l -> n + Nfp.Lru.pinned_evictions l) 0 t.emem_lru
 
 let fpc_busy t =
   Array.to_list (all_fpcs t)
@@ -1953,13 +2073,19 @@ let fpc_pools t =
    per-flow-group pools land on their island's LP, service pools
    (island index -1) on the service LP. The host model is not an FPC
    pool; partitioners place it on [Graph_ir.Lp_host] themselves. *)
+(* At scale, each shard group gets its own island LP: flow group [fg]
+   lands on island [fg mod shards], so the [shards] replicated
+   pipelines run as distinct FlexPar LPs while service pools stay
+   shared. Unsharded, island = flow group, as before. *)
 let lp_plan t =
   List.map
     (fun (name, island, _fpcs) ->
       ( name,
         island,
-        if island >= 0 then Graph_ir.Lp_island island else Graph_ir.Lp_service
-      ))
+        if island < 0 then Graph_ir.Lp_service
+        else if t.cfg.Config.scale.Config.s_on then
+          Graph_ir.Lp_island (island mod t.shards)
+        else Graph_ir.Lp_island island ))
     (fpc_pools t)
 
 let atx_rings t = t.atx
@@ -2022,6 +2148,8 @@ let create engine ~config:cfg ~fabric ~mac ~ip ?(ctx_queues = 4)
   in
   let groups = max 1 par.Config.flow_groups in
   let threads = max 1 par.Config.fpc_threads in
+  let scale = cfg.Config.scale in
+  let shards = Flow_group.shards_of scale in
   let mk ?(threads = threads) name i =
     Nfp.Fpc.create engine ~params:p ~threads
       ~name:(Printf.sprintf "%s%d" name i)
@@ -2116,7 +2244,24 @@ let create engine ~config:cfg ~fabric ~mac ~ip ?(ctx_queues = 4)
           Array.init groups (fun _ ->
               Nfp.Direct_cache.create
                 ~entries:p.Nfp.Params.cls_cache_entries);
-        emem_lru = Nfp.Lru.create ~entries:p.Nfp.Params.emem_cache_entries;
+        emem_lru =
+          (* Shards split the shared EMEM cache's working set; at
+             shards = 1 the single full-size LRU is bit-identical to
+             the unsharded hierarchy. *)
+          (if shards <= 1 then
+             [| Nfp.Lru.create ~entries:p.Nfp.Params.emem_cache_entries |]
+           else
+             Array.init shards (fun _ ->
+                 Nfp.Lru.create
+                   ~entries:
+                     (max 1 (p.Nfp.Params.emem_cache_entries / shards))));
+        shards;
+        emem_pressure =
+          (if scale.Config.s_on then
+             Some
+               (Nfp.Memory.Pressure.create
+                  ~capacity_flows:scale.Config.s_emem_flows)
+           else None);
         rx_gro =
           Sequencer.create ~name:"rx-gro" ~release:(fun s ->
               gro_release (Lazy.force t) s);
@@ -2124,8 +2269,14 @@ let create engine ~config:cfg ~fabric ~mac ~ip ?(ctx_queues = 4)
           Sequencer.create ~name:"tx-gro" ~release:(fun e ->
               nbi_emit (Lazy.force t) e);
         sch =
-          Scheduler.create engine ~slot:cfg.Config.wheel_slot
-            ~slots:cfg.Config.wheel_slots
+          Scheduler.create ~shards
+            ~shard_of:(fun ~conn ->
+              match Hashtbl.find_opt (Lazy.force t).conns conn with
+              | Some cs ->
+                  Flow_group.shard_of_group
+                    cs.Conn_state.pre.Conn_state.flow_group ~shards
+              | None -> 0)
+            engine ~slot:cfg.Config.wheel_slot ~slots:cfg.Config.wheel_slots
             ~credits:(min 256 p.Nfp.Params.seg_buffers)
             ~dispatch:(fun ~conn -> dispatch_tx (Lazy.force t) ~conn);
         atx =
@@ -2152,6 +2303,8 @@ let create engine ~config:cfg ~fabric ~mac ~ip ?(ctx_queues = 4)
         st_drop = 0;
         st_drop_csum = 0;
         st_fretx = 0;
+        st_rx_done = 0;
+        st_cross_shard = 0;
       }
   in
   let t = Lazy.force t in

@@ -43,6 +43,13 @@ type sabotage = {
   sb_bad_contract : bool;
       (** Post-processor declares a protocol-partition write: the
           static layer rejects the stage graph at {!create}. *)
+  sb_mis_steer : bool;
+      (** Protocol stage indexes a neighbor flow group's caches and
+          FPC pool for odd connection indices — a steering bug that
+          breaks the shard-disjointness invariant. Caught at runtime
+          by the datapath's steering self-check
+          ({!cross_shard_accesses}) and reported to FlexSan as an
+          undeclared-stage access. *)
 }
 
 val no_sabotage : sabotage
@@ -245,9 +252,39 @@ type stats = {
   gro_reordered : int;
   egress_reordered : int;
   dma_bytes : int;
+  rx_completed : int;
+      (** RX segments whose datapath work (through the DMA stage)
+          finished — the completion counter open-loop harnesses poll
+          against the number of injected segments. *)
 }
 
 val stats : t -> stats
+
+(** {1 FlexScale (sharded flow-group pipelines)} *)
+
+val shards : t -> int
+(** Number of shard groups ([Config.scale]; 1 when scale is off). *)
+
+val cross_shard_accesses : t -> int
+(** Steering self-check trips: protocol-stage accesses whose effective
+    flow group differed from the one pinned at installation. Zero on a
+    healthy node — nonzero means shard disjointness is broken (see
+    [sb_mis_steer]). *)
+
+val emem_bytes_per_flow : t -> int
+(** Peak resident connection-state bytes per peak resident flow from
+    the EMEM pressure model (the "scale" bench-gate footprint number);
+    0 when scale is off. *)
+
+val emem_resident_flows : t -> int
+(** Currently resident flows in the EMEM pressure model; 0 when scale
+    is off. *)
+
+val pinned_evictions : t -> int
+(** Evictions that were forced to take a pinned (Established) flow's
+    hot state, summed over the per-group CAMs and per-shard EMEM
+    caches. Zero unless every slot of some cache is pinned — the
+    regression gate for "established state is never dropped". *)
 
 val fpc_busy : t -> (string * Sim.Time.t) list
 (** Busy time per FPC, for utilisation reporting. *)

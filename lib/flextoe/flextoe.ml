@@ -1,4 +1,5 @@
 module Config = Config
+module Flow_group = Flow_group
 module Conn_state = Conn_state
 module Meta = Meta
 module Coalesce = Coalesce

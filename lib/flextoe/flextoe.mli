@@ -20,6 +20,7 @@
 (** {1 Components} *)
 
 module Config = Config
+module Flow_group = Flow_group
 module Conn_state = Conn_state
 module Meta = Meta
 module Coalesce = Coalesce

@@ -1,6 +1,6 @@
 (** FlexProve: whole-graph static analysis over the {!Graph_ir}.
 
-    Five passes, each a pure function of the IR:
+    Six passes, each a pure function of the IR:
 
     - {!interference}: the whole-graph generalization of the pairwise
       {!Effects.check} — computes which stage executions may happen in
@@ -20,11 +20,18 @@
       null-message protocol), and stages that share a serialization
       domain are co-located on one LP (a critical section cannot span
       logical processes);
+    - {!sharding}: FlexScale replica families (nodes named [stage] /
+      [stage#k]) are sound shardings — members are footprint-identical
+      copies of one stage, each on its own LP, and everything they
+      write outside atomic/partitioned regions sits under a per-conn
+      or per-flow-group serialization domain, so flow-group steering
+      (which pins each connection to exactly one member) makes their
+      conn-state footprints disjoint across members;
     - {!check_fsm}: exhaustive model check of the shared teardown
       transition table ({!Conn_state.step}) against the RFC-793/6191
       teardown spec, producing a path-to-violation counterexample.
 
-    [Datapath.create] runs the four graph passes once per node (after
+    [Datapath.create] runs the five graph passes once per node (after
     the pairwise {!Effects.check}) and raises {!Graph_rejected} on any
     finding, so an unsound composition fails before any FPC is wired —
     and at zero per-segment cost. *)
@@ -383,7 +390,22 @@ let bounds (g : G.t) : report =
        on the same LP — the critical section realizing the domain is
        LP-local state, it cannot span domains of the OCaml runtime.
        (Early-release sabotage is irrelevant here: the *claim* of a
-       shared domain already implies shared placement.) *)
+       shared domain already implies shared placement.)
+
+   FlexScale exemption for (b): members of one replica family
+   ([stage] / [stage#k]) deliberately live on different LPs while
+   sharing a per-conn domain — flow-group steering pins each
+   connection to exactly one member, so the critical section is
+   realized member-locally. The {!sharding} pass discharges the
+   obligations that make that exemption sound. *)
+
+(* Replica family of a node name: the part before the "#k" shard
+   suffix ("protocol#2" -> "protocol"; shard 0 is unsuffixed). *)
+let family name =
+  match String.index_opt name '#' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
 let partition (g : G.t) : report =
   let fail subject detail =
     { f_pass = "partition"; f_subject = subject; f_detail = detail }
@@ -419,6 +441,7 @@ let partition (g : G.t) : report =
         if
           E.serialized_together a.G.n_contract b.G.n_contract
           && a.G.n_lp <> b.G.n_lp
+          && family a.G.n_name <> family b.G.n_name
         then
           Some
             (fail
@@ -448,9 +471,127 @@ let partition (g : G.t) : report =
     r_findings = zero_lookahead @ split_domains;
   }
 
+(* --- Pass 5: sharding soundness ---------------------------------------- *)
+
+(* FlexScale replicates per-flow-group stages across shard LPs and
+   claims their conn-state footprints are disjoint because flow-group
+   steering maps each connection to exactly one replica. That claim —
+   which both the interference pass (replicas treated as mutually
+   serialized) and the partition pass (same-family exemption) lean on
+   — reduces to three checkable obligations per replica family:
+
+   (a) members are footprint-identical: same reads, writes and
+       serialization domain (a replica with a different footprint is
+       not a shard of the same stage, and the family exemptions would
+       be unsound for it);
+
+   (b) members live on pairwise distinct LPs: two members sharing an
+       LP would mean steering does not partition the family's work,
+       so "member-local critical section" stops being meaningful;
+
+   (c) every object a member writes outside atomic / address-
+       partitioned regions sits under a [Serial_conn] or
+       [Serial_flow_group] domain — exactly the domains steering
+       realizes member-locally by pinning a connection (and its flow
+       group) to one shard. A [Serial_none] or [Serial_queue] write
+       has no per-conn partitioning argument, so replicating it
+       across shards is a race. *)
+let sharding (g : G.t) : report =
+  let fail subject detail =
+    { f_pass = "sharding"; f_subject = subject; f_detail = detail }
+  in
+  let families =
+    List.fold_left
+      (fun acc n ->
+        let f = family n.G.n_name in
+        match List.assoc_opt f acc with
+        | Some ns -> (f, n :: ns) :: List.remove_assoc f acc
+        | None -> (f, [ n ]) :: acc)
+      [] g.G.g_nodes
+  in
+  let replicated =
+    List.filter (fun (_, ns) -> List.length ns > 1) families
+  in
+  let findings =
+    List.concat_map
+      (fun (fam, ns) ->
+        let rep = List.hd ns in
+        let footprints =
+          List.filter_map
+            (fun n ->
+              if
+                n.G.n_contract.E.c_reads = rep.G.n_contract.E.c_reads
+                && n.G.n_contract.E.c_writes = rep.G.n_contract.E.c_writes
+                && n.G.n_contract.E.c_domain = rep.G.n_contract.E.c_domain
+              then None
+              else
+                Some
+                  (fail fam
+                     (Printf.sprintf
+                        "replica %s is not footprint-identical to %s: \
+                         a divergent copy is not a shard of the same \
+                         stage"
+                        n.G.n_name rep.G.n_name)))
+            ns
+        in
+        let lps = List.map (fun n -> n.G.n_lp) ns in
+        let colocated =
+          if List.length (List.sort_uniq compare lps) = List.length ns
+          then []
+          else
+            [
+              fail fam
+                "replica family members share an LP: steering cannot \
+                 partition the family's work across them";
+            ]
+        in
+        let unprotected =
+          List.filter_map
+            (fun o ->
+              let r = E.region o in
+              if r.E.r_atomic || r.E.r_disjoint then None
+              else if not (E.mem o rep.G.n_contract.E.c_writes) then None
+              else
+                match rep.G.n_contract.E.c_domain with
+                | E.Serial_conn | E.Serial_flow_group _ -> None
+                | E.Serial_none | E.Serial_queue _ ->
+                    Some
+                      (fail fam
+                         (Printf.sprintf
+                            "replicated write of %s is not under a \
+                             per-conn or per-flow-group domain: \
+                             steering gives no disjointness argument \
+                             for it"
+                            (E.obj_name o))))
+            E.all_objs
+        in
+        footprints @ colocated @ unprotected)
+      replicated
+  in
+  {
+    r_pass = "sharding";
+    r_notes =
+      [
+        (match replicated with
+        | [] -> "no replica families: graph is unsharded"
+        | fs ->
+            Printf.sprintf
+              "%d replica family(ies) [%s]: footprint-identical, \
+               LP-disjoint, writes steering-partitioned"
+              (List.length fs)
+              (String.concat ", "
+                 (List.map
+                    (fun (f, ns) ->
+                      Printf.sprintf "%s x%d" f (List.length ns))
+                    fs)));
+      ];
+    r_findings = findings;
+  }
+
 (* --- Graph driver ------------------------------------------------------ *)
 
-let graph_reports g = [ interference g; deadlock g; bounds g; partition g ]
+let graph_reports g =
+  [ interference g; deadlock g; bounds g; partition g; sharding g ]
 let reports_ok rs = List.for_all (fun r -> r.r_findings = []) rs
 let report_findings rs = List.concat_map (fun r -> r.r_findings) rs
 

@@ -1,19 +1,21 @@
 (** FlexProve: whole-graph static analysis of the datapath.
 
-    Four graph passes over the {!Graph_ir} — whole-graph interference
+    Five graph passes over the {!Graph_ir} — whole-graph interference
     (the transitive generalization of the pairwise {!Effects.check}),
     deadlock freedom of the credit/backpressure wait-for graph,
-    worst-case queue occupancy against configured capacities, and
+    worst-case queue occupancy against configured capacities,
     soundness of the LP partition for conservative parallel simulation
     (positive lookahead on every cross-LP edge, serialization domains
-    co-located) — plus an exhaustive model check of the shared
-    teardown transition table ({!Conn_state.step}) against an
-    RFC-793/6191 spec.
+    co-located), and soundness of FlexScale replica families (shard
+    copies footprint-identical, LP-disjoint, with every replicated
+    write covered by a steering-partitioned domain) — plus an
+    exhaustive model check of the shared teardown transition table
+    ({!Conn_state.step}) against an RFC-793/6191 spec.
 
     [Datapath.create] runs the graph passes once per node and raises
     {!Graph_rejected} on any finding, so an unsound composition fails
     before any FPC is wired — at zero per-segment cost. [flexlint
-    graph] and [flexlint fsm] expose all five passes offline. *)
+    graph] and [flexlint fsm] expose all six passes offline. *)
 
 type finding = { f_pass : string; f_subject : string; f_detail : string }
 
@@ -54,16 +56,32 @@ val partition : Graph_ir.t -> report
     a positive [e_lookahead] (the channel realizing it cannot
     guarantee progress otherwise), and stages whose contracts share a
     serialization domain must be assigned the same LP — a critical
-    section cannot span logical processes. *)
+    section cannot span logical processes. FlexScale replica families
+    ([stage] / [stage#k]) are exempt from co-location: steering
+    realizes their shared per-conn domain member-locally, and
+    {!sharding} discharges the obligations that make that sound. *)
+
+val family : string -> string
+(** Replica family of a node name: the part before the ["#k"] shard
+    suffix (["protocol#2"] → ["protocol"]; shard 0 is unsuffixed). *)
+
+val sharding : Graph_ir.t -> report
+(** Soundness of FlexScale replica families: members of each family
+    with ≥ 2 members must be footprint-identical (same reads, writes
+    and domain), live on pairwise distinct LPs, and write outside
+    atomic/partitioned regions only under [Serial_conn] or
+    [Serial_flow_group] — the domains flow-group steering realizes
+    member-locally, which is what makes members' conn-state
+    footprints disjoint. Vacuously holds on unsharded graphs. *)
 
 val graph_reports : Graph_ir.t -> report list
-(** The four graph passes, in order. *)
+(** The five graph passes, in order. *)
 
 val reports_ok : report list -> bool
 val report_findings : report list -> finding list
 
 val check_graph : Graph_ir.t -> (report list, finding list) result
-(** All four passes; [Error] carries every finding. *)
+(** All five passes; [Error] carries every finding. *)
 
 (** {1 Teardown FSM model check} *)
 

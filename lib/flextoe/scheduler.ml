@@ -2,6 +2,7 @@ type flow_status = Idle | Ready | Dispatched
 
 type flow = {
   conn : int;
+  shard : int;  (* round-robin queue this flow parks in (FlexScale) *)
   mutable status : flow_status;
   mutable ps_per_byte : int;
   mutable next_time : Sim.Time.t;  (* earliest allowed transmission *)
@@ -24,25 +25,34 @@ type t = {
   slots : int;
   mutable credits : int;
   dispatch : conn:int -> unit;
+  shard_of : conn:int -> int;
   flows : (int, flow) Hashtbl.t;
-  rr : flow Queue.t;  (* uncongested + due flows *)
+  rr : flow Queue.t array;
+      (* uncongested + due flows, one queue per shard group; length 1
+         (and byte-identical dispatch order to the single-queue
+         scheduler) when unsharded *)
+  mutable pump_cursor : int;  (* next shard queue the pump offers to *)
   mutable in_wheel : int;
   mutable dispatched_total : int;
   mutable peak_ready : int;  (* high-water mark of ready t *)
   mutable tracer : tracer option;
 }
 
-let create engine ~slot ~slots ~credits ~dispatch =
+let create ?(shards = 1) ?(shard_of = fun ~conn:_ -> 0) engine ~slot ~slots
+    ~credits ~dispatch =
   if slot <= 0 || slots <= 0 then
     invalid_arg "Scheduler.create: bad wheel geometry";
+  if shards <= 0 then invalid_arg "Scheduler.create: shards must be positive";
   {
     engine;
     slot;
     slots;
     credits;
     dispatch;
+    shard_of;
     flows = Hashtbl.create 256;
-    rr = Queue.create ();
+    rr = Array.init shards (fun _ -> Queue.create ());
+    pump_cursor = 0;
     in_wheel = 0;
     dispatched_total = 0;
     peak_ready = 0;
@@ -55,9 +65,18 @@ let flow t conn =
   match Hashtbl.find_opt t.flows conn with
   | Some f -> f
   | None ->
+      let n = Array.length t.rr in
+      let shard =
+        if n = 1 then 0
+        else begin
+          let s = t.shard_of ~conn in
+          if s < 0 || s >= n then 0 else s
+        end
+      in
       let f =
         {
           conn;
+          shard;
           status = Idle;
           ps_per_byte = 0;
           next_time = Sim.Time.zero;
@@ -67,20 +86,34 @@ let flow t conn =
       Hashtbl.replace t.flows conn f;
       f
 
+(* Dispatch loop: round-robin across the shard queues (trivially the
+   old single-queue behavior at one shard), popping one Ready flow per
+   visit so no shard can starve another while credits last. *)
 let rec pump t =
-  if t.credits > 0 && not (Queue.is_empty t.rr) then begin
-    let f = Queue.pop t.rr in
-    if f.status = Ready then begin
-      f.status <- Dispatched;
-      t.credits <- t.credits - 1;
-      t.dispatched_total <- t.dispatched_total + 1;
-      (match t.tracer with
-      | None -> t.dispatch ~conn:f.conn
-      | Some tr ->
-          tr.sc_dispatch ~conn:f.conn (fun () -> t.dispatch ~conn:f.conn));
-      pump t
-    end
-    else pump t
+  if t.credits > 0 then begin
+    let n = Array.length t.rr in
+    let rec find i =
+      if i >= n then None
+      else
+        let qi = (t.pump_cursor + i) mod n in
+        if Queue.is_empty t.rr.(qi) then find (i + 1) else Some qi
+    in
+    match find 0 with
+    | None -> ()
+    | Some qi ->
+        t.pump_cursor <- (qi + 1) mod n;
+        let f = Queue.pop t.rr.(qi) in
+        if f.status = Ready then begin
+          f.status <- Dispatched;
+          t.credits <- t.credits - 1;
+          t.dispatched_total <- t.dispatched_total + 1;
+          (match t.tracer with
+          | None -> t.dispatch ~conn:f.conn
+          | Some tr ->
+              tr.sc_dispatch ~conn:f.conn (fun () -> t.dispatch ~conn:f.conn));
+          pump t
+        end
+        else pump t
   end
 
 (* Park a Ready flow: straight onto the round-robin queue when
@@ -88,13 +121,15 @@ let rec pump t =
    deadline (deadlines are rounded up to slot granularity; the horizon
    clamps far-future deadlines, as a bounded hardware wheel must). *)
 let note_peak t =
-  let d = Queue.length t.rr + t.in_wheel in
+  let d =
+    Array.fold_left (fun n q -> n + Queue.length q) t.in_wheel t.rr
+  in
   if d > t.peak_ready then t.peak_ready <- d
 
 let park t f =
   let now = Sim.Engine.now t.engine in
   if f.ps_per_byte = 0 || f.next_time <= now then begin
-    Queue.push f t.rr;
+    Queue.push f t.rr.(f.shard);
     note_peak t;
     pump t
   end
@@ -107,7 +142,7 @@ let park t f =
     Sim.Engine.schedule_at t.engine slot_deadline (fun () ->
         t.in_wheel <- t.in_wheel - 1;
         if f.status = Ready then begin
-          Queue.push f t.rr;
+          Queue.push f t.rr.(f.shard);
           pump t
         end)
   end
@@ -156,8 +191,10 @@ let forget t ~conn =
 let credits_available t = t.credits
 
 let ready t =
-  Queue.fold (fun n f -> if f.status = Ready then n + 1 else n) 0 t.rr
-  + t.in_wheel
+  Array.fold_left
+    (fun acc q ->
+      Queue.fold (fun n f -> if f.status = Ready then n + 1 else n) acc q)
+    t.in_wheel t.rr
 
 let dispatched_total t = t.dispatched_total
 let peak_ready t = t.peak_ready

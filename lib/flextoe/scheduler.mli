@@ -31,12 +31,20 @@ val set_tracer : t -> tracer option -> unit
 (** Install (or clear) the tracer. Zero cost when unset. *)
 
 val create :
+  ?shards:int ->
+  ?shard_of:(conn:int -> int) ->
   Sim.Engine.t ->
   slot:Sim.Time.t ->
   slots:int ->
   credits:int ->
   dispatch:(conn:int -> unit) ->
   t
+(** [shards] (default 1) splits the round-robin path into per-shard
+    queues serviced round-robin by the dispatch pump, so one shard
+    group's backlog cannot starve another's (FlexScale). [shard_of]
+    maps a connection to its shard at first sight (clamped to
+    [0, shards)); at [shards = 1] dispatch order is byte-identical to
+    the single-queue scheduler. *)
 
 val wakeup : t -> conn:int -> unit
 (** The flow (possibly) became eligible to send: new app data (HC),

@@ -1,7 +1,12 @@
 (* The CAM is tiny (16 entries on the NFP-4000), so a linear scan over
    an array with logical-clock LRU stamps is both simple and fast. *)
 
-type 'a slot = { mutable key : int; mutable value : 'a; mutable stamp : int }
+type 'a slot = {
+  mutable key : int;
+  mutable value : 'a;
+  mutable stamp : int;
+  mutable pinned : bool;
+}
 
 type 'a t = {
   slots : 'a slot option array;
@@ -10,6 +15,7 @@ type 'a t = {
   mutable misses : int;
   mutable evictions : int;
   mutable invalidations : int;
+  mutable pinned_evictions : int;
 }
 
 let create ~entries =
@@ -21,6 +27,7 @@ let create ~entries =
     misses = 0;
     evictions = 0;
     invalidations = 0;
+    pinned_evictions = 0;
   }
 
 let tick t =
@@ -48,40 +55,55 @@ let find t key =
       t.misses <- t.misses + 1;
       None
 
-let insert t key value =
+let insert ?(pin = false) t key value =
   match find_slot t key with
   | Some s ->
       s.value <- value;
       s.stamp <- tick t;
+      if pin then s.pinned <- true;
       None
   | None -> begin
       let n = Array.length t.slots in
-      (* Prefer an empty slot; otherwise evict the LRU one. *)
-      let free = ref (-1) and lru = ref (-1) and lru_stamp = ref max_int in
+      (* Prefer an empty slot; otherwise evict the LRU unpinned slot,
+         falling back to the LRU pinned one (counted, never silent). *)
+      let free = ref (-1) in
+      let lru = ref (-1) and lru_stamp = ref max_int in
+      let plru = ref (-1) and plru_stamp = ref max_int in
       for i = 0 to n - 1 do
         match t.slots.(i) with
         | None -> if !free < 0 then free := i
         | Some s ->
-            if s.stamp < !lru_stamp then begin
+            if s.pinned then begin
+              if s.stamp < !plru_stamp then begin
+                plru_stamp := s.stamp;
+                plru := i
+              end
+            end
+            else if s.stamp < !lru_stamp then begin
               lru_stamp := s.stamp;
               lru := i
             end
       done;
       if !free >= 0 then begin
-        t.slots.(!free) <- Some { key; value; stamp = tick t };
+        t.slots.(!free) <- Some { key; value; stamp = tick t; pinned = pin };
         None
       end
       else begin
+        let idx, forced = if !lru >= 0 then (!lru, false) else (!plru, true) in
         let evicted =
-          match t.slots.(!lru) with
+          match t.slots.(idx) with
           | Some s -> (s.key, s.value)
           | None -> assert false
         in
-        t.slots.(!lru) <- Some { key; value; stamp = tick t };
+        t.slots.(idx) <- Some { key; value; stamp = tick t; pinned = pin };
         t.evictions <- t.evictions + 1;
+        if forced then t.pinned_evictions <- t.pinned_evictions + 1;
         Some evicted
       end
     end
+
+let unpin t key =
+  match find_slot t key with Some s -> s.pinned <- false | None -> ()
 
 let remove t key =
   Array.iteri
@@ -102,6 +124,7 @@ let hits t = t.hits
 let misses t = t.misses
 let evictions t = t.evictions
 let invalidations t = t.invalidations
+let pinned_evictions t = t.pinned_evictions
 
 let clear t = Array.fill t.slots 0 (Array.length t.slots) None
 

@@ -13,9 +13,15 @@ val find : 'a t -> int -> 'a option
 (** Lookup; a hit promotes the entry to most-recently-used and counts
     toward {!hits}, a miss toward {!misses}. *)
 
-val insert : 'a t -> int -> 'a -> (int * 'a) option
+val insert : ?pin:bool -> 'a t -> int -> 'a -> (int * 'a) option
 (** Insert (or overwrite) a binding, returning the evicted LRU
-    binding if the cache was full. *)
+    binding if the cache was full. [~pin:true] (default false) marks
+    the binding hot: eviction prefers the LRU {e unpinned} binding
+    and only takes a pinned one — counted in {!pinned_evictions} —
+    when every slot is pinned. *)
+
+val unpin : 'a t -> int -> unit
+(** Clear a binding's pinned mark; no-op when absent. *)
 
 val remove : 'a t -> int -> unit
 (** Invalidate a binding (teardown-driven cache eviction); counts
@@ -34,6 +40,11 @@ val evictions : 'a t -> int
     from explicit {!remove} invalidations). *)
 
 val invalidations : 'a t -> int
+
+val pinned_evictions : 'a t -> int
+(** Evictions forced to take a pinned (hot) binding because every
+    slot was pinned; zero on a healthy configuration. *)
+
 val clear : 'a t -> unit
 
 val iter : (int -> 'a -> unit) -> 'a t -> unit

@@ -2,12 +2,14 @@ type t = {
   slots : int array;  (* -1 = empty *)
   mutable hits : int;
   mutable misses : int;
+  mutable conflict_evictions : int;
 }
 
 let create ~entries =
   if entries <= 0 then
     invalid_arg "Direct_cache.create: entries must be positive";
-  { slots = Array.make entries (-1); hits = 0; misses = 0 }
+  { slots = Array.make entries (-1); hits = 0; misses = 0;
+    conflict_evictions = 0 }
 
 let slot t key = key mod Array.length t.slots
 
@@ -19,6 +21,8 @@ let access t key =
   end
   else begin
     t.misses <- t.misses + 1;
+    if t.slots.(i) >= 0 then
+      t.conflict_evictions <- t.conflict_evictions + 1;
     t.slots.(i) <- key;
     false
   end
@@ -31,4 +35,10 @@ let invalidate t key =
 
 let hits t = t.hits
 let misses t = t.misses
+let conflict_evictions t = t.conflict_evictions
+
+let length t =
+  Array.fold_left (fun n s -> if s >= 0 then n + 1 else n) 0 t.slots
+
+let capacity t = Array.length t.slots
 let clear t = Array.fill t.slots 0 (Array.length t.slots) (-1)

@@ -22,4 +22,14 @@ val probe : t -> int -> bool
 val invalidate : t -> int -> unit
 val hits : t -> int
 val misses : t -> int
+
+val conflict_evictions : t -> int
+(** Misses that displaced a different resident key (as opposed to
+    filling an empty slot) — the capacity-pressure signal at scale:
+    past [entries] live keys this tracks the miss rate. *)
+
+val length : t -> int
+(** Occupied slots. *)
+
+val capacity : t -> int
 val clear : t -> unit

@@ -2,6 +2,7 @@ type node = {
   key : int;
   mutable prev : node option;
   mutable next : node option;
+  mutable pinned : bool;
 }
 
 type t = {
@@ -13,6 +14,7 @@ type t = {
   mutable misses : int;
   mutable evictions : int;
   mutable invalidations : int;
+  mutable pinned_evictions : int;
 }
 
 let create ~entries =
@@ -26,6 +28,7 @@ let create ~entries =
     misses = 0;
     evictions = 0;
     invalidations = 0;
+    pinned_evictions = 0;
   }
 
 let unlink t n =
@@ -44,29 +47,50 @@ let push_front t n =
   (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
   t.head <- Some n
 
-let access t key =
+(* Eviction victim: the LRU entry among the unpinned ones, walking
+   tail-to-head. Pinned (hot, Established) state is skipped; if the
+   whole cache is pinned the true LRU goes anyway — never silently,
+   the forced eviction is counted in [pinned_evictions]. *)
+let victim t =
+  let rec unpinned = function
+    | None -> None
+    | Some n when not n.pinned -> Some (n, false)
+    | Some n -> unpinned n.prev
+  in
+  match unpinned t.tail with
+  | Some _ as v -> v
+  | None -> ( match t.tail with Some n -> Some (n, true) | None -> None)
+
+let access ?(pin = false) t key =
   match Hashtbl.find_opt t.tbl key with
   | Some n ->
       t.hits <- t.hits + 1;
+      if pin then n.pinned <- true;
       unlink t n;
       push_front t n;
       true
   | None ->
       t.misses <- t.misses + 1;
       if Hashtbl.length t.tbl >= t.entries then begin
-        match t.tail with
-        | Some lru ->
+        match victim t with
+        | Some (lru, forced) ->
             unlink t lru;
             Hashtbl.remove t.tbl lru.key;
-            t.evictions <- t.evictions + 1
+            t.evictions <- t.evictions + 1;
+            if forced then t.pinned_evictions <- t.pinned_evictions + 1
         | None -> ()
       end;
-      let n = { key; prev = None; next = None } in
+      let n = { key; prev = None; next = None; pinned = pin } in
       Hashtbl.replace t.tbl key n;
       push_front t n;
       false
 
 let mem t key = Hashtbl.mem t.tbl key
+
+let unpin t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some n -> n.pinned <- false
+  | None -> ()
 
 let remove t key =
   match Hashtbl.find_opt t.tbl key with
@@ -77,7 +101,9 @@ let remove t key =
   | None -> ()
 
 let length t = Hashtbl.length t.tbl
+let capacity t = t.entries
 let hits t = t.hits
 let misses t = t.misses
 let evictions t = t.evictions
 let invalidations t = t.invalidations
+let pinned_evictions t = t.pinned_evictions

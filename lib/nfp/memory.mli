@@ -10,3 +10,41 @@ type level =
 
 val latency_cycles : Params.t -> level -> int
 val pp_level : Format.formatter -> level -> unit
+
+(** FlexScale capacity-pressure accounting for the shared EMEM
+    (DESIGN.md §17): tracks resident per-flow state (flows and bytes,
+    with peaks for the bytes/flow bench gate) and derives a
+    deterministic extra miss cost once the working set overcommits
+    the EMEM cache. Zero extra cost at or below capacity, so
+    configurations inside the working set are bit-identical to the
+    unmodelled hierarchy. *)
+module Pressure : sig
+  type t
+
+  val create : capacity_flows:int -> t
+  (** [capacity_flows <= 0] means unbounded (never any pressure). *)
+
+  val install : t -> bytes:int -> unit
+  (** Account one installed connection's state. *)
+
+  val remove : t -> bytes:int -> unit
+  (** Release one connection's state (clamped at zero). *)
+
+  val flows : t -> int
+  val bytes : t -> int
+  val peak_flows : t -> int
+  val peak_bytes : t -> int
+  val capacity_flows : t -> int
+
+  val bytes_per_flow : t -> int
+  (** Peak resident bytes per peak resident flow, rounded up — the
+      footprint number the "scale" bench gate pins. 0 before any
+      install. *)
+
+  val extra_miss_cycles : t -> Params.t -> int
+  (** Extra cycles an EMEM miss pays beyond [emem_cycles]: 0 at or
+      under capacity, growing linearly with overcommit and clamped at
+      [4 * emem_cycles]. Deterministic (a pure function of the
+      resident-flow count), so it cannot perturb golden traces below
+      capacity. *)
+end

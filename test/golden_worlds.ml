@@ -22,7 +22,7 @@ let conns = 4
 
 let md5 s = Digest.to_hex (Digest.string s)
 
-let cfg ~batch ~scope ~san =
+let cfg ~batch ~scope ~san ~scale =
   {
     Flextoe.Config.default with
     Flextoe.Config.batch = Flextoe.Config.batch_of batch;
@@ -33,6 +33,14 @@ let cfg ~batch ~scope ~san =
     scope =
       (if scope then Flextoe.Config.Scope_metrics
        else Flextoe.Config.Scope_off);
+    (* FlexScale: [scale] = shard count, 0 = sharding off entirely.
+       The shards=1 world must reproduce the pinned seed digests
+       bit-for-bit — the sharded code paths (steering, per-shard
+       scheduler queues, pinned caches) may not perturb a
+       single-shard pipeline. *)
+    scale =
+      (if scale <= 0 then Flextoe.Config.scale_none
+       else Flextoe.Config.scale_of scale);
   }
 
 type run_result = {
@@ -84,27 +92,45 @@ let finish ~engine ~server ~streams ~ops =
    must create their LP with the same seed for bit-identity. *)
 let echo_seed = 42L
 
-let setup_echo ?(batch = 1) ?(scope = false) ?(san = false) ~engine () =
+(* The echo server-plus-closed-loop-clients wiring, parameterized so
+   bench/fig14 drives the same setup (multiple client machines,
+   paper-sized requests) instead of keeping its own copy. Defaults are
+   the pinned golden-world values; [conns] is split evenly across
+   [client_eps] (one endpoint = the golden two-node world). The call
+   order — server, start_measuring, clients — is part of the pinned
+   digests; do not reorder. *)
+let echo_workload ?(conns = conns) ?(pipeline = 4) ?(req_bytes = 700)
+    ?req_cycles ?(app_cycles = 100) ?on_response ~engine ~server_ip
+    ~server_ep ~client_eps ~stats () =
+  Host.Rpc.server ~endpoint:server_ep ~port:7 ~app_cycles
+    ~handler:Host.Rpc.echo_handler ();
+  Host.Rpc.Stats.start_measuring stats;
+  let per_client = max 1 (conns / List.length client_eps) in
+  List.iter
+    (fun ep ->
+      ignore
+        (Host.Rpc.closed_loop_client ~endpoint:ep ~engine ~server_ip
+           ~server_port:7 ~conns:per_client ~pipeline ~req_bytes ~stats
+           ?on_response ?req_cycles ()))
+    client_eps
+
+let setup_echo ?(batch = 1) ?(scope = false) ?(san = false) ?(scale = 0)
+    ~engine () =
   let fabric = Netsim.Fabric.create engine () in
-  let config = cfg ~batch ~scope ~san in
+  let config = cfg ~batch ~scope ~san ~scale in
   let a = Flextoe.create_node engine ~fabric ~config ~ip:ip_a () in
   let b = Flextoe.create_node engine ~fabric ~config ~ip:ip_b () in
   let stats = Host.Rpc.Stats.create engine in
-  Host.Rpc.server ~endpoint:(Flextoe.endpoint a) ~port:7 ~app_cycles:100
-    ~handler:Host.Rpc.echo_handler ();
   let streams = Array.init conns (fun _ -> Buffer.create 4096) in
-  Host.Rpc.Stats.start_measuring stats;
-  ignore
-    (Host.Rpc.closed_loop_client ~endpoint:(Flextoe.endpoint b) ~engine
-       ~server_ip:ip_a ~server_port:7 ~conns ~pipeline:4 ~req_bytes:700
-       ~stats
-       ~on_response:(fun ~conn resp -> Buffer.add_bytes streams.(conn) resp)
-       ());
+  echo_workload ~engine ~server_ip:ip_a ~server_ep:(Flextoe.endpoint a)
+    ~client_eps:[ Flextoe.endpoint b ] ~stats
+    ~on_response:(fun ~conn resp -> Buffer.add_bytes streams.(conn) resp)
+    ();
   fun () -> finish ~engine ~server:a ~streams ~ops:(Host.Rpc.Stats.ops stats)
 
-let run_echo ?batch ?scope ?san () =
+let run_echo ?batch ?scope ?san ?scale () =
   let engine = Sim.Engine.create ~seed:echo_seed () in
-  let fin = setup_echo ?batch ?scope ?san ~engine () in
+  let fin = setup_echo ?batch ?scope ?san ?scale ~engine () in
   Sim.Engine.run ~until:(Sim.Time.ms 10) engine;
   fin ()
 
@@ -157,9 +183,10 @@ let kv_client ~endpoint ~engine ~server_ip ~server_port ~conns ~pipeline
             done)
   done
 
-let setup_kv ?(batch = 1) ?(scope = false) ?(san = false) ~engine () =
+let setup_kv ?(batch = 1) ?(scope = false) ?(san = false) ?(scale = 0)
+    ~engine () =
   let fabric = Netsim.Fabric.create engine () in
-  let config = cfg ~batch ~scope ~san in
+  let config = cfg ~batch ~scope ~san ~scale in
   let a = Flextoe.create_node engine ~fabric ~config ~ip:ip_a () in
   let b = Flextoe.create_node engine ~fabric ~config ~ip:ip_b () in
   ignore
@@ -172,9 +199,9 @@ let setup_kv ?(batch = 1) ?(scope = false) ?(san = false) ~engine () =
     let ops = Array.fold_left (fun n b -> n + Buffer.length b) 0 streams in
     finish ~engine ~server:a ~streams ~ops
 
-let run_kv ?batch ?scope ?san () =
+let run_kv ?batch ?scope ?san ?scale () =
   let engine = Sim.Engine.create ~seed:kv_seed () in
-  let fin = setup_kv ?batch ?scope ?san ~engine () in
+  let fin = setup_kv ?batch ?scope ?san ?scale ~engine () in
   Sim.Engine.run ~until:(Sim.Time.ms 10) engine;
   fin ()
 

@@ -1,0 +1,3 @@
+(* Shard 13: FlexScale — steering purity, shard occupancy, cache
+   eviction oracles and the sharded-pipeline disjointness checks. *)
+let () = Alcotest.run "flextoe-scale" [ ("scale", Test_scale.suite) ]

@@ -65,6 +65,24 @@ let test_kv_batch1_strict () =
     seed_kv_strict r.strict_digest;
   check_str "kv batch=1 payload digest" seed_kv_payload r.payload_digest
 
+(* FlexScale at shards=1: the whole sharding machinery — steering,
+   per-shard scheduler queues, pinned per-shard caches, the replicated
+   graph IR — must compile down to the seed pipeline when there is
+   only one shard. Checked at the strongest level we have: the strict
+   digests, which include the engine's processed-event count. Any
+   extra event, any reordered lookup, any cache perturbation fails
+   this. *)
+let test_scale1_bit_identical () =
+  let r = run_echo ~scale:1 () in
+  check_str "echo shards=1 strict digest (bit-identical to seed)"
+    seed_echo_strict r.strict_digest;
+  check_str "echo shards=1 payload digest" seed_echo_payload
+    r.payload_digest;
+  let r = run_kv ~scale:1 () in
+  check_str "kv shards=1 strict digest (bit-identical to seed)"
+    seed_kv_strict r.strict_digest;
+  check_str "kv shards=1 payload digest" seed_kv_payload r.payload_digest
+
 let batch_sizes = [ 4; 8; 16 ]
 
 (* --- Fixed-work runs (batch-invariance) ------------------------------- *)
@@ -123,7 +141,7 @@ let echo_fixed_client ~endpoint ~server_ip ~server_port ~conns ~pipeline
 let run_echo_fixed ~batch () =
   let engine = Sim.Engine.create ~seed:44L () in
   let fabric = Netsim.Fabric.create engine () in
-  let config = cfg ~batch ~scope:false ~san:false in
+  let config = cfg ~batch ~scope:false ~san:false ~scale:0 in
   let a = Flextoe.create_node engine ~fabric ~config ~ip:ip_a () in
   let b = Flextoe.create_node engine ~fabric ~config ~ip:ip_b () in
   Host.Rpc.server ~endpoint:(Flextoe.endpoint a) ~port:7 ~app_cycles:100
@@ -223,7 +241,7 @@ let kv_fixed_client ~endpoint ~engine ~server_ip ~server_port ~conns
 let run_kv_fixed ~batch () =
   let engine = Sim.Engine.create ~seed:45L () in
   let fabric = Netsim.Fabric.create engine () in
-  let config = cfg ~batch ~scope:false ~san:false in
+  let config = cfg ~batch ~scope:false ~san:false ~scale:0 in
   let a = Flextoe.create_node engine ~fabric ~config ~ip:ip_a () in
   let b = Flextoe.create_node engine ~fabric ~config ~ip:ip_b () in
   ignore
@@ -269,6 +287,8 @@ let suite =
       test_echo_batch1_metrics;
     Alcotest.test_case "kv batch=1 strict digest" `Quick
       test_kv_batch1_strict;
+    Alcotest.test_case "sharded datapath at shards=1 is bit-identical"
+      `Quick test_scale1_bit_identical;
     Alcotest.test_case "echo payload-identical at batch>1" `Quick
       test_echo_payload_identical_batched;
     Alcotest.test_case "kv payload-identical at batch>1" `Quick

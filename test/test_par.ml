@@ -34,12 +34,13 @@ let domain_counts = [ 1; 2; 4; 8 ]
    the scheduler — worker assignment, horizons with no inputs, the
    run-to-until barrier — while the digests pin that none of it leaks
    into results. *)
-let run_worlds ~domains ~batch ?(scope = false) ?(san = false) () =
+let run_worlds ~domains ~batch ?(scope = false) ?(san = false) ?(scale = 0)
+    () =
   let cl = Cl.create ~seed:7L ~domains () in
   let echo_lp = Cl.add_lp ~name:"echo" ~seed:W.echo_seed cl in
   let kv_lp = Cl.add_lp ~name:"kv" ~seed:W.kv_seed cl in
-  let fin_echo = W.setup_echo ~batch ~scope ~san ~engine:echo_lp () in
-  let fin_kv = W.setup_kv ~batch ~scope ~san ~engine:kv_lp () in
+  let fin_echo = W.setup_echo ~batch ~scope ~san ~scale ~engine:echo_lp () in
+  let fin_kv = W.setup_kv ~batch ~scope ~san ~scale ~engine:kv_lp () in
   Cl.run ~until:(Sim.Time.ms 10) cl;
   check_int "gvt reached until" (Sim.Time.ms 10) (Cl.gvt cl);
   (fin_echo (), fin_kv ())
@@ -88,6 +89,38 @@ let test_golden_batched_across_domains () =
         (Printf.sprintf "kv batch=8 strict digest at domains=%d" domains)
         ref_kv.W.strict_digest kv.W.strict_digest)
     (List.tl domain_counts)
+
+let test_sharded_worlds_across_domains () =
+  (* FlexScale shards > 1: digests are not pinned to the sequential
+     seed (steering and per-shard scheduler queues legitimately change
+     event order), but the sharded world is still one deterministic
+     program — its strict digests (including per-LP processed-event
+     counts) must be equal at every domain count, and shards=1 under
+     the cluster must still reproduce the pinned seed digests. *)
+  let one_echo, one_kv = run_worlds ~domains:1 ~batch:1 ~scale:1 () in
+  check_str "sharded shards=1 echo strict digest = seed"
+    W.seed_echo_strict one_echo.W.strict_digest;
+  check_str "sharded shards=1 kv strict digest = seed" W.seed_kv_strict
+    one_kv.W.strict_digest;
+  List.iter
+    (fun scale ->
+      let ref_echo, ref_kv = run_worlds ~domains:1 ~batch:1 ~scale () in
+      check_bool
+        (Printf.sprintf "sharded echo made progress at shards=%d" scale)
+        true (ref_echo.W.ops > 500);
+      List.iter
+        (fun domains ->
+          let echo, kv = run_worlds ~domains ~batch:1 ~scale () in
+          check_str
+            (Printf.sprintf "sharded echo strict digest shards=%d domains=%d"
+               scale domains)
+            ref_echo.W.strict_digest echo.W.strict_digest;
+          check_str
+            (Printf.sprintf "sharded kv strict digest shards=%d domains=%d"
+               scale domains)
+            ref_kv.W.strict_digest kv.W.strict_digest)
+        [ 2; 4 ])
+    [ 2; 4 ]
 
 let test_flexsan_clean_under_cluster () =
   List.iter
@@ -435,6 +468,8 @@ let suite =
       test_golden_metrics_across_domains;
     Alcotest.test_case "golden batch=8 equal across domains" `Quick
       test_golden_batched_across_domains;
+    Alcotest.test_case "sharded worlds identical at domains=1,2,4" `Quick
+      test_sharded_worlds_across_domains;
     Alcotest.test_case "FlexSan clean under cluster" `Quick
       test_flexsan_clean_under_cluster;
     Alcotest.test_case "phased run continues bit-identically" `Quick

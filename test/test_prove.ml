@@ -137,9 +137,9 @@ let test_builtin_graph_clean () =
           with
           | Ok reports ->
               check_int
-                (Printf.sprintf "four passes ran (batch=%d guard=%b)" batch
+                (Printf.sprintf "five passes ran (batch=%d guard=%b)" batch
                    guard)
-                4 (List.length reports)
+                5 (List.length reports)
           | Error fs ->
               Alcotest.failf "builtin graph rejected (batch=%d guard=%b): %s"
                 batch guard

@@ -330,6 +330,9 @@ let expected_objs = function
   | "no_lock" | "early_release" -> [ E.Conn_proto; E.Reasm ]
   | "notify_before_payload" | "skip_notify_dma" -> [ E.Rx_payload ]
   | "postproc_writes_conn" | "preproc_reads_proto" -> [ E.Conn_proto ]
+  (* The steering self-check surfaces a mis-steer as an access from
+     the undeclared "shard-steer" pseudo-stage on the conn partition. *)
+  | "mis_steer" -> [ E.Conn_proto ]
   | v -> Alcotest.failf "unknown variant %s" v
 
 let report_objs r =
@@ -343,8 +346,10 @@ let test_variant name () =
   let sabotage = List.assoc name D.sabotage_variants in
   (* Deep pipelining on a single connection keeps several segments of
      one flow in flight at once — the overlap the lock variants need
-     before their defect is observable. *)
-  let stats, a, b = echo_pair ~sabotage ~conns:1 ~pipeline:8 ~ms:20 () in
+     before their defect is observable. mis_steer instead mis-indexes
+     odd connection indices, so it needs more than one connection. *)
+  let conns = if name = "mis_steer" then 4 else 1 in
+  let stats, a, b = echo_pair ~sabotage ~conns ~pipeline:8 ~ms:20 () in
   check_bool "workload ran" true (Host.Rpc.Stats.ops stats > 50);
   let reports = all_reports [ a; b ] in
   check_bool
